@@ -1,0 +1,73 @@
+"""Figure 6 — k-means clustering of cloud workloads in PCA space.
+
+Paper: the nine workloads separate into three clusters — BI (TeraSort,
+PageRank, ML Prep, ...), LC-1 (VDI-Web, TPCE, SearchEngine, LiveMaps),
+and LC-2 (YCSB-B alone, thanks to its low LPA entropy); 98.4% of test
+windows fall into their ground-truth clusters.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_expectation, print_header
+from repro.clustering import Pca, fit_default_classifier, trace_feature_windows
+from repro.workloads import WORKLOAD_CATALOG, get_spec, synthesize_trace
+from repro.workloads.catalog import CLUSTER_GROUND_TRUTH
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return fit_default_classifier(
+        seed=0, windows_per_workload=6, requests_per_window=5000
+    )
+
+
+def test_fig06_clustering_accuracy(benchmark, classifier):
+    def regenerate():
+        report = classifier.report
+        print_header("Figure 6", "workload clustering (PCA projection + accuracy)")
+        # PCA projection of each workload's mean feature vector, as the
+        # 2-D scatter in the paper.
+        rng = np.random.default_rng(42)
+        rows, names = [], []
+        for name in sorted(WORKLOAD_CATALOG):
+            trace = synthesize_trace(get_spec(name), rng, 5000)
+            rows.append(trace_feature_windows(trace, 5000).mean(axis=0))
+            names.append(name)
+        projected = Pca(n_components=2).fit_transform(np.log1p(np.stack(rows)))
+        print(f"{'workload':>15s} {'cluster':>8s} {'factor1':>9s} {'factor2':>9s}")
+        for name, point in zip(names, projected):
+            print(
+                f"{name:>15s} {CLUSTER_GROUND_TRUTH[name]:>8s} "
+                f"{point[0]:9.3f} {point[1]:9.3f}"
+            )
+        return report
+
+    report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_expectation(
+        "98.4% of test windows in ground-truth clusters; 3 clusters "
+        "(BI / LC-1 / LC-2, YCSB-B alone in LC-2)",
+        f"{report.test_accuracy:.1%} test accuracy; clusters labeled "
+        f"{sorted(set(report.cluster_labels.values()))}",
+    )
+    assert report.test_accuracy >= 0.9
+    assert set(report.cluster_labels.values()) == {"BI", "LC-1", "LC-2"}
+
+
+def test_fig06_bi_separates_from_lc_in_pca(benchmark, classifier):
+    """In the 2-D projection, BI workloads sit apart from LC workloads."""
+    # Checked under --benchmark-only too (which skips plain tests).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rng = np.random.default_rng(7)
+    rows, labels = [], []
+    for name in sorted(WORKLOAD_CATALOG):
+        trace = synthesize_trace(get_spec(name), rng, 5000)
+        for row in trace_feature_windows(trace, 5000):
+            rows.append(row)
+            labels.append(CLUSTER_GROUND_TRUTH[name])
+    projected = Pca(n_components=2).fit_transform(np.log1p(np.stack(rows)))
+    labels = np.asarray(labels)
+    bi = projected[labels == "BI"].mean(axis=0)
+    lc = projected[labels != "BI"].mean(axis=0)
+    spread = projected.std(axis=0).mean()
+    assert np.linalg.norm(bi - lc) > spread

@@ -1,0 +1,81 @@
+"""Figure 12 — normalized P99 latency of latency-sensitive workloads.
+
+Paper: FleetIO achieves 1.29-1.89x lower P99 than Software Isolation /
+Adaptive and stays within ~1.2x of Hardware Isolation (the strongest);
+P95/P99.9 increase only 3%/8% over Hardware Isolation.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    STANDARD_PAIRS,
+    bandwidth_name,
+    latency_name,
+    pair_results,
+    print_expectation,
+    print_header,
+)
+from repro.harness import POLICIES
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {pair: pair_results(*pair) for pair in STANDARD_PAIRS}
+
+
+def test_fig12_normalized_p99(benchmark, grid):
+    def regenerate():
+        print_header(
+            "Figure 12", "P99 of latency-sensitive workloads (normalized to HW)"
+        )
+        print(f"{'workload (pair)':>26s}" + "".join(f"{p:>11s}" for p in POLICIES))
+        table = {}
+        for pair, results in grid.items():
+            lat = latency_name(pair)
+            hw_p99 = results["hardware"].vssd(lat).p99_latency_us
+            row = {
+                p: results[p].vssd(lat).p99_latency_us / max(hw_p99, 1e-9)
+                for p in POLICIES
+            }
+            table[pair] = row
+            label = f"{lat} (+{bandwidth_name(pair)})"
+            print(f"{label:>26s}" + "".join(f"{row[p]:10.2f}x" for p in POLICIES))
+        return table
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    gains = [row["software"] / row["fleetio"] for row in table.values()]
+    print_expectation(
+        "FleetIO 1.29-1.89x lower P99 than software isolation",
+        f"FleetIO {min(gains):.2f}-{max(gains):.2f}x lower P99 than software",
+    )
+    for pair, row in table.items():
+        # FleetIO's tail is far closer to hardware isolation than
+        # software isolation's is.
+        assert row["fleetio"] < row["software"], pair
+    assert sum(gains) / len(gains) > 1.29
+
+
+def test_fig12_p95_and_p999_close_to_hardware(benchmark, grid):
+    """Paper: FleetIO's P95/P99.9 rise only 3%/8% over HW isolation."""
+    # Checked under --benchmark-only too (which skips plain tests).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    p95_ratios, p999_ratios = [], []
+    for pair, results in grid.items():
+        lat = latency_name(pair)
+        hw = results["hardware"].vssd(lat)
+        fl = results["fleetio"].vssd(lat)
+        p95_ratios.append(fl.p95_latency_us / max(hw.p95_latency_us, 1e-9))
+        p999_ratios.append(fl.p999_latency_us / max(hw.p999_latency_us, 1e-9))
+    avg95 = sum(p95_ratios) / len(p95_ratios)
+    avg999 = sum(p999_ratios) / len(p999_ratios)
+    print(f"\nFleetIO P95 {avg95:.2f}x HW (paper 1.03x); "
+          f"P99.9 {avg999:.2f}x HW (paper 1.08x)")
+    sw95 = []
+    for pair, results in grid.items():
+        lat = latency_name(pair)
+        sw95.append(
+            results["software"].vssd(lat).p95_latency_us
+            / max(results["hardware"].vssd(lat).p95_latency_us, 1e-9)
+        )
+    # FleetIO's P95 inflation is well below software isolation's.
+    assert avg95 < sum(sw95) / len(sw95)

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so the package can
+be installed in environments without the ``wheel`` package (offline CI),
+via ``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

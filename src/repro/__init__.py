@@ -1,0 +1,24 @@
+"""FleetIO reproduction: multi-tenant cloud storage with multi-agent RL.
+
+The public API is organized by subsystem:
+
+* :mod:`repro.config` — device geometry and RL hyper-parameters (Table 3).
+* :mod:`repro.ssd` / :mod:`repro.sim` — the discrete-event SSD substrate.
+* :mod:`repro.virt` — vSSDs, ghost superblocks, admission control.
+* :mod:`repro.sched` — I/O requests and scheduling policies.
+* :mod:`repro.workloads` — the nine cloud workload generators.
+* :mod:`repro.clustering` — workload-type learning (Section 3.4).
+* :mod:`repro.rl` — the numpy PPO stack.
+* :mod:`repro.core` — FleetIO's agents, rewards, and decision loop.
+* :mod:`repro.baselines` — SSDKeeper and Adaptive comparison systems.
+* :mod:`repro.harness` — experiments and paper-figure comparisons.
+
+For most uses, start from the harness:
+
+>>> from repro.harness import Experiment, plans_for_pair
+>>> result = Experiment(plans_for_pair("ycsb", "terasort"), "fleetio").run(20.0)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

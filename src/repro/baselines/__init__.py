@@ -1,0 +1,15 @@
+"""The paper's comparison systems (Section 4.1).
+
+* Hardware Isolation — equal dedicated channel shares (no manager).
+* Software Isolation — shared channels with token-bucket throttling and
+  stride scheduling (handled by the dispatcher policy; no manager).
+* Adaptive — eZNS-style: per-window channel shares proportional to the
+  prior window's bandwidth utilization (:mod:`repro.baselines.adaptive`).
+* SSDKeeper — a DNN predicts each vSSD's channel demand; channels are
+  statically partitioned accordingly (:mod:`repro.baselines.ssdkeeper`).
+"""
+
+from repro.baselines.adaptive import AdaptiveManager
+from repro.baselines.ssdkeeper import MlpRegressor, SsdKeeperAllocator
+
+__all__ = ["AdaptiveManager", "SsdKeeperAllocator", "MlpRegressor"]

@@ -1,0 +1,198 @@
+"""The SSDKeeper baseline (Liu et al., IPDPS'20; Section 4.1).
+
+SSDKeeper "uses a deep neural network (DNN) to decide the hardware-
+isolated static resource partitioning for vSSDs that minimizes average
+latency".  We reproduce it as:
+
+1. a small MLP regressor trained offline on (workload I/O features ->
+   demanded channel count) pairs derived from the workload catalog, and
+2. an allocator that profiles each tenant's trace, predicts its demand,
+   and statically partitions the SSD's channels proportionally.
+
+The partition is computed once before the run — SSDKeeper cannot react
+to demand fluctuation at runtime, which is the behaviour Figures 10-13
+penalize it for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.features import trace_feature_windows
+from repro.config import SSDConfig
+from repro.workloads.catalog import WORKLOAD_CATALOG, get_spec
+from repro.workloads.model import synthesize_trace
+from repro.workloads.spec import WorkloadSpec
+
+
+class MlpRegressor:
+    """One-hidden-layer tanh MLP trained with Adam on MSE."""
+
+    def __init__(self, input_dim: int, hidden: int = 16, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(input_dim)
+        self.w1 = rng.uniform(-scale, scale, (input_dim, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.uniform(-scale, scale, (hidden, 1))
+        self.b2 = np.zeros(1)
+        self._adam_state: dict = {}
+        self._t = 0
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; returns one prediction per input row."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        h = np.tanh(x @ self.w1 + self.b1)
+        return (h @ self.w2 + self.b2)[:, 0]
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 400,
+        learning_rate: float = 1e-2,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> float:
+        """Train to convergence; returns final MSE."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        n = len(x)
+        mse = float("inf")
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                self._sgd_step(x[idx], y[idx], learning_rate)
+            mse = float(((self.predict(x) - y) ** 2).mean())
+        return mse
+
+    def _sgd_step(self, x: np.ndarray, y: np.ndarray, lr: float) -> None:
+        h = np.tanh(x @ self.w1 + self.b1)
+        pred = (h @ self.w2 + self.b2)[:, 0]
+        n = len(x)
+        dpred = 2.0 * (pred - y)[:, None] / n
+        grads = {
+            "w2": h.T @ dpred,
+            "b2": dpred.sum(axis=0),
+        }
+        dh = dpred @ self.w2.T * (1 - h * h)
+        grads["w1"] = x.T @ dh
+        grads["b1"] = dh.sum(axis=0)
+        self._t += 1
+        for key, grad in grads.items():
+            m, v = self._adam_state.get(key, (np.zeros_like(grad), np.zeros_like(grad)))
+            m = 0.9 * m + 0.1 * grad
+            v = 0.999 * v + 0.001 * grad * grad
+            self._adam_state[key] = (m, v)
+            m_hat = m / (1 - 0.9**self._t)
+            v_hat = v / (1 - 0.999**self._t)
+            setattr(
+                self,
+                key,
+                getattr(self, key) - lr * m_hat / (np.sqrt(v_hat) + 1e-8),
+            )
+
+
+def _log_features(features: np.ndarray) -> np.ndarray:
+    out = np.array(features, dtype=np.float64, copy=True)
+    for col in (0, 1, 3):
+        out[:, col] = np.log1p(np.maximum(out[:, col], 0.0))
+    return out
+
+
+def nominal_demand_channels(spec: WorkloadSpec, config: SSDConfig) -> float:
+    """The analytically expected channel demand of a workload.
+
+    Bandwidth workloads demand their closed-loop saturation bandwidth
+    averaged over the phase cycle; latency workloads demand the bandwidth
+    of their arrival stream plus headroom for tail latency.
+    """
+    chan_bw = config.channel_write_bandwidth_mbps
+    mean_io_mb = spec.mean_io_pages * config.page_size / (1024.0 * 1024.0)
+    if spec.phases:
+        mean_scale = sum(p.duration_s * p.scale for p in spec.phases) / sum(
+            p.duration_s for p in spec.phases
+        )
+    else:
+        mean_scale = 1.0
+    if spec.category == "bandwidth":
+        # A closed loop with Q outstanding requests of mean size s pages
+        # can keep roughly Q parallel page streams busy.
+        demand_mbps = spec.outstanding * mean_scale * mean_io_mb * 25.0
+    else:
+        demand_mbps = spec.base_iops * mean_scale * mean_io_mb * 2.0
+    return max(demand_mbps / chan_bw, 0.5)
+
+
+class SsdKeeperAllocator:
+    """Predicts channel demand and statically partitions the SSD."""
+
+    def __init__(self, config: Optional[SSDConfig] = None, seed: int = 0):
+        self.config = config or SSDConfig()
+        self.model = MlpRegressor(input_dim=4, seed=seed)
+        self.seed = seed
+        self.trained = False
+        self.training_mse = float("inf")
+
+    def train(self, windows_per_workload: int = 6, requests_per_window: int = 2000) -> float:
+        """Offline training over the catalog's synthesized traces."""
+        rng = np.random.default_rng(self.seed)
+        features = []
+        targets = []
+        for name in sorted(WORKLOAD_CATALOG):
+            spec = get_spec(name)
+            trace = synthesize_trace(
+                spec, rng, windows_per_workload * requests_per_window
+            )
+            rows = trace_feature_windows(trace, requests_per_window)
+            demand = nominal_demand_channels(spec, self.config)
+            features.append(rows)
+            targets.extend([demand] * len(rows))
+        x = _log_features(np.concatenate(features))
+        y = np.asarray(targets)
+        self._x_mean = x.mean(axis=0)
+        self._x_std = np.where(x.std(axis=0) < 1e-12, 1.0, x.std(axis=0))
+        self.training_mse = self.model.fit((x - self._x_mean) / self._x_std, y)
+        self.trained = True
+        return self.training_mse
+
+    def predict_demand(self, features: np.ndarray) -> float:
+        """Predicted channel demand for one feature row."""
+        if not self.trained:
+            raise RuntimeError("train() first")
+        x = _log_features(np.atleast_2d(features))
+        x = (x - self._x_mean) / self._x_std
+        return float(max(self.model.predict(x)[0], 0.5))
+
+    def partition(self, workload_names: list, total_channels: Optional[int] = None) -> list:
+        """Channel counts per tenant, statically, from predicted demand.
+
+        Every tenant receives at least one channel; the remainder is
+        apportioned by largest fractional demand.
+        """
+        if total_channels is None:
+            total_channels = self.config.num_channels
+        rng = np.random.default_rng(self.seed + 1)
+        demands = []
+        for name in workload_names:
+            spec = get_spec(name)
+            trace = synthesize_trace(spec, rng, 2000)
+            row = trace_feature_windows(trace, 2000)[0]
+            demands.append(self.predict_demand(row))
+        demands_arr = np.asarray(demands)
+        raw = demands_arr / demands_arr.sum() * total_channels
+        counts = np.maximum(np.floor(raw).astype(int), 1)
+        # Distribute leftovers to the largest fractional remainders.
+        while counts.sum() < total_channels:
+            frac = raw - counts
+            counts[int(np.argmax(frac))] += 1
+            raw = raw  # fractions shrink as counts grow
+            frac[int(np.argmax(frac))] -= 1.0
+        while counts.sum() > total_channels:
+            candidates = np.where(counts > 1)[0]
+            victim = candidates[int(np.argmin(raw[candidates] - counts[candidates]))]
+            counts[victim] -= 1
+        return counts.tolist()

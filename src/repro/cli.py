@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — run one policy over a workload collocation and print results.
+* ``compare`` — run several policies over the same collocation.
+* ``workloads`` — list the workload catalog.
+* ``classify`` — synthesize a trace for a workload and classify its type.
+* ``pretrain`` — (re)build the cached pre-trained policy.
+* ``overheads`` — print the Section 4.7 overhead microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import RLConfig, SSDConfig
+from repro.harness import POLICIES, Experiment, VssdPlan, run_policy_comparison
+from repro.workloads import WORKLOAD_CATALOG, get_spec
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "workloads",
+        nargs="+",
+        help="workload names to collocate (see 'workloads' command)",
+    )
+    parser.add_argument("--duration", type=float, default=20.0, help="simulated seconds")
+    parser.add_argument(
+        "--warmup", type=float, default=6.0, help="seconds excluded from measurement"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--channels", type=int, default=None,
+        help="total SSD channels (default: 16, Table 3)",
+    )
+
+
+def _config_from(args) -> SSDConfig:
+    if args.channels is None:
+        return SSDConfig()
+    return SSDConfig(num_channels=args.channels)
+
+
+def _plans_from(names) -> list:
+    plans = []
+    seen: dict = {}
+    for name in names:
+        get_spec(name)  # validate early
+        seen[name] = seen.get(name, 0) + 1
+        label = f"{name}-{seen[name]}" if names.count(name) > 1 else name
+        plans.append(VssdPlan(name, name=label))
+    return plans
+
+
+def _print_result(policy: str, result) -> None:
+    print(f"\n== {policy}: SSD utilization {result.avg_utilization:.2%} "
+          f"(P95 {result.p95_utilization:.2%})")
+    for vssd in result.vssds.values():
+        print("  " + vssd.summary_row())
+
+
+def cmd_run(args) -> int:
+    """Run one policy over one collocation."""
+    experiment = Experiment(
+        _plans_from(args.workloads),
+        args.policy,
+        ssd_config=_config_from(args),
+        seed=args.seed,
+    )
+    started = time.time()
+    result = experiment.run(args.duration, args.warmup)
+    _print_result(args.policy, result)
+    print(f"\n({args.duration:.0f} simulated seconds in {time.time() - started:.1f} wall seconds)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run several policies over one collocation."""
+    policies = tuple(args.policies.split(",")) if args.policies else POLICIES
+    results = run_policy_comparison(
+        _plans_from(args.workloads),
+        policies=policies,
+        duration_s=args.duration,
+        measure_after_s=args.warmup,
+        ssd_config=_config_from(args),
+        seed=args.seed,
+    )
+    for policy, result in results.items():
+        _print_result(policy, result)
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    """List the workload catalog."""
+    print(f"{'name':>15s} {'category':>10s} {'mode':>7s} {'reads':>6s} {'mean IO':>8s}")
+    for name in sorted(WORKLOAD_CATALOG):
+        spec = get_spec(name)
+        print(
+            f"{name:>15s} {spec.category:>10s} {spec.mode:>7s} "
+            f"{spec.read_ratio:6.0%} {spec.mean_io_pages * 16:7.0f}K"
+        )
+    return 0
+
+
+def cmd_classify(args) -> int:
+    """Classify a workload's synthesized trace (Section 3.4)."""
+    import numpy as np
+
+    from repro.clustering import trace_feature_windows
+    from repro.config import CLUSTER_ALPHAS
+    from repro.harness import get_classifier
+    from repro.workloads import synthesize_trace
+
+    classifier = get_classifier()
+    trace = synthesize_trace(
+        get_spec(args.workload), np.random.default_rng(args.seed), 5000
+    )
+    features = trace_feature_windows(trace, 5000)[0]
+    label = classifier.predict_label(features[None, :])
+    alpha = CLUSTER_ALPHAS.get(label, RLConfig().unified_alpha)
+    print(f"workload:  {args.workload}")
+    print(f"features:  read={features[0]:.1f} MB/s write={features[1]:.1f} MB/s "
+          f"entropy={features[2]:.3f} size={features[3]:.1f} KB")
+    print(f"cluster:   {label or 'unknown (unified reward)'}")
+    print(f"alpha:     {alpha}")
+    return 0
+
+
+def cmd_pretrain(args) -> int:
+    """(Re)build the cached pre-trained policy."""
+    from repro.harness import get_pretrained_net
+
+    started = time.time()
+    net = get_pretrained_net(iterations=args.iterations, use_disk_cache=not args.fresh)
+    print(
+        f"policy ready: {net.num_parameters()} parameters "
+        f"({time.time() - started:.1f} s)"
+    )
+    return 0
+
+
+def cmd_overheads(_args) -> int:
+    """Print Section 4.7-style overhead microbenchmarks."""
+    import numpy as np
+
+    from repro.harness import get_pretrained_net
+    from repro.rl import CategoricalPolicy
+    from repro.virt import StorageVirtualizer
+    from repro.virt.actions import HarvestAction
+
+    net = get_pretrained_net()
+    policy = CategoricalPolicy(net)
+    state = np.zeros(RLConfig().state_dim)
+    started = time.perf_counter()
+    for _ in range(1000):
+        policy.act_greedy(state)
+    inference_ms = (time.perf_counter() - started)
+    print(f"inference:        {inference_ms:.3f} ms per decision (paper: 1.1 ms)")
+
+    virt = StorageVirtualizer()
+    a = virt.create_vssd("a", list(range(8)))
+    virt.create_vssd("b", list(range(8, 16)))
+    for _ in range(1000):
+        virt.admission.submit(HarvestAction(a.vssd_id, 1000.0))
+    started = time.perf_counter()
+    virt.admission.process_batch()
+    print(
+        f"admission batch:  {(time.perf_counter() - started) * 1000:.2f} ms "
+        "per 1,000 actions (paper: 0.8 ms)"
+    )
+    print(f"model footprint:  {net.size_bytes() / (1 << 20):.2f} MB, "
+          f"{net.num_parameters()} parameters (paper: 2.2 MB, ~9K)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FleetIO reproduction: multi-tenant SSD management with RL",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one policy over a collocation")
+    _add_common_run_args(run)
+    run.add_argument(
+        "--policy", default="fleetio",
+        choices=list(POLICIES) + ["mixed", "fleetio-mixed"],
+    )
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="run several policies")
+    _add_common_run_args(compare)
+    compare.add_argument(
+        "--policies", default=None,
+        help="comma-separated subset (default: all five)",
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    workloads = sub.add_parser("workloads", help="list the workload catalog")
+    workloads.set_defaults(func=cmd_workloads)
+
+    classify = sub.add_parser("classify", help="classify a workload's type")
+    classify.add_argument("workload")
+    classify.add_argument("--seed", type=int, default=0)
+    classify.set_defaults(func=cmd_classify)
+
+    pretrain = sub.add_parser("pretrain", help="(re)build the cached policy")
+    pretrain.add_argument("--iterations", type=int, default=600)
+    pretrain.add_argument("--fresh", action="store_true", help="ignore the disk cache")
+    pretrain.set_defaults(func=cmd_pretrain)
+
+    overheads = sub.add_parser("overheads", help="overhead microbenchmarks (S 4.7)")
+    overheads.set_defaults(func=cmd_overheads)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

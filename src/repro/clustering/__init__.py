@@ -1,0 +1,25 @@
+"""Workload-type learning (Section 3.4).
+
+FleetIO divides block I/O traces into 10K-request windows, extracts four
+features per window (read bandwidth, write bandwidth, LPA entropy,
+average I/O size), clusters them with k-means, visualizes with PCA, and
+fine-tunes the reward function's alpha per cluster.
+"""
+
+from repro.clustering.features import FEATURE_NAMES, extract_features, trace_feature_windows
+from repro.clustering.kmeans import KMeans
+from repro.clustering.pca import Pca
+from repro.clustering.classifier import WorkloadTypeClassifier, fit_default_classifier
+from repro.clustering.finetune import make_fast_env_evaluator, tune_alpha
+
+__all__ = [
+    "FEATURE_NAMES",
+    "extract_features",
+    "trace_feature_windows",
+    "KMeans",
+    "Pca",
+    "WorkloadTypeClassifier",
+    "fit_default_classifier",
+    "tune_alpha",
+    "make_fast_env_evaluator",
+]

@@ -1,0 +1,163 @@
+"""The workload-type classifier built on k-means (Section 3.4).
+
+Fitting samples windows from the catalog workloads (70% train / 30% test,
+as in the paper), clusters the training windows, and names each cluster
+by the majority ground-truth label of its members.  At runtime FleetIO
+extracts features from a vSSD's recent trace and:
+
+* if the features fall inside a known cluster (within a distance bound),
+  the cluster's fine-tuned reward alpha applies;
+* otherwise the workload is marked unknown, the unified reward is used,
+  and the window is recorded for offline tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.features import trace_feature_windows
+from repro.clustering.kmeans import KMeans
+from repro.workloads.catalog import CLUSTER_GROUND_TRUTH, WORKLOAD_CATALOG, get_spec
+from repro.workloads.model import synthesize_trace
+
+
+@dataclass
+class ClassifierReport:
+    """Fit diagnostics, including the paper's headline test accuracy."""
+
+    train_samples: int = 0
+    test_samples: int = 0
+    test_accuracy: float = 0.0
+    cluster_labels: dict = field(default_factory=dict)
+    per_workload_accuracy: dict = field(default_factory=dict)
+
+
+class WorkloadTypeClassifier:
+    """k-means clusters with majority-vote labels and an outlier bound.
+
+    Bandwidth and I/O-size features are log-transformed before clustering:
+    bandwidth-intensive workloads span a wide linear range (a PageRank
+    window can move 3x the bytes of an ML Prep window) but belong to one
+    cluster, and the log compresses that spread without disturbing the
+    latency-sensitive clusters.
+    """
+
+    #: Feature columns that get log1p-compressed (read BW, write BW, size).
+    LOG_COLUMNS = (0, 1, 3)
+
+    def __init__(self, n_clusters: int = 3, seed: int = 0, outlier_factor: float = 2.5):
+        self.kmeans = KMeans(n_clusters=n_clusters, seed=seed)
+        self.outlier_factor = outlier_factor
+        self.cluster_labels: dict = {}
+        self._radius: Optional[np.ndarray] = None
+        self.report = ClassifierReport()
+
+    def _preprocess(self, features: np.ndarray) -> np.ndarray:
+        out = np.array(features, dtype=np.float64, copy=True)
+        for col in self.LOG_COLUMNS:
+            out[:, col] = np.log1p(np.maximum(out[:, col], 0.0))
+        return out
+
+    def fit(self, features: np.ndarray, labels: list) -> "WorkloadTypeClassifier":
+        """Cluster ``features`` and name clusters by majority label."""
+        features = self._preprocess(np.asarray(features, dtype=np.float64))
+        if len(features) != len(labels):
+            raise ValueError("features and labels length mismatch")
+        self.kmeans.fit(features)
+        assignments = self.kmeans.predict(features)
+        labels_arr = np.asarray(labels)
+        for k in range(self.kmeans.n_clusters):
+            members = labels_arr[assignments == k]
+            if len(members) == 0:
+                self.cluster_labels[k] = "unknown"
+                continue
+            names, counts = np.unique(members, return_counts=True)
+            self.cluster_labels[k] = str(names[counts.argmax()])
+        distances = self.kmeans.transform_distance(features)
+        member_dist = distances[np.arange(len(features)), assignments]
+        centers = self.kmeans.centers
+        center_gaps = [
+            float(np.linalg.norm(centers[a] - centers[b]))
+            for a in range(len(centers))
+            for b in range(a + 1, len(centers))
+        ]
+        # A tight single-workload cluster (LC-2 is just YCSB-B) would get a
+        # near-zero radius and reject its own kind; floor the radius at
+        # half the closest center gap.
+        radius_floor = 0.5 * min(center_gaps) if center_gaps else 1.0
+        self._radius = np.zeros(self.kmeans.n_clusters)
+        for k in range(self.kmeans.n_clusters):
+            dists = member_dist[assignments == k]
+            observed = float(dists.max()) if len(dists) else 0.0
+            self._radius[k] = max(observed, radius_floor)
+        return self
+
+    def predict_label(self, feature_row: np.ndarray) -> Optional[str]:
+        """Cluster label for one feature vector, or None if an outlier."""
+        feature_row = self._preprocess(np.atleast_2d(feature_row))
+        distances = self.kmeans.transform_distance(feature_row)[0]
+        k = int(distances.argmin())
+        if self._radius is not None and distances[k] > self.outlier_factor * max(
+            self._radius[k], 1e-9
+        ):
+            return None
+        return self.cluster_labels.get(k)
+
+    def predict_labels(self, features: np.ndarray) -> list:
+        """predict_label applied to every row."""
+        return [self.predict_label(row[None, :]) for row in np.atleast_2d(features)]
+
+
+def fit_default_classifier(
+    seed: int = 0,
+    windows_per_workload: int = 12,
+    requests_per_window: int = 10_000,
+    train_fraction: float = 0.7,
+) -> WorkloadTypeClassifier:
+    """Fit on synthesized traces of all nine catalog workloads.
+
+    Mirrors the paper's setup: 10K-request windows, 70/30 train/test
+    split, k = 3 clusters (LC-1, LC-2, BI); reports test accuracy (the
+    paper measures 98.4%).
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    labels = []
+    names = []
+    for name in sorted(WORKLOAD_CATALOG):
+        spec = get_spec(name)
+        trace = synthesize_trace(
+            spec,
+            rng,
+            num_requests=windows_per_workload * requests_per_window,
+        )
+        feats = trace_feature_windows(trace, requests_per_window)
+        rows.append(feats)
+        labels.extend([CLUSTER_GROUND_TRUTH[name]] * len(feats))
+        names.extend([name] * len(feats))
+    features = np.concatenate(rows)
+    labels_arr = np.asarray(labels)
+    names_arr = np.asarray(names)
+
+    order = rng.permutation(len(features))
+    split = int(train_fraction * len(features))
+    train_idx, test_idx = order[:split], order[split:]
+
+    classifier = WorkloadTypeClassifier(n_clusters=3, seed=seed)
+    classifier.fit(features[train_idx], labels_arr[train_idx].tolist())
+
+    predicted = classifier.predict_labels(features[test_idx])
+    truth = labels_arr[test_idx]
+    hits = np.asarray([p == t for p, t in zip(predicted, truth)])
+    classifier.report.train_samples = len(train_idx)
+    classifier.report.test_samples = len(test_idx)
+    classifier.report.test_accuracy = float(hits.mean()) if len(hits) else 0.0
+    classifier.report.cluster_labels = dict(classifier.cluster_labels)
+    for name in sorted(WORKLOAD_CATALOG):
+        mask = names_arr[test_idx] == name
+        if mask.any():
+            classifier.report.per_workload_accuracy[name] = float(hits[mask].mean())
+    return classifier

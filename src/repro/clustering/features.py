@@ -1,0 +1,80 @@
+"""The four I/O features of Section 3.4.
+
+"For each window, we extract four I/O features: read bandwidth, write
+bandwidth, LPA entropy, and average I/O size."
+
+LPA entropy is the Shannon entropy of the logical-page-address histogram
+(bucketed), normalized to [0, 1]: sequential or highly skewed access
+patterns score low, uniform random scores high.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.model import Trace
+
+FEATURE_NAMES = ("read_bw_mbps", "write_bw_mbps", "lpa_entropy", "avg_io_size_kb")
+
+#: Address-histogram buckets for the entropy estimate.
+ENTROPY_BUCKETS = 256
+
+
+def lpa_entropy(lpns: np.ndarray, buckets: int = ENTROPY_BUCKETS) -> float:
+    """Normalized Shannon entropy of the LPA distribution in [0, 1]."""
+    if len(lpns) == 0:
+        return 0.0
+    lpns = np.asarray(lpns)
+    span = int(lpns.max()) + 1
+    edges = np.linspace(0, span, buckets + 1)
+    hist, _ = np.histogram(lpns, bins=edges)
+    probs = hist[hist > 0] / hist.sum()
+    if len(probs) <= 1:
+        return 0.0
+    entropy = float(-(probs * np.log2(probs)).sum())
+    return entropy / np.log2(buckets)
+
+
+def extract_features(
+    times_us: np.ndarray,
+    ops: np.ndarray,
+    lpns: np.ndarray,
+    sizes_pages: np.ndarray,
+    page_size: int,
+) -> np.ndarray:
+    """Features of one request window: [read BW, write BW, entropy, size].
+
+    ``ops`` uses 1 for reads, 0 for writes; bandwidths are MB/s over the
+    window's span; average I/O size is in KB.
+    """
+    n = len(times_us)
+    if n == 0:
+        return np.zeros(len(FEATURE_NAMES))
+    duration_s = max((float(times_us[-1]) - float(times_us[0])) / 1_000_000.0, 1e-6)
+    ops = np.asarray(ops, dtype=bool)
+    bytes_all = np.asarray(sizes_pages, dtype=np.float64) * page_size
+    read_bytes = float(bytes_all[ops].sum())
+    write_bytes = float(bytes_all[~ops].sum())
+    mib = 1024.0 * 1024.0
+    return np.array(
+        [
+            read_bytes / mib / duration_s,
+            write_bytes / mib / duration_s,
+            lpa_entropy(lpns),
+            float(bytes_all.mean()) / 1024.0,
+        ]
+    )
+
+
+def trace_feature_windows(trace: Trace, requests_per_window: int = 10_000) -> np.ndarray:
+    """Feature matrix, one row per fixed-size request window."""
+    rows = [
+        extract_features(w.times_us, w.ops, w.lpns, w.sizes_pages, w.page_size)
+        for w in trace.iter_windows(requests_per_window)
+    ]
+    if not rows:
+        raise ValueError(
+            f"trace {trace.name!r} has {len(trace)} requests, fewer than one "
+            f"window of {requests_per_window}"
+        )
+    return np.stack(rows)

@@ -1,0 +1,114 @@
+"""k-means with k-means++ initialization (used by Section 3.4)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm over standardized features."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+        standardize: bool = True,
+        n_init: int = 10,
+    ):
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        if n_init <= 0:
+            raise ValueError("n_init must be positive")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.standardize = standardize
+        self.n_init = n_init
+        self.centers: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.inertia_: float = float("inf")
+        self.n_iter_: int = 0
+
+    def _transform(self, x: np.ndarray) -> np.ndarray:
+        if not self.standardize:
+            return x
+        return (x - self._mean) / self._std
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        """Cluster the feature matrix (best of n_init k-means++ restarts)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        if len(x) < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+        if self.standardize:
+            self._mean = x.mean(axis=0)
+            self._std = x.std(axis=0)
+            self._std = np.where(self._std < 1e-12, 1.0, self._std)
+        z = self._transform(x)
+        rng = np.random.default_rng(self.seed)
+        best_centers = None
+        best_inertia = float("inf")
+        best_iters = 0
+        for _restart in range(self.n_init):
+            centers = self._kmeanspp(z, rng)
+            iters = 0
+            for iteration in range(self.max_iter):
+                labels = self._assign(z, centers)
+                new_centers = centers.copy()
+                for k in range(self.n_clusters):
+                    members = z[labels == k]
+                    if len(members):
+                        new_centers[k] = members.mean(axis=0)
+                shift = float(np.linalg.norm(new_centers - centers))
+                centers = new_centers
+                iters = iteration + 1
+                if shift < self.tol:
+                    break
+            labels = self._assign(z, centers)
+            inertia = float(((z - centers[labels]) ** 2).sum())
+            if inertia < best_inertia:
+                best_inertia, best_centers, best_iters = inertia, centers, iters
+        self.centers = best_centers
+        self.inertia_ = best_inertia
+        self.n_iter_ = best_iters
+        return self
+
+    def _kmeanspp(self, z: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        centers = [z[rng.integers(len(z))]]
+        while len(centers) < self.n_clusters:
+            d2 = np.min(
+                [((z - c) ** 2).sum(axis=1) for c in centers], axis=0
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(z[rng.integers(len(z))])
+                continue
+            probs = d2 / total
+            centers.append(z[rng.choice(len(z), p=probs)])
+        return np.stack(centers)
+
+    @staticmethod
+    def _assign(z: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        distances = ((z[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Nearest-center assignment for each sample."""
+        if self.centers is None:
+            raise RuntimeError("fit() first")
+        z = self._transform(np.atleast_2d(np.asarray(x, dtype=np.float64)))
+        return self._assign(z, self.centers)
+
+    def transform_distance(self, x: np.ndarray) -> np.ndarray:
+        """Distance of each sample to each center (standardized space)."""
+        if self.centers is None:
+            raise RuntimeError("fit() first")
+        z = self._transform(np.atleast_2d(np.asarray(x, dtype=np.float64)))
+        return np.sqrt(((z[:, None, :] - self.centers[None, :, :]) ** 2).sum(axis=2))

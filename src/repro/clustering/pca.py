@@ -1,0 +1,56 @@
+"""Principal component analysis via SVD (Figure 6's 2-D projection)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Pca:
+    """Centered PCA with optional standardization."""
+
+    def __init__(self, n_components: int = 2, standardize: bool = True):
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.standardize = standardize
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "Pca":
+        """Compute the principal components of the matrix."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        if self.n_components > x.shape[1]:
+            raise ValueError("more components than features")
+        self._mean = x.mean(axis=0)
+        if self.standardize:
+            self._std = x.std(axis=0)
+            self._std = np.where(self._std < 1e-12, 1.0, self._std)
+        z = self._center(x)
+        _u, s, vt = np.linalg.svd(z, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        variance = (s**2) / max(len(x) - 1, 1)
+        self.explained_variance_ratio_ = variance[: self.n_components] / variance.sum()
+        return self
+
+    def _center(self, x: np.ndarray) -> np.ndarray:
+        z = x - self._mean
+        if self.standardize:
+            z = z / self._std
+        return z
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project samples onto the fitted components."""
+        if self.components_ is None:
+            raise RuntimeError("fit() first")
+        z = self._center(np.atleast_2d(np.asarray(x, dtype=np.float64)))
+        return z @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit, then project the same samples."""
+        return self.fit(x).transform(x)

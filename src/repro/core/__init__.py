@@ -1,0 +1,40 @@
+"""FleetIO's core: RL-driven vSSD management.
+
+* :mod:`repro.core.monitor` — per-vSSD runtime telemetry (the RL states of
+  Table 1 are derived from it).
+* :mod:`repro.core.state` — featurization of monitor windows into the
+  33-dimensional network input (11 states x 3 windows).
+* :mod:`repro.core.actionspace` — the discrete action set realizing
+  Table 2's Harvest / Make_Harvestable / Set_Priority actions.
+* :mod:`repro.core.reward` — Eq. 1 (single-agent) and Eq. 2 (beta-blended
+  multi-agent) reward functions.
+* :mod:`repro.core.agent` — one RL agent per vSSD.
+* :mod:`repro.core.controller` — the decision loop gluing agents to the
+  storage virtualizer through admission control.
+* :mod:`repro.core.fast_env` — the analytic pre-training environment
+  (plays the role WiscSim plays in the paper's offline training).
+* :mod:`repro.core.pretrain` — offline PPO pre-training.
+"""
+
+from repro.core.monitor import VssdMonitor, WindowStats
+from repro.core.state import StateFeaturizer
+from repro.core.actionspace import ActionSpace
+from repro.core.reward import multi_agent_rewards, single_agent_reward
+from repro.core.agent import FleetIoAgent
+from repro.core.controller import FleetIoController
+from repro.core.fast_env import FastFleetEnv, FastVssdSpec
+from repro.core.pretrain import pretrain
+
+__all__ = [
+    "VssdMonitor",
+    "WindowStats",
+    "StateFeaturizer",
+    "ActionSpace",
+    "single_agent_reward",
+    "multi_agent_rewards",
+    "FleetIoAgent",
+    "FleetIoController",
+    "FastFleetEnv",
+    "FastVssdSpec",
+    "pretrain",
+]

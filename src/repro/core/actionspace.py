@@ -1,0 +1,84 @@
+"""The discrete RL action set (Section 3.3.2, Table 2).
+
+Each decision window an agent picks exactly one action:
+
+* ``Harvest(gsb_bw)`` at one of several bandwidth levels (expressed in
+  channel-bandwidth multiples),
+* ``Make_Harvestable(gsb_bw)`` at one of several levels — level 0 means
+  "offer nothing", which also reclaims previously offered gSBs, or
+* ``Set_Priority(level)`` with low/medium/high.
+
+Set_Priority is deliberately not folded into the other actions "for
+simplifying the management and reasoning of the RL action space".
+"""
+
+from __future__ import annotations
+
+from repro.sched.request import Priority
+from repro.virt.actions import (
+    HarvestAction,
+    MakeHarvestableAction,
+    RlAction,
+    SetPriorityAction,
+)
+
+#: Harvest levels in channel-bandwidth multiples.
+HARVEST_LEVELS = (1, 2, 3, 4)
+#: Make_Harvestable levels; 0 reclaims everything offered.
+HARVESTABLE_LEVELS = (0, 1, 2, 3, 4)
+PRIORITY_LEVELS = (Priority.LOW, Priority.MEDIUM, Priority.HIGH)
+
+
+class ActionSpace:
+    """Maps discrete action indices to executable RL action commands."""
+
+    def __init__(self, channel_bandwidth_mbps: float):
+        if channel_bandwidth_mbps <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        self.channel_bandwidth_mbps = channel_bandwidth_mbps
+        self._catalog: list = []
+        for level in HARVEST_LEVELS:
+            self._catalog.append(("harvest", level))
+        for level in HARVESTABLE_LEVELS:
+            self._catalog.append(("make_harvestable", level))
+        for priority in PRIORITY_LEVELS:
+            self._catalog.append(("set_priority", priority))
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    @property
+    def num_actions(self) -> int:
+        """Number of discrete actions."""
+        return len(self._catalog)
+
+    def describe(self, index: int) -> str:
+        """Human-readable name of an action index, e.g. 'Harvest(2ch)'."""
+        kind, level = self._catalog[index]
+        if kind == "set_priority":
+            return f"Set_Priority({Priority(level).name})"
+        return f"{'Harvest' if kind == 'harvest' else 'Make_Harvestable'}({level}ch)"
+
+    def to_command(self, index: int, vssd_id: int) -> RlAction:
+        """Instantiate the command for ``vssd_id``.
+
+        Bandwidth levels are converted to MB/s using the per-channel
+        bandwidth; a tiny epsilon keeps floor division from dropping a
+        channel to rounding.
+        """
+        kind, level = self._catalog[index]
+        if kind == "harvest":
+            return HarvestAction(vssd_id, gsb_bw_mbps=level * self.channel_bandwidth_mbps + 1e-6)
+        if kind == "make_harvestable":
+            return MakeHarvestableAction(
+                vssd_id, gsb_bw_mbps=level * self.channel_bandwidth_mbps + 1e-6
+            )
+        return SetPriorityAction(vssd_id, level=level)
+
+    def kind(self, index: int) -> str:
+        """The action family of an index: harvest / make_harvestable / set_priority."""
+        return self._catalog[index][0]
+
+    def indices_of(self, kind: str) -> list:
+        """All action indices belonging to one family."""
+        return [i for i, (k, _l) in enumerate(self._catalog) if k == kind]

@@ -1,0 +1,111 @@
+"""One RL agent per vSSD (Section 3.2).
+
+An agent wraps its own copy of the policy network (deployed from the
+pre-trained model), the state featurizer, and an online fine-tuning
+loop: transitions accumulate in a rollout buffer and a PPO update runs
+every ``finetune_interval`` windows (the paper reports a 51.2 ms
+fine-tuning cost every 10 time windows).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.config import RLConfig
+from repro.core.actionspace import ActionSpace
+from repro.core.state import StateFeaturizer
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.nets import PolicyValueNet
+from repro.rl.policy import CategoricalPolicy
+from repro.rl.ppo import PpoTrainer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.vssd import Vssd
+
+
+class FleetIoAgent:
+    """RL decision-maker for one vSSD."""
+
+    def __init__(
+        self,
+        vssd: "Vssd",
+        net: PolicyValueNet,
+        action_space: ActionSpace,
+        config: Optional[RLConfig] = None,
+        alpha: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+        explore: bool = True,
+        finetune: bool = True,
+        finetune_interval: int = 10,
+    ):
+        self.vssd = vssd
+        self.net = net
+        self.action_space = action_space
+        self.config = config or RLConfig()
+        #: Reward tradeoff; set by the workload-type classifier at runtime.
+        self.alpha = alpha if alpha is not None else self.config.unified_alpha
+        self.rng = rng or np.random.default_rng(vssd.vssd_id)
+        self.explore = explore
+        self.finetune = finetune
+        self.finetune_interval = finetune_interval
+        self.featurizer = StateFeaturizer(self.config)
+        self.policy = CategoricalPolicy(net)
+        self.buffer = RolloutBuffer(
+            discount=self.config.discount_factor,
+            gae_lambda=self.config.gae_lambda,
+        )
+        self.trainer = PpoTrainer(net, self.config, self.rng) if finetune else None
+        self._pending: Optional[tuple] = None
+        self._windows_seen = 0
+        self.actions_taken: list = []
+        self.rewards_seen: list = []
+        #: Workload cluster assigned by the classifier (None = unknown).
+        self.cluster: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Decision loop hooks
+    # ------------------------------------------------------------------
+    def observe_reward(self, reward: float) -> None:
+        """Credit the previous window's action with its blended reward."""
+        if self._pending is None:
+            return
+        state, action, logp, value = self._pending
+        self.buffer.add(state, action, logp, reward, value)
+        self.rewards_seen.append(reward)
+        self._pending = None
+
+    def decide(self, state: np.ndarray) -> int:
+        """Pick this window's action and remember it for crediting."""
+        if self.explore:
+            action, logp, value = self.policy.act(state, self.rng)
+        else:
+            action, logp, value = self.policy.act_greedy(state)
+        self._pending = (np.asarray(state, dtype=np.float64), action, logp, value)
+        self.actions_taken.append(action)
+        return action
+
+    def end_window(self) -> None:
+        """Advance the window counter; run fine-tuning when due."""
+        self._windows_seen += 1
+        if (
+            self.finetune
+            and self.trainer is not None
+            and self._windows_seen % self.finetune_interval == 0
+            and len(self.buffer) >= self.config.batch_size
+        ):
+            bootstrap = self._pending[3] if self._pending is not None else 0.0
+            self.buffer.finish_path(bootstrap_value=bootstrap)
+            self.trainer.update(self.buffer)
+            self.buffer.clear()
+
+    def flush(self) -> None:
+        """Finalize any open rollout segment (end of experiment)."""
+        if self.buffer.open_path_length:
+            self.buffer.finish_path(0.0)
+
+    def mean_reward(self, last_n: Optional[int] = None) -> float:
+        """Mean credited reward, optionally over the last N windows."""
+        data = self.rewards_seen[-last_n:] if last_n else self.rewards_seen
+        return float(np.mean(data)) if data else 0.0

@@ -1,0 +1,176 @@
+"""Per-vSSD runtime monitoring.
+
+Each vSSD's agent "will monitor the I/O traffic of the vSSD, extract the
+essential storage states (e.g., I/O latency, throughput, and queue delay),
+and transfer them into RL states" (Section 3.2).  The monitor hooks the
+dispatcher's completion callback, accumulates counters within the current
+decision window, and emits a :class:`WindowStats` snapshot per window.
+
+It also retains the full latency record (for end-of-run percentiles) and
+a bounded recent-request sample (for workload-type classification).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.sched.request import IoRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.vssd import Vssd
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One decision window's summary — the raw material of Table 1."""
+
+    vssd_id: int
+    window_start_s: float
+    window_end_s: float
+    avg_bw_mbps: float       # Avg_BW
+    avg_iops: float          # Avg_IOPS
+    avg_latency_us: float    # Avg_Lat
+    slo_violation_frac: float  # SLO_Vio (fraction, 0..1)
+    queue_delay_us: float    # QDelay (mean queueing delay)
+    rw_ratio: float          # RW_Ratio (fraction of reads, 0..1)
+    avail_capacity_frac: float  # Avail_Capacity, normalized
+    in_gc: bool              # In_GC
+    cur_priority: int        # Cur_Priority
+    completed: int
+    reads: int
+    writes: int
+
+
+class VssdMonitor:
+    """Accumulates per-window counters and long-run records for a vSSD."""
+
+    #: Recent requests retained for workload-type classification.
+    TRACE_SAMPLE_SIZE = 10_000
+
+    def __init__(self, vssd: "Vssd", slo_latency_us: Optional[float] = None):
+        self.vssd = vssd
+        self.slo_latency_us = (
+            slo_latency_us if slo_latency_us is not None else vssd.slo_latency_us
+        )
+        # Window-scoped accumulators.
+        self._window_start_s = 0.0
+        self._bytes = 0
+        self._completed = 0
+        self._reads = 0
+        self._writes = 0
+        self._latency_sum = 0.0
+        self._queue_delay_sum = 0.0
+        self._violations = 0
+        # Run-scoped records.
+        self.all_latencies: list = []
+        self.all_read_latencies: list = []
+        self.completion_times_s: list = []
+        self.completion_bytes: list = []
+        self.total_bytes = 0
+        self.total_completed = 0
+        self.window_history: list = []
+        self.recent_trace: deque = deque(maxlen=self.TRACE_SAMPLE_SIZE)
+        self.measure_from_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def on_complete(self, request: IoRequest) -> None:
+        """Dispatcher completion hook: fold one request into the counters."""
+        if request.vssd_id != self.vssd.vssd_id or request.failed:
+            return
+        latency = request.latency_us
+        self._completed += 1
+        self._bytes += request.size_bytes
+        self._latency_sum += latency
+        self._queue_delay_sum += request.queue_delay_us
+        if request.is_read:
+            self._reads += 1
+        else:
+            self._writes += 1
+        if self.slo_latency_us is not None and latency > self.slo_latency_us:
+            self._violations += 1
+        complete_s = request.complete_time / 1_000_000.0
+        if complete_s >= self.measure_from_s:
+            self.all_latencies.append(latency)
+            if request.is_read:
+                self.all_read_latencies.append(latency)
+            self.completion_times_s.append(complete_s)
+            self.completion_bytes.append(request.size_bytes)
+            self.total_bytes += request.size_bytes
+            self.total_completed += 1
+        self.recent_trace.append(
+            (request.complete_time, 1 if request.is_read else 0, request.lpn, request.num_pages)
+        )
+
+    # ------------------------------------------------------------------
+    # Window snapshot
+    # ------------------------------------------------------------------
+    def snapshot_window(self, now_s: float) -> WindowStats:
+        """Summarize the window ending now, then reset window counters."""
+        duration = max(now_s - self._window_start_s, 1e-9)
+        completed = self._completed
+        ftl = self.vssd.ftl
+        total_pages = max(
+            sum(ftl._own_blocks_per_channel.values()) * ftl.config.pages_per_block, 1
+        )
+        stats = WindowStats(
+            vssd_id=self.vssd.vssd_id,
+            window_start_s=self._window_start_s,
+            window_end_s=now_s,
+            avg_bw_mbps=(self._bytes / (1024.0 * 1024.0)) / duration,
+            avg_iops=completed / duration,
+            avg_latency_us=self._latency_sum / completed if completed else 0.0,
+            slo_violation_frac=self._violations / completed if completed else 0.0,
+            queue_delay_us=self._queue_delay_sum / completed if completed else 0.0,
+            rw_ratio=self._reads / completed if completed else 0.5,
+            avail_capacity_frac=min(ftl.free_pages() / total_pages, 1.0),
+            in_gc=self.vssd.ftl.ssd.any_in_gc(self._observed_channels()),
+            cur_priority=int(self.vssd.priority),
+            completed=completed,
+            reads=self._reads,
+            writes=self._writes,
+        )
+        self.window_history.append(stats)
+        self._window_start_s = now_s
+        self._bytes = 0
+        self._completed = 0
+        self._reads = 0
+        self._writes = 0
+        self._latency_sum = 0.0
+        self._queue_delay_sum = 0.0
+        self._violations = 0
+        return stats
+
+    def _observed_channels(self) -> list:
+        channels = set(self.vssd.channel_ids)
+        for gsb in self.vssd.harvested_gsbs:
+            channels.update(gsb.channel_ids)
+        return sorted(channels)
+
+    # ------------------------------------------------------------------
+    # Run-level metrics
+    # ------------------------------------------------------------------
+    def latency_percentile(self, percentile: float, reads_only: bool = False) -> float:
+        """Percentile over all recorded (post-warm-up) latencies, in us."""
+        data = self.all_read_latencies if reads_only else self.all_latencies
+        if not data:
+            return 0.0
+        return float(np.percentile(np.asarray(data), percentile))
+
+    def mean_bandwidth_mbps(self, elapsed_s: float) -> float:
+        """Mean bandwidth over the measurement period (MB/s)."""
+        if elapsed_s <= 0:
+            return 0.0
+        return (self.total_bytes / (1024.0 * 1024.0)) / elapsed_s
+
+    def overall_slo_violation_frac(self) -> float:
+        """Fraction of recorded requests exceeding the SLO."""
+        if not self.all_latencies or self.slo_latency_us is None:
+            return 0.0
+        data = np.asarray(self.all_latencies)
+        return float((data > self.slo_latency_us).mean())

@@ -1,0 +1,273 @@
+"""Offline PPO pre-training (Section 3.8).
+
+The paper pre-trains one PPO model on a set of workloads (LiveMaps, TPCE,
+SearchEngine, Batch Analytics) that are *not* used in the evaluation,
+running them on a simulator (WiscSim) to work around scarce hardware.
+We do the same on :class:`~repro.core.fast_env.FastFleetEnv`: episodes
+sample random collocations of the training workloads, all agents share
+one policy network during pre-training, and the trained network is then
+cloned per vSSD at deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.config import CLUSTER_ALPHAS, RLConfig, SSDConfig
+from repro.core.actionspace import ActionSpace
+from repro.core.fast_env import FastFleetEnv, FastVssdSpec
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.nets import PolicyValueNet
+from repro.rl.policy import CategoricalPolicy
+from repro.rl.ppo import PpoTrainer
+from repro.workloads.catalog import CLUSTER_GROUND_TRUTH, TRAINING_WORKLOADS, get_spec
+
+
+@dataclass
+class PretrainResult:
+    """Artifact of one pre-training run: the network and reward curve."""
+    net: PolicyValueNet
+    mean_rewards: list = field(default_factory=list)
+    best_reward: float = float("-inf")
+    best_iteration: int = -1
+
+    @property
+    def final_reward(self) -> float:
+        """Mean episode reward of the last training iteration."""
+        return self.mean_rewards[-1] if self.mean_rewards else 0.0
+
+
+def _sample_collocation(rng: np.random.Generator, ssd_config: SSDConfig) -> list:
+    """Random 2-8 tenant mix of training workloads on the shared SSD.
+
+    Two-tenant mixes dominate (the paper's standard collocation) so the
+    policy masters the base case; larger mixes — down to two channels per
+    tenant — teach the scalability cases of Figure 14.
+    """
+    n = int(rng.choice([2, 2, 2, 2, 2, 3, 4, 6, 8]))
+    names = [str(rng.choice(TRAINING_WORKLOADS)) for _ in range(n)]
+    # Ensure at least one latency-sensitive and one bandwidth workload so
+    # harvesting opportunities exist in both directions.
+    names[0] = str(rng.choice(["livemaps", "tpce", "searchengine"]))
+    names[-1] = "batchanalytics"
+    channels = ssd_config.num_channels // n
+    specs = []
+    for name in names:
+        workload = get_spec(name)
+        cluster = CLUSTER_GROUND_TRUTH.get(name, "LC-1")
+        specs.append(
+            FastVssdSpec(
+                workload=workload,
+                channels=channels,
+                alpha=CLUSTER_ALPHAS.get(cluster, 0.01),
+            )
+        )
+    return specs
+
+
+def apply_reward_ablation(specs: list, alpha_override) -> list:
+    """Install a single unified alpha on every spec (Fig. 15's
+    FleetIO-Unified-Global trains without per-cluster fine-tuning)."""
+    if alpha_override is None:
+        return specs
+    for spec in specs:
+        spec.alpha = alpha_override
+    return specs
+
+
+def pretrain(
+    iterations: int = 300,
+    seed: int = 0,
+    rl_config: Optional[RLConfig] = None,
+    ssd_config: Optional[SSDConfig] = None,
+    episode_windows: int = 20,
+    rollout_batch: int = 512,
+    learning_rate: float = 5e-4,
+    interference_schedule: tuple = ((0.5, 3.0), (1.0, 7.0)),
+    beta: float = None,
+    alpha_override: float = None,
+    verbose: bool = False,
+) -> PretrainResult:
+    """Pre-train a shared policy on the fast environment.
+
+    ``rollout_batch`` mirrors the paper's training batch of 256 samples
+    per iteration (Section 3.8); ``iterations`` defaults far below the
+    paper's 2,000 because the fast env converges quickly.  Pre-training
+    uses a larger learning rate than Table 3's deployment fine-tuning
+    rate (1e-4) to converge within the smaller iteration budget.
+
+    ``interference_schedule`` is a curriculum of (progress fraction,
+    interference coefficient) stages: early training runs with mild
+    cross-tenant interference so agents discover harvesting and offering;
+    later stages harden interference so latency agents learn to defend
+    their SLO with Set_Priority.  Without the curriculum the joint
+    behaviour sits behind a reward valley (offering without priority
+    protection is strictly worse than doing nothing) that independent
+    PPO agents rarely cross.
+    """
+    from dataclasses import replace as _replace
+
+    rl_config = rl_config or RLConfig()
+    if learning_rate is not None:
+        rl_config = _replace(rl_config, learning_rate=learning_rate)
+    if beta is not None:
+        rl_config = _replace(rl_config, beta=beta)
+    ssd_config = ssd_config or SSDConfig()
+    rng = np.random.default_rng(seed)
+    sample_state_dim = rl_config.state_dim
+    action_space = ActionSpace(ssd_config.channel_write_bandwidth_mbps)
+    net = PolicyValueNet(
+        sample_state_dim,
+        action_space.num_actions,
+        rl_config.hidden_layer_sizes,
+        rng=rng,
+    )
+    policy = CategoricalPolicy(net)
+    trainer = PpoTrainer(net, rl_config, rng)
+    result = PretrainResult(net=net)
+
+    def coef_at(iteration: int) -> float:
+        """Interference coefficient of the curriculum stage at this iteration."""
+        progress = (iteration + 1) / iterations
+        for fraction, coef in interference_schedule:
+            if progress <= fraction:
+                return coef
+        return interference_schedule[-1][1]
+
+    for iteration in range(iterations):
+        buffers: dict = {}
+        episode_rewards: list = []
+        collected = 0
+        while collected < rollout_batch:
+            specs = apply_reward_ablation(
+                _sample_collocation(rng, ssd_config), alpha_override
+            )
+            env = FastFleetEnv(
+                specs,
+                rl_config,
+                ssd_config,
+                rng,
+                episode_windows=episode_windows,
+                interference_coef=coef_at(iteration),
+            )
+            states = env.reset()
+            traj: dict = {i: RolloutBuffer(rl_config.discount_factor, rl_config.gae_lambda) for i in states}
+            done = False
+            while not done:
+                actions = {}
+                meta = {}
+                for i, state in states.items():
+                    action, logp, value = policy.act(state, rng)
+                    actions[i] = action
+                    meta[i] = (state, action, logp, value)
+                states, rewards, done, _info = env.step(actions)
+                for i, (state, action, logp, value) in meta.items():
+                    traj[i].add(state, action, logp, rewards[i], value)
+                episode_rewards.append(float(np.mean(list(rewards.values()))))
+                collected += len(actions)
+            for i, buf in traj.items():
+                buf.finish_path(0.0)
+                buffers[len(buffers)] = buf
+        merged = _merge_buffers(list(buffers.values()), rl_config)
+        trainer.update(merged)
+        result.mean_rewards.append(float(np.mean(episode_rewards)))
+        # Periodically evaluate greedily on fixed scenarios and keep the
+        # best checkpoint, so a late plateau wobble cannot degrade the
+        # deployed policy.
+        if iteration % 20 == 19 or iteration == iterations - 1:
+            score = _evaluate_greedy(policy, rl_config, ssd_config)
+            if score > result.best_reward:
+                result.best_reward = score
+                result.best_iteration = iteration
+                best_params = {k: v.copy() for k, v in net.params.items()}
+        if verbose and iteration % 20 == 0:  # pragma: no cover - logging
+            print(f"iter {iteration}: reward {result.mean_rewards[-1]:.3f}")
+    if result.best_iteration >= 0:
+        net.params = best_params
+    return result
+
+
+def pretrain_best(
+    seeds: tuple = (7, 11, 23, 31, 47),
+    iterations: int = 600,
+    **kwargs,
+) -> PretrainResult:
+    """Pre-train with several seeds and keep the best greedy-eval policy.
+
+    Cooperative multi-agent PPO is seed-sensitive; the paper side-steps
+    this with a 2,000-iteration Ray run, we side-step it by selecting
+    across a few shorter runs with the fixed-scenario greedy evaluation.
+    """
+    best: Optional[PretrainResult] = None
+    for seed in seeds:
+        result = pretrain(iterations=iterations, seed=seed, **kwargs)
+        if best is None or result.best_reward > best.best_reward:
+            best = result
+    return best
+
+
+#: Fixed evaluation collocations for checkpoint selection: the standard
+#: two-tenant pairs plus one 8-tenant mix (the Figure 14 regime).
+_EVAL_SCENARIOS = (
+    ("livemaps", "batchanalytics"),
+    ("tpce", "batchanalytics"),
+    ("searchengine", "batchanalytics"),
+    ("livemaps", "tpce", "searchengine", "livemaps",
+     "batchanalytics", "batchanalytics", "batchanalytics", "batchanalytics"),
+)
+
+
+def _evaluate_greedy(policy, rl_config: RLConfig, ssd_config: SSDConfig) -> float:
+    """Mean blended reward of the greedy policy on fixed scenarios."""
+    totals = []
+    for index, names in enumerate(_EVAL_SCENARIOS):
+        channels = ssd_config.num_channels // len(names)
+        specs = [
+            FastVssdSpec(
+                workload=get_spec(name),
+                channels=channels,
+                alpha=CLUSTER_ALPHAS[CLUSTER_GROUND_TRUTH.get(name, "LC-1")],
+            )
+            for name in names
+        ]
+        env = FastFleetEnv(
+            specs,
+            rl_config,
+            ssd_config,
+            np.random.default_rng(1000 + index),
+            episode_windows=30,
+        )
+        states = env.reset()
+        done = False
+        while not done:
+            actions = {i: policy.act_deterministic(s) for i, s in states.items()}
+            states, rewards, done, _info = env.step(actions)
+            totals.append(float(np.mean(list(rewards.values()))))
+    return float(np.mean(totals))
+
+
+def _merge_buffers(buffers: list, rl_config: RLConfig) -> RolloutBuffer:
+    """Merge per-agent trajectories, normalizing advantages per agent.
+
+    Agents see rewards on very different scales (a capacity-bound batch
+    job's utilization term spans ~1.0; a latency service's barely moves),
+    so normalizing across the merged batch would crush the smaller
+    agents' learning signal.
+    """
+    merged = RolloutBuffer(rl_config.discount_factor, rl_config.gae_lambda)
+    for buf in buffers:
+        adv = np.asarray(buf.advantages)
+        if len(adv) > 1:
+            adv = (adv - adv.mean()) / (adv.std() + 1e-8)
+        merged.states.extend(buf.states)
+        merged.actions.extend(buf.actions)
+        merged.log_probs.extend(buf.log_probs)
+        merged.rewards.extend(buf.rewards)
+        merged.values.extend(buf.values)
+        merged.advantages.extend(adv.tolist())
+        merged.returns.extend(buf.returns)
+    merged._path_start = len(merged.states)
+    return merged

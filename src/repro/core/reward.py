@@ -1,0 +1,80 @@
+"""FleetIO reward functions (Section 3.3.3).
+
+Eq. 1 (single agent):
+
+    R_single = (1 - alpha) * Avg_BW_RL / Avg_BW_guar
+               - alpha * SLO_Vio_RL / SLO_Vio_guar
+
+``Avg_BW_guar`` is the bandwidth of the vSSD's allocated resources
+(channels x per-channel bandwidth); ``SLO_Vio_guar`` is the vendor's
+violation budget (1% by default).  alpha trades utilization against
+isolation and is fine-tuned per workload cluster (Section 3.4).
+
+Eq. 2 (multi-agent blend):
+
+    R_i = beta * R_i_single + (1 - beta) * mean_{v != i} R_v_single
+
+beta = 0.6 by default; smaller beta makes agents more altruistic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.config import RLConfig
+
+
+def single_agent_reward(
+    avg_bw_mbps: float,
+    slo_violation_frac: float,
+    guaranteed_bw_mbps: float,
+    alpha: float,
+    slo_violation_guarantee: float = 0.01,
+) -> float:
+    """Eq. 1.  ``slo_violation_frac`` is a fraction in [0, 1]."""
+    if guaranteed_bw_mbps <= 0:
+        raise ValueError("guaranteed bandwidth must be positive")
+    if slo_violation_guarantee <= 0:
+        raise ValueError("SLO violation guarantee must be positive")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    utilization_term = avg_bw_mbps / guaranteed_bw_mbps
+    violation_term = slo_violation_frac / slo_violation_guarantee
+    return (1.0 - alpha) * utilization_term - alpha * violation_term
+
+
+def multi_agent_rewards(
+    single_rewards: Mapping[int, float],
+    beta: float,
+) -> dict:
+    """Eq. 2 applied to every collocated agent at once.
+
+    With a single vSSD the blend degenerates to its own reward.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must be in [0, 1]")
+    ids = list(single_rewards)
+    n = len(ids)
+    if n == 0:
+        return {}
+    total = sum(single_rewards.values())
+    blended = {}
+    for vssd_id in ids:
+        own = single_rewards[vssd_id]
+        if n == 1:
+            blended[vssd_id] = own
+        else:
+            others_mean = (total - own) / (n - 1)
+            blended[vssd_id] = beta * own + (1.0 - beta) * others_mean
+    return blended
+
+
+def reward_config_for_cluster(cluster: str, config: RLConfig = None) -> float:
+    """The fine-tuned alpha for a workload cluster (Section 3.8).
+
+    Unknown clusters fall back to the unified alpha (Section 3.4).
+    """
+    from repro.config import CLUSTER_ALPHAS
+
+    config = config or RLConfig()
+    return CLUSTER_ALPHAS.get(cluster, config.unified_alpha)

@@ -1,0 +1,100 @@
+"""RL state featurization (Section 3.3.1, Table 1).
+
+Eleven states per time window — nine per-vSSD (Table 1) plus two shared
+across collocated agents (sum of others' IOPS and SLO violations) — are
+normalized to comparable scales and concatenated over the three most
+recent windows, yielding a 33-dimensional network input.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.config import RLConfig
+from repro.core.monitor import WindowStats
+
+#: Normalization constants; chosen so typical values land in ~[0, 1].
+BW_SCALE_MBPS = 1024.0
+IOPS_SCALE = 10_000.0
+LATENCY_SCALE_US = 10_000.0
+QDELAY_SCALE_US = 10_000.0
+PRIORITY_SCALE = 2.0
+
+
+def window_features(
+    stats: WindowStats,
+    others: Iterable[WindowStats],
+    guaranteed_bw_mbps: float = BW_SCALE_MBPS,
+) -> np.ndarray:
+    """The 11 features of one window: Table 1's nine + two shared.
+
+    ``Avg_BW`` is normalized by the vSSD's guaranteed bandwidth so the
+    feature is scale-free across vSSDs with different channel counts —
+    1.0 means "fully using my allocation", >1 means "running on harvested
+    bandwidth".
+    """
+    others = list(others)
+    shared_iops = sum(o.avg_iops for o in others)
+    shared_vio = sum(o.slo_violation_frac for o in others)
+    return np.array(
+        [
+            stats.avg_bw_mbps / max(guaranteed_bw_mbps, 1e-6),
+            stats.avg_iops / IOPS_SCALE,
+            stats.avg_latency_us / LATENCY_SCALE_US,
+            stats.slo_violation_frac,
+            stats.queue_delay_us / QDELAY_SCALE_US,
+            stats.rw_ratio,
+            stats.avail_capacity_frac,
+            1.0 if stats.in_gc else 0.0,
+            stats.cur_priority / PRIORITY_SCALE,
+            shared_iops / IOPS_SCALE,
+            shared_vio,
+        ],
+        dtype=np.float64,
+    )
+
+
+class StateFeaturizer:
+    """Maintains the rolling window history for one agent.
+
+    "To make accurate decisions, we concatenate states from three prior
+    time windows together for capturing dynamic changes in storage
+    states." (Section 3.3.1)
+    """
+
+    def __init__(self, config: RLConfig = None):
+        self.config = config or RLConfig()
+        self._history: deque = deque(maxlen=self.config.history_windows)
+
+    @property
+    def state_dim(self) -> int:
+        """Dimension of the concatenated state vector."""
+        return self.config.state_dim
+
+    def push(
+        self,
+        stats: WindowStats,
+        others: Iterable[WindowStats],
+        guaranteed_bw_mbps: float = BW_SCALE_MBPS,
+    ) -> np.ndarray:
+        """Add a window and return the concatenated state vector.
+
+        Until the history fills, missing windows are zero-padded (the
+        paper's cold-start behaviour at vSSD creation).
+        """
+        self._history.append(window_features(stats, others, guaranteed_bw_mbps))
+        return self.state()
+
+    def state(self) -> np.ndarray:
+        """The current (zero-padded) concatenated state vector."""
+        per_window = self.config.states_per_window
+        missing = self.config.history_windows - len(self._history)
+        parts = [np.zeros(per_window)] * missing + list(self._history)
+        return np.concatenate(parts)
+
+    def reset(self) -> None:
+        """Forget all window history (vSSD teardown or episode reset)."""
+        self._history.clear()

@@ -1,0 +1,41 @@
+"""Experiment harness: collocation runs, metrics, and paper comparisons."""
+
+from repro.harness.metrics import ExperimentResult, VssdResult, bandwidth_series
+from repro.harness.experiment import (
+    POLICIES,
+    Experiment,
+    VssdPlan,
+    plans_for_pair,
+    run_policy_comparison,
+)
+from repro.harness.pretrained import get_pretrained_net, get_classifier
+from repro.harness.telemetry import controller_actions_to_csv, windows_to_csv
+from repro.harness.report import (
+    bar_chart,
+    comparison_table,
+    load_results_csv,
+    p99_chart,
+    results_to_csv,
+    utilization_chart,
+)
+
+__all__ = [
+    "VssdResult",
+    "ExperimentResult",
+    "bandwidth_series",
+    "VssdPlan",
+    "Experiment",
+    "POLICIES",
+    "plans_for_pair",
+    "run_policy_comparison",
+    "get_pretrained_net",
+    "get_classifier",
+    "results_to_csv",
+    "load_results_csv",
+    "bar_chart",
+    "utilization_chart",
+    "p99_chart",
+    "comparison_table",
+    "windows_to_csv",
+    "controller_actions_to_csv",
+]

@@ -1,0 +1,101 @@
+"""Result containers and metric computation for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+def bandwidth_series(
+    completion_times_s: list,
+    completion_bytes: list,
+    start_s: float,
+    end_s: float,
+    interval_s: float = 1.0,
+) -> np.ndarray:
+    """Per-interval bandwidth (MB/s) from completion events."""
+    if end_s <= start_s:
+        return np.zeros(0)
+    n_bins = max(int(np.ceil((end_s - start_s) / interval_s)), 1)
+    bins = np.zeros(n_bins)
+    for t, size in zip(completion_times_s, completion_bytes):
+        if start_s <= t < end_s:
+            bins[min(int((t - start_s) / interval_s), n_bins - 1)] += size
+    return bins / (1024.0 * 1024.0) / interval_s
+
+
+@dataclass
+class VssdResult:
+    """Per-vSSD outcome of one experiment run."""
+
+    name: str
+    workload: str
+    category: str
+    completed: int
+    mean_bw_mbps: float
+    mean_latency_us: float
+    p95_latency_us: float
+    p99_latency_us: float
+    p999_latency_us: float
+    slo_latency_us: Optional[float]
+    slo_violation_frac: float
+    write_amplification: float
+    gc_runs: int
+
+    def summary_row(self) -> str:
+        """One-line human-readable summary of the vSSD's results."""
+        return (
+            f"{self.name:>14s}  bw={self.mean_bw_mbps:7.1f} MB/s  "
+            f"p99={self.p99_latency_us / 1000.0:6.2f} ms  "
+            f"slo_vio={100 * self.slo_violation_frac:5.2f}%"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one policy run over one workload collocation."""
+
+    policy: str
+    duration_s: float
+    measure_start_s: float
+    vssds: dict = field(default_factory=dict)  # name -> VssdResult
+    util_series: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    total_bandwidth_mbps: float = 0.0
+    admission_stats: Optional[object] = None
+    gsb_stats: Optional[object] = None
+
+    @property
+    def avg_utilization(self) -> float:
+        """Mean SSD bandwidth utilization over the measurement period."""
+        if len(self.util_series) == 0 or self.total_bandwidth_mbps <= 0:
+            return 0.0
+        return float(self.util_series.mean() / self.total_bandwidth_mbps)
+
+    @property
+    def p95_utilization(self) -> float:
+        """95th-percentile of the per-interval utilization series."""
+        if len(self.util_series) == 0 or self.total_bandwidth_mbps <= 0:
+            return 0.0
+        return float(
+            np.percentile(self.util_series, 95) / self.total_bandwidth_mbps
+        )
+
+    def vssd(self, name: str) -> VssdResult:
+        """Result row for one vSSD by name."""
+        return self.vssds[name]
+
+    def by_category(self, category: str) -> list:
+        """All vSSD results in one workload category."""
+        return [v for v in self.vssds.values() if v.category == category]
+
+    def mean_bw_of(self, category: str) -> float:
+        """Mean bandwidth across a category's vSSDs (MB/s)."""
+        rows = self.by_category(category)
+        return float(np.mean([r.mean_bw_mbps for r in rows])) if rows else 0.0
+
+    def mean_p99_of(self, category: str) -> float:
+        """Mean P99 latency across a category's vSSDs (us)."""
+        rows = self.by_category(category)
+        return float(np.mean([r.p99_latency_us for r in rows])) if rows else 0.0

@@ -1,0 +1,79 @@
+"""Cached access to the pre-trained policy and workload classifier.
+
+Pre-training (Section 3.8) happens offline; benchmarks and examples reuse
+one pre-trained network.  The network is cached on disk (keyed by
+iteration count and seed) so separate pytest/benchmark processes do not
+retrain.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from repro.clustering.classifier import WorkloadTypeClassifier, fit_default_classifier
+from repro.core.pretrain import pretrain_best
+from repro.rl.nets import PolicyValueNet
+
+#: Default pre-training effort; below the paper's 2,000 iterations
+#: because the fast environment converges quickly (and checkpoint
+#: selection keeps the best policy along the way).
+DEFAULT_ITERATIONS = 600
+DEFAULT_SEED = 7
+
+_net_cache: dict = {}
+_classifier_cache: dict = {}
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    path = Path(root) if root else Path.home() / ".cache" / "repro"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+#: Reward-ablation variants (Figure 15).  ``custom-local`` keeps the
+#: per-cluster alphas but trains selfish agents (beta = 1);
+#: ``unified-global`` keeps the beta blend but trains with one unified
+#: alpha = 0.01 for every workload.
+VARIANT_KWARGS = {
+    "default": {},
+    "custom-local": {"beta": 1.0},
+    "unified-global": {"alpha_override": 0.01},
+}
+
+
+def get_pretrained_net(
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = DEFAULT_SEED,
+    use_disk_cache: bool = True,
+    variant: str = "default",
+) -> PolicyValueNet:
+    """A pre-trained policy network (memo- and disk-cached)."""
+    if variant not in VARIANT_KWARGS:
+        raise KeyError(f"unknown variant {variant!r}; have {sorted(VARIANT_KWARGS)}")
+    key = (iterations, seed, variant)
+    if key in _net_cache:
+        return _net_cache[key]
+    suffix = "" if variant == "default" else f"_{variant}"
+    cache_file = _cache_dir() / f"pretrained_i{iterations}_s{seed}{suffix}.npz"
+    if use_disk_cache and cache_file.exists():
+        net = PolicyValueNet.load(str(cache_file))
+    else:
+        net = pretrain_best(
+            seeds=(seed, seed + 4, seed + 16, seed + 24, seed + 40),
+            iterations=iterations,
+            **VARIANT_KWARGS[variant],
+        ).net
+        if use_disk_cache:
+            net.save(str(cache_file))
+    _net_cache[key] = net
+    return net
+
+
+def get_classifier(seed: int = 0) -> WorkloadTypeClassifier:
+    """The fitted workload-type classifier (memo-cached)."""
+    if seed not in _classifier_cache:
+        _classifier_cache[seed] = fit_default_classifier(
+            seed=seed, windows_per_workload=4, requests_per_window=2000
+        )
+    return _classifier_cache[seed]

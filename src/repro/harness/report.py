@@ -1,0 +1,145 @@
+"""Result reporting: CSV export and terminal-friendly charts.
+
+The benchmark harness prints the paper's rows; this module gives
+downstream users the same data in machine-readable form (CSV) and quick
+visual form (ASCII bar charts) without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.harness.metrics import ExperimentResult
+
+#: Columns written by :func:`results_to_csv`, one row per (policy, vSSD).
+CSV_COLUMNS = (
+    "policy",
+    "vssd",
+    "workload",
+    "category",
+    "completed",
+    "mean_bw_mbps",
+    "mean_latency_us",
+    "p95_latency_us",
+    "p99_latency_us",
+    "p999_latency_us",
+    "slo_latency_us",
+    "slo_violation_frac",
+    "write_amplification",
+    "gc_runs",
+    "avg_utilization",
+    "p95_utilization",
+)
+
+
+def results_to_csv(results: Mapping[str, ExperimentResult], path) -> int:
+    """Write one row per (policy, vSSD); returns the row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for policy, result in results.items():
+            for vssd in result.vssds.values():
+                writer.writerow(
+                    [
+                        policy,
+                        vssd.name,
+                        vssd.workload,
+                        vssd.category,
+                        vssd.completed,
+                        f"{vssd.mean_bw_mbps:.3f}",
+                        f"{vssd.mean_latency_us:.1f}",
+                        f"{vssd.p95_latency_us:.1f}",
+                        f"{vssd.p99_latency_us:.1f}",
+                        f"{vssd.p999_latency_us:.1f}",
+                        "" if vssd.slo_latency_us is None else f"{vssd.slo_latency_us:.1f}",
+                        f"{vssd.slo_violation_frac:.5f}",
+                        f"{vssd.write_amplification:.4f}",
+                        vssd.gc_runs,
+                        f"{result.avg_utilization:.5f}",
+                        f"{result.p95_utilization:.5f}",
+                    ]
+                )
+                rows += 1
+    return rows
+
+
+def load_results_csv(path) -> list:
+    """Read rows written by :func:`results_to_csv` as dictionaries."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+    baseline: Optional[str] = None,
+) -> str:
+    """Render a horizontal ASCII bar chart.
+
+    When ``baseline`` names one of the keys, each bar is annotated with
+    its ratio to that entry — the normalized view the paper's figures
+    use.
+    """
+    if not values:
+        return title
+    lines = [title] if title else []
+    peak = max(values.values()) or 1.0
+    base = values.get(baseline) if baseline else None
+    label_width = max(len(str(key)) for key in values)
+    for key, value in values.items():
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        suffix = f" {value:.2f}{unit}"
+        if base:
+            suffix += f" ({value / base:.2f}x)"
+        lines.append(f"{str(key):>{label_width}s} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def utilization_chart(results: Mapping[str, ExperimentResult], **kwargs) -> str:
+    """Bar chart of SSD utilization per policy."""
+    return bar_chart(
+        {policy: result.avg_utilization * 100 for policy, result in results.items()},
+        title=kwargs.pop("title", "SSD bandwidth utilization (%)"),
+        unit="%",
+        **kwargs,
+    )
+
+
+def p99_chart(
+    results: Mapping[str, ExperimentResult], vssd_name: str, **kwargs
+) -> str:
+    """Bar chart of one vSSD's P99 latency (ms) per policy."""
+    return bar_chart(
+        {
+            policy: result.vssd(vssd_name).p99_latency_us / 1000.0
+            for policy, result in results.items()
+        },
+        title=kwargs.pop("title", f"P99 latency of {vssd_name} (ms)"),
+        unit="ms",
+        **kwargs,
+    )
+
+
+def comparison_table(results: Mapping[str, ExperimentResult]) -> str:
+    """The standard policy-comparison table as a string."""
+    lines = []
+    names = None
+    for policy, result in results.items():
+        if names is None:
+            names = list(result.vssds)
+            header = f"{'policy':>12s} {'util':>8s}" + "".join(
+                f"{name + ' p99(ms)':>18s}" for name in names
+            )
+            lines.append(header)
+        row = f"{policy:>12s} {result.avg_utilization:8.2%}"
+        for name in names:
+            row += f"{result.vssd(name).p99_latency_us / 1000.0:18.2f}"
+        lines.append(row)
+    return "\n".join(lines)

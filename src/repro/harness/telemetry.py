@@ -1,0 +1,97 @@
+"""Per-window telemetry export: the RL's view of a run, as CSV.
+
+Every decision window produces a :class:`~repro.core.monitor.WindowStats`
+per vSSD (the Table 1 states).  Exporting that time series makes runs
+debuggable — which window did violations spike, when did harvested
+bandwidth arrive — without attaching a debugger to the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.core.monitor import WindowStats
+
+WINDOW_COLUMNS = (
+    "vssd",
+    "window_start_s",
+    "window_end_s",
+    "avg_bw_mbps",
+    "avg_iops",
+    "avg_latency_us",
+    "slo_violation_frac",
+    "queue_delay_us",
+    "rw_ratio",
+    "avail_capacity_frac",
+    "in_gc",
+    "cur_priority",
+    "completed",
+)
+
+
+def windows_to_csv(histories: Mapping[str, Iterable[WindowStats]], path) -> int:
+    """Write per-window rows for several vSSDs; returns the row count.
+
+    ``histories`` maps a vSSD label to its monitor's ``window_history``.
+    """
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(WINDOW_COLUMNS)
+        for label, history in histories.items():
+            for window in history:
+                writer.writerow(
+                    [
+                        label,
+                        f"{window.window_start_s:.3f}",
+                        f"{window.window_end_s:.3f}",
+                        f"{window.avg_bw_mbps:.3f}",
+                        f"{window.avg_iops:.1f}",
+                        f"{window.avg_latency_us:.1f}",
+                        f"{window.slo_violation_frac:.5f}",
+                        f"{window.queue_delay_us:.1f}",
+                        f"{window.rw_ratio:.4f}",
+                        f"{window.avail_capacity_frac:.4f}",
+                        int(window.in_gc),
+                        window.cur_priority,
+                        window.completed,
+                    ]
+                )
+                rows += 1
+    return rows
+
+
+def controller_actions_to_csv(controller, path) -> int:
+    """Export a FleetIO controller's per-window action log.
+
+    One row per (window, vSSD): the chosen action, its family, and the
+    window's headline states — enough to replay why an agent acted.
+    """
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["window", "vssd", "action", "family", "avg_bw_mbps",
+             "slo_violation_frac", "queue_delay_us", "in_gc"]
+        )
+        for index, entry in enumerate(controller.window_log):
+            for vssd_id, action_index in entry["actions"].items():
+                window = entry["stats"][vssd_id]
+                writer.writerow(
+                    [
+                        index,
+                        vssd_id,
+                        controller.action_space.describe(action_index),
+                        controller.action_space.kind(action_index),
+                        f"{window.avg_bw_mbps:.3f}",
+                        f"{window.slo_violation_frac:.5f}",
+                        f"{window.queue_delay_us:.1f}",
+                        int(window.in_gc),
+                    ]
+                )
+                rows += 1
+    return rows

@@ -1,0 +1,24 @@
+"""A from-scratch numpy reinforcement-learning stack.
+
+The paper builds its agents with RLlib/PyTorch PPO; this package provides
+the same algorithm without those dependencies: a small MLP with manual
+backpropagation (:mod:`repro.rl.nets`), Adam (:mod:`repro.rl.optim`),
+a categorical policy head (:mod:`repro.rl.policy`), generalized advantage
+estimation (:mod:`repro.rl.buffer`), and the clipped-surrogate PPO update
+(:mod:`repro.rl.ppo`).
+"""
+
+from repro.rl.nets import PolicyValueNet
+from repro.rl.optim import Adam
+from repro.rl.policy import CategoricalPolicy
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.ppo import PpoTrainer, PpoUpdateStats
+
+__all__ = [
+    "PolicyValueNet",
+    "Adam",
+    "CategoricalPolicy",
+    "RolloutBuffer",
+    "PpoTrainer",
+    "PpoUpdateStats",
+]

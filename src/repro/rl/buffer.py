@@ -1,0 +1,98 @@
+"""Rollout storage with generalized advantage estimation (GAE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RolloutBuffer:
+    """Accumulates transitions and computes GAE advantages and returns.
+
+    Transitions are appended in time order; :meth:`finish_path` closes an
+    episode (or a truncated segment, given a bootstrap value) and computes
+    the advantage estimates for that segment.
+    """
+
+    def __init__(self, discount: float = 0.9, gae_lambda: float = 0.95):
+        if not 0.0 < discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        if not 0.0 <= gae_lambda <= 1.0:
+            raise ValueError("gae_lambda must be in [0, 1]")
+        self.discount = discount
+        self.gae_lambda = gae_lambda
+        self.states: list = []
+        self.actions: list = []
+        self.log_probs: list = []
+        self.rewards: list = []
+        self.values: list = []
+        self.advantages: list = []
+        self.returns: list = []
+        self._path_start = 0
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def open_path_length(self) -> int:
+        """Transitions added since the last finish_path()."""
+        return len(self.states) - self._path_start
+
+    def add(
+        self,
+        state: np.ndarray,
+        action: int,
+        log_prob: float,
+        reward: float,
+        value: float,
+    ) -> None:
+        """Append one transition to the open segment."""
+        self.states.append(np.asarray(state, dtype=np.float64))
+        self.actions.append(int(action))
+        self.log_probs.append(float(log_prob))
+        self.rewards.append(float(reward))
+        self.values.append(float(value))
+
+    def finish_path(self, bootstrap_value: float = 0.0) -> None:
+        """Close the open segment and compute its GAE advantages."""
+        start = self._path_start
+        rewards = np.asarray(self.rewards[start:], dtype=np.float64)
+        values = np.asarray(self.values[start:] + [bootstrap_value], dtype=np.float64)
+        n = len(rewards)
+        advantages = np.zeros(n)
+        gae = 0.0
+        for t in range(n - 1, -1, -1):
+            delta = rewards[t] + self.discount * values[t + 1] - values[t]
+            gae = delta + self.discount * self.gae_lambda * gae
+            advantages[t] = gae
+        self.advantages.extend(advantages.tolist())
+        self.returns.extend((advantages + values[:-1]).tolist())
+        self._path_start = len(self.states)
+
+    def get(self, normalize_advantages: bool = True) -> dict:
+        """Return stacked arrays for a PPO update.
+
+        Raises if a path is still open — advantages would be missing.
+        """
+        if self._path_start != len(self.states):
+            raise RuntimeError("finish_path() must be called before get()")
+        advantages = np.asarray(self.advantages)
+        if normalize_advantages and len(advantages) > 1:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        return {
+            "states": np.stack(self.states) if self.states else np.empty((0,)),
+            "actions": np.asarray(self.actions, dtype=np.int64),
+            "log_probs": np.asarray(self.log_probs),
+            "advantages": advantages,
+            "returns": np.asarray(self.returns),
+        }
+
+    def clear(self) -> None:
+        """Drop all stored transitions and advantages."""
+        self.states.clear()
+        self.actions.clear()
+        self.log_probs.clear()
+        self.rewards.clear()
+        self.values.clear()
+        self.advantages.clear()
+        self.returns.clear()
+        self._path_start = 0

@@ -1,0 +1,57 @@
+"""Adam optimizer (Kingma & Ba, 2015) over parameter dictionaries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam with the standard bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict = {}
+        self._v: dict = {}
+        self._t = 0
+
+    @property
+    def steps(self) -> int:
+        """Number of optimizer steps taken."""
+        return self._t
+
+    def step(self, params: dict, grads: dict, max_grad_norm: float = 0.5) -> None:
+        """Apply one update in place; gradients are globally norm-clipped."""
+        if max_grad_norm is not None:
+            total = np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+            if total > max_grad_norm and total > 0:
+                scale = max_grad_norm / total
+                grads = {k: g * scale for k, g in grads.items()}
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for key, grad in grads.items():
+            if key not in self._m:
+                self._m[key] = np.zeros_like(grad)
+                self._v[key] = np.zeros_like(grad)
+            self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            self._v[key] = self.beta2 * self._v[key] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[key] / bias1
+            v_hat = self._v[key] / bias2
+            params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        """Drop all moment estimates and the step counter."""
+        self._m.clear()
+        self._v.clear()
+        self._t = 0

@@ -1,0 +1,68 @@
+"""Categorical action sampling over the network's logits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.nets import PolicyValueNet
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    return np.exp(log_softmax(logits))
+
+
+class CategoricalPolicy:
+    """Samples discrete actions and reports log-probabilities/values."""
+
+    def __init__(self, net: PolicyValueNet):
+        self.net = net
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the discrete action set."""
+        return self.net.num_actions
+
+    def act(self, state: np.ndarray, rng: np.random.Generator) -> tuple:
+        """Sample an action for one state.
+
+        Returns ``(action, log_prob, value)``.
+        """
+        logits, values, _ = self.net.forward(state)
+        probs = softmax(logits)[0]
+        action = int(rng.choice(self.num_actions, p=probs))
+        logp = float(np.log(max(probs[action], 1e-12)))
+        return action, logp, float(values[0])
+
+    def act_deterministic(self, state: np.ndarray) -> int:
+        """Greedy action (used at deployment when exploration is off)."""
+        logits, _values, _ = self.net.forward(state)
+        return int(np.argmax(logits[0]))
+
+    def act_greedy(self, state: np.ndarray) -> tuple:
+        """Greedy action with its log-probability and the state value.
+
+        Deployment follows the paper — "an agent will select the RL
+        action that earns the highest predicted reward" — while the
+        log-probability still feeds the periodic PPO fine-tuning.
+        """
+        logits, values, _ = self.net.forward(state)
+        logp_all = log_softmax(logits)[0]
+        action = int(np.argmax(logits[0]))
+        return action, float(logp_all[action]), float(values[0])
+
+    def action_distribution(self, state: np.ndarray) -> np.ndarray:
+        """Action probabilities for one state."""
+        logits, _values, _ = self.net.forward(state)
+        return softmax(logits)[0]
+
+    def value(self, state: np.ndarray) -> float:
+        """The value head's estimate for one state."""
+        _logits, values, _ = self.net.forward(state)
+        return float(values[0])

@@ -1,0 +1,24 @@
+"""I/O scheduling: request model, rate limiting, and the dispatcher."""
+
+from repro.sched.request import IoRequest, Priority
+from repro.sched.token_bucket import TokenBucket
+from repro.sched.stride import StrideScheduler
+from repro.sched.policies import (
+    FifoPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    TokenBucketStridePolicy,
+)
+from repro.sched.dispatcher import IoDispatcher
+
+__all__ = [
+    "IoRequest",
+    "Priority",
+    "TokenBucket",
+    "StrideScheduler",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "TokenBucketStridePolicy",
+    "IoDispatcher",
+]

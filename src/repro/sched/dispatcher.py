@@ -1,0 +1,206 @@
+"""The I/O dispatcher: per-vSSD virtual queues feeding flash channels.
+
+Each vSSD has a *virtual queue* of pending requests (the paper's QDelay
+state is derived from it).  A :class:`SchedulingPolicy` orders dispatch
+across queues; queue-depth limits on the channels provide backpressure.
+A dispatched request's page operations are served by the vSSD's FTL, one
+completion event fires when the slowest page finishes, and completion
+frees channel slots and re-pumps the queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sched.policies import SchedulingPolicy
+from repro.sched.request import IoRequest
+from repro.ssd.ftl import OutOfSpaceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.ssd.device import Ssd
+    from repro.ssd.ftl import VssdFtl
+
+
+class IoDispatcher:
+    """Connects per-vSSD virtual queues to the shared SSD's channels."""
+
+    def __init__(self, sim: "Simulator", ssd: "Ssd", policy: SchedulingPolicy):
+        self.sim = sim
+        self.ssd = ssd
+        self.policy = policy
+        self.ftls: dict = {}
+        self.queues: dict = {}
+        self._completion_callbacks: list = []
+        self._retry_event = None
+        self._inflight_pages: dict = {}
+        self.failed_requests = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_vssd(self, vssd_id: int, ftl: "VssdFtl", **policy_kwargs) -> None:
+        """Attach a vSSD's FTL and create its virtual queue."""
+        if vssd_id in self.ftls:
+            raise ValueError(f"vSSD {vssd_id} already registered")
+        self.ftls[vssd_id] = ftl
+        self.queues[vssd_id] = deque()
+        self.policy.register_vssd(vssd_id, **policy_kwargs)
+
+    def unregister_vssd(self, vssd_id: int) -> None:
+        """Detach a vSSD (its queue is dropped)."""
+        self.ftls.pop(vssd_id, None)
+        self.queues.pop(vssd_id, None)
+        self.policy.unregister_vssd(vssd_id)
+
+    def add_completion_callback(self, callback: Callable[[IoRequest], None]) -> None:
+        """``callback(request)`` fires whenever any request completes."""
+        self._completion_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Submission / queue inspection
+    # ------------------------------------------------------------------
+    def submit(self, request: IoRequest) -> None:
+        """Enqueue a request and dispatch as far as policy allows."""
+        if request.vssd_id not in self.queues:
+            raise KeyError(f"vSSD {request.vssd_id} not registered")
+        self.queues[request.vssd_id].append(request)
+        self._pump()
+
+    def queue_length(self, vssd_id: int) -> int:
+        """Requests waiting in the vSSD's virtual queue."""
+        return len(self.queues[vssd_id])
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+    def _can_dispatch(self, request: IoRequest) -> bool:
+        """Admission gate: a per-vSSD in-flight page budget.
+
+        Each vSSD may keep ``max_queue_depth`` pages in flight per channel
+        it can use — the submission-queue depth an NVMe device of this
+        geometry would enforce.  The budget bounds how much backlog any
+        tenant can pile onto the shared channels (the interference a
+        collocated reader then sees is bounded by the sum of budgets),
+        while still letting a bandwidth-intensive tenant fill every one
+        of its channels' pipelines.
+        """
+        ftl = self.ftls[request.vssd_id]
+        budget = self.ssd.config.inflight_pages_per_channel * ftl.channel_count()
+        inflight = self._inflight_pages.get(request.vssd_id, 0)
+        if inflight == 0:
+            return True  # always admit at least one request
+        return inflight + request.num_pages <= budget
+
+    def _pump(self) -> None:
+        """Dispatch as many requests as the policy and channels allow."""
+        while True:
+            choice = self.policy.select(self.sim.now, self.queues, self._can_dispatch)
+            if choice is None:
+                break
+            request = self.queues[choice].popleft()
+            self._dispatch(request)
+        self._schedule_retry_if_blocked()
+
+    def _schedule_retry_if_blocked(self) -> None:
+        """Arrange a future pump when heads are blocked on time.
+
+        Two time-based blockers exist: token buckets (the policy knows
+        when tokens suffice) and channel busy horizons (capacity frees as
+        queued bus work drains).  Without this, a queue could sit blocked
+        forever once nothing is in flight to trigger a completion pump.
+        """
+        when = self.policy.next_eligible_time(self.sim.now, self.queues)
+        capacity_when = self._next_capacity_time()
+        if when is None or (capacity_when is not None and capacity_when < when):
+            when = capacity_when
+        if when is None:
+            return
+        if self._retry_event is not None and not self._retry_event.cancelled:
+            if self._retry_event.time <= when:
+                return
+            self._retry_event.cancel()
+        self._retry_event = self.sim.schedule(
+            max(1.0, when - self.sim.now), self._retry_fire
+        )
+
+    def _retry_fire(self) -> None:
+        """A scheduled retry: clear the handle first so a still-blocked
+        pump can arm the next one (a fired event must not be mistaken
+        for a pending one)."""
+        self._retry_event = None
+        self._pump()
+
+    def _next_capacity_time(self) -> Optional[float]:
+        """Earliest time a channel regains queue headroom, if any head is
+        waiting on capacity."""
+        if not any(self.queues.values()):
+            return None
+        config = self.ssd.config
+        bound = config.max_queue_depth * config.bus_transfer_us
+        soonest = None
+        for channel in self.ssd.channels:
+            over = channel.busy_horizon_us() - bound
+            if over >= 0:
+                when = self.sim.now + over + config.bus_transfer_us
+                if soonest is None or when < soonest:
+                    soonest = when
+        if soonest is None and not any(self._inflight_pages.values()):
+            # Nothing in flight to trigger a completion pump; take one
+            # small tick rather than risk a permanent stall.
+            soonest = self.sim.now + config.bus_transfer_us
+        return soonest
+
+    def _dispatch(self, request: IoRequest) -> None:
+        request.dispatch_time = self.sim.now
+        ftl = self.ftls[request.vssd_id]
+        front = self._is_high_priority(request.vssd_id)
+        pages_by_channel: dict = {}
+        done = self.sim.now
+        try:
+            for offset in range(request.num_pages):
+                lpn = request.lpn + offset
+                if request.op == "write":
+                    finish, channel_id = ftl.write_page(lpn, front=front)
+                else:
+                    finish, channel_id = ftl.read_page(lpn, front=front)
+                done = max(done, finish)
+                pages_by_channel[channel_id] = pages_by_channel.get(channel_id, 0) + 1
+        except OutOfSpaceError:
+            # Slots are acquired only after all pages are placed, so there
+            # is nothing to release here.
+            request.failed = True
+            request.complete_time = self.sim.now
+            self.failed_requests += 1
+            self._notify(request)
+            return
+        for channel_id, pages in pages_by_channel.items():
+            self.ssd.channels[channel_id].acquire(pages)
+        self._inflight_pages[request.vssd_id] = (
+            self._inflight_pages.get(request.vssd_id, 0) + request.num_pages
+        )
+        self.sim.schedule(done - self.sim.now, self._complete, request, pages_by_channel)
+
+    def _complete(self, request: IoRequest, pages_by_channel: dict) -> None:
+        request.complete_time = self.sim.now
+        for channel_id, pages in pages_by_channel.items():
+            self.ssd.channels[channel_id].release(pages)
+        if request.vssd_id in self._inflight_pages:
+            self._inflight_pages[request.vssd_id] -= request.num_pages
+        self._notify(request)
+        self._pump()
+
+    def _is_high_priority(self, vssd_id: int) -> bool:
+        """HIGH-priority vSSDs get bus-front arbitration for their pages."""
+        get_priority = getattr(self.policy, "get_priority", None)
+        if get_priority is None:
+            return False
+        try:
+            return int(get_priority(vssd_id)) >= 2
+        except KeyError:
+            return False
+
+    def _notify(self, request: IoRequest) -> None:
+        for callback in self._completion_callbacks:
+            callback(request)

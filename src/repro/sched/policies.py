@@ -1,0 +1,192 @@
+"""Pluggable dispatch-ordering policies for the I/O dispatcher.
+
+A policy looks at the per-vSSD virtual queues and picks which queue's head
+request dispatches next.  Three policies cover the paper's systems:
+
+* :class:`FifoPolicy` — plain arrival order (hardware-isolated vSSDs have
+  no cross-tenant contention, so ordering barely matters there).
+* :class:`PriorityPolicy` — low/medium/high per-vSSD priorities driven by
+  FleetIO's ``Set_Priority`` RL action (Section 3.3.2).
+* :class:`TokenBucketStridePolicy` — the software-isolated baseline:
+  token-bucket throttling plus stride scheduling (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.sched.request import IoRequest, Priority
+from repro.sched.stride import StrideScheduler
+from repro.sched.token_bucket import TokenBucket
+
+CanDispatch = Callable[[IoRequest], bool]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Chooses which vSSD's head request dispatches next."""
+
+    def register_vssd(self, vssd_id: int) -> None:
+        """Called when a vSSD is attached to the dispatcher."""
+
+    def unregister_vssd(self, vssd_id: int) -> None:
+        """Called when a vSSD is detached."""
+
+    @abc.abstractmethod
+    def select(self, now: float, queues: dict, can_dispatch: CanDispatch) -> Optional[int]:
+        """Return the vssd_id whose head request should dispatch, or None.
+
+        Implementations must also charge any internal accounting (tokens,
+        stride passes) for the selected request before returning.
+        """
+
+    def next_eligible_time(self, now: float, queues: dict) -> Optional[float]:
+        """Absolute time at which a currently blocked request becomes
+        eligible (used to schedule a retry), or None if nothing is
+        time-blocked."""
+        return None
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Dispatch the globally oldest dispatchable head request."""
+
+    def select(self, now: float, queues: dict, can_dispatch: CanDispatch) -> Optional[int]:
+        """Pick the oldest dispatchable head across all queues."""
+        best = None
+        best_time = None
+        for vssd_id, queue in queues.items():
+            if not queue:
+                continue
+            head = queue[0]
+            if not can_dispatch(head):
+                continue
+            if best_time is None or head.submit_time < best_time:
+                best, best_time = vssd_id, head.submit_time
+        return best
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Strict priority across vSSDs, FIFO within a priority level.
+
+    FleetIO's RL agents raise a vSSD's priority when it suffers SLO
+    violations or queueing delay; requests from higher-priority vSSDs
+    always dispatch first.
+    """
+
+    def __init__(self) -> None:
+        self._priority: dict = {}
+
+    def register_vssd(self, vssd_id: int) -> None:
+        """Give the vSSD the default MEDIUM priority."""
+        self._priority.setdefault(vssd_id, Priority.MEDIUM)
+
+    def unregister_vssd(self, vssd_id: int) -> None:
+        """Forget the vSSD's priority."""
+        self._priority.pop(vssd_id, None)
+
+    def set_priority(self, vssd_id: int, priority: Priority) -> None:
+        """Set the vSSD's scheduling priority (the Set_Priority action)."""
+        if vssd_id not in self._priority:
+            raise KeyError(f"unknown vSSD {vssd_id}")
+        self._priority[vssd_id] = Priority(priority)
+
+    def get_priority(self, vssd_id: int) -> Priority:
+        """The vSSD's current scheduling priority."""
+        return self._priority[vssd_id]
+
+    def select(self, now: float, queues: dict, can_dispatch: CanDispatch) -> Optional[int]:
+        """Highest-priority dispatchable head; FIFO within a level."""
+        best = None
+        best_key = None
+        for vssd_id, queue in queues.items():
+            if not queue:
+                continue
+            head = queue[0]
+            if not can_dispatch(head):
+                continue
+            # Higher priority wins; older submission breaks ties.
+            key = (-int(self._priority.get(vssd_id, Priority.MEDIUM)), head.submit_time)
+            if best_key is None or key < best_key:
+                best, best_key = vssd_id, key
+        return best
+
+
+class TokenBucketStridePolicy(SchedulingPolicy):
+    """Software isolation: token-bucket throttling + stride scheduling.
+
+    Each vSSD gets a token bucket sized to its bandwidth share; among
+    vSSDs whose head fits their budget, a stride scheduler provides
+    proportional sharing so high-intensity tenants cannot starve
+    low-intensity ones.  Work conservation: when no queue fits its
+    budget but capacity is idle, the oldest head dispatches anyway once
+    its bucket refills (the dispatcher retries at
+    :meth:`next_eligible_time`).
+    """
+
+    def __init__(
+        self,
+        rate_bytes_per_us: float,
+        burst_bytes: float,
+        work_conserving: bool = True,
+    ):
+        self._default_rate = rate_bytes_per_us
+        self._default_burst = burst_bytes
+        self._work_conserving = work_conserving
+        self._buckets: dict = {}
+        self._stride = StrideScheduler()
+
+    def register_vssd(
+        self,
+        vssd_id: int,
+        rate_bytes_per_us: Optional[float] = None,
+        burst_bytes: Optional[float] = None,
+        tickets: int = 100,
+    ) -> None:
+        """Create the vSSD's token bucket and stride entry."""
+        self._buckets[vssd_id] = TokenBucket(
+            rate_bytes_per_us or self._default_rate,
+            burst_bytes or self._default_burst,
+        )
+        self._stride.add_client(vssd_id, tickets)
+
+    def unregister_vssd(self, vssd_id: int) -> None:
+        """Drop the vSSD's bucket and stride entry."""
+        self._buckets.pop(vssd_id, None)
+        self._stride.remove_client(vssd_id)
+
+    def select(self, now: float, queues: dict, can_dispatch: CanDispatch) -> Optional[int]:
+        """Stride-pick among heads whose buckets hold enough tokens."""
+        eligible = []
+        for vssd_id, queue in queues.items():
+            if not queue:
+                continue
+            head = queue[0]
+            if not can_dispatch(head):
+                continue
+            bucket = self._buckets.get(vssd_id)
+            if bucket is None or bucket.can_consume(head.size_bytes, now):
+                eligible.append(vssd_id)
+        choice = self._stride.pick(eligible)
+        if choice is None:
+            return None
+        head = queues[choice][0]
+        bucket = self._buckets.get(choice)
+        if bucket is not None:
+            bucket.consume(head.size_bytes, now)
+        return choice
+
+    def next_eligible_time(self, now: float, queues: dict) -> Optional[float]:
+        """Earliest time a blocked head's bucket refills, if any."""
+        soonest = None
+        for vssd_id, queue in queues.items():
+            if not queue:
+                continue
+            bucket = self._buckets.get(vssd_id)
+            if bucket is None:
+                continue
+            wait = bucket.time_until_available(queue[0].size_bytes, now)
+            if wait > 0:
+                when = now + wait
+                if soonest is None or when < soonest:
+                    soonest = when
+        return soonest

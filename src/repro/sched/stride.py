@@ -1,0 +1,73 @@
+"""Stride scheduling (Waldspurger & Weihl, 1995).
+
+Deterministic proportional-share scheduling: each client holds tickets;
+its *stride* is inversely proportional to its tickets, and the client with
+the smallest *pass* value runs next, its pass advancing by its stride.
+The software-isolated baseline uses this so bandwidth-hungry tenants do
+not starve low-intensity ones (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+#: Numerator used to derive strides; any large constant works.
+STRIDE1 = 1 << 20
+
+
+class StrideScheduler:
+    """Proportional-share pick-next among registered clients."""
+
+    def __init__(self) -> None:
+        self._tickets: dict = {}
+        self._stride: dict = {}
+        self._pass: dict = {}
+
+    def add_client(self, client: Hashable, tickets: int = 100) -> None:
+        """Register a client with the given ticket count."""
+        if tickets <= 0:
+            raise ValueError("tickets must be positive")
+        if client in self._tickets:
+            raise ValueError(f"client {client!r} already registered")
+        self._tickets[client] = tickets
+        self._stride[client] = STRIDE1 / tickets
+        # New clients start at the current minimum pass so they neither
+        # monopolize (pass=0) nor starve.
+        self._pass[client] = min(self._pass.values(), default=0.0)
+
+    def remove_client(self, client: Hashable) -> None:
+        """Remove a client (no-op if absent)."""
+        self._tickets.pop(client, None)
+        self._stride.pop(client, None)
+        self._pass.pop(client, None)
+
+    def set_tickets(self, client: Hashable, tickets: int) -> None:
+        """Change a client's ticket count (its stride updates)."""
+        if tickets <= 0:
+            raise ValueError("tickets must be positive")
+        self._tickets[client] = tickets
+        self._stride[client] = STRIDE1 / tickets
+
+    def clients(self) -> list:
+        """All registered client ids."""
+        return list(self._tickets)
+
+    def pick(self, eligible: Optional[Iterable[Hashable]] = None) -> Optional[Hashable]:
+        """Return the eligible client with the smallest pass and charge it."""
+        pool = self._tickets.keys() if eligible is None else [
+            c for c in eligible if c in self._tickets
+        ]
+        best = None
+        best_pass = None
+        for client in pool:
+            p = self._pass[client]
+            if best_pass is None or p < best_pass:
+                best, best_pass = client, p
+        if best is None:
+            return None
+        self._pass[best] += self._stride[best]
+        return best
+
+    def peek_pass(self, client: Hashable) -> float:
+        """The client's current pass value (for tests/diagnostics)."""
+        return self._pass[client]

@@ -1,0 +1,56 @@
+"""Token-bucket rate limiter used by the software-isolated baseline.
+
+Mirrors blk-throttle-style throttling (Section 4.1): each vSSD receives a
+byte budget that refills at a fixed rate up to a burst ceiling.  Requests
+may only dispatch once the bucket holds enough tokens for their size.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A lazily refilled token bucket.
+
+    Tokens are bytes.  ``rate_bytes_per_us`` tokens accrue per microsecond
+    up to ``burst_bytes``.
+    """
+
+    def __init__(self, rate_bytes_per_us: float, burst_bytes: float, now: float = 0.0):
+        if rate_bytes_per_us <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = rate_bytes_per_us
+        self.burst = burst_bytes
+        self._tokens = burst_bytes
+        self._last_refill = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            self._tokens = min(self.burst, self._tokens + (now - self._last_refill) * self.rate)
+            self._last_refill = now
+
+    def tokens(self, now: float) -> float:
+        """Current token level after lazy refill at ``now``."""
+        self._refill(now)
+        return self._tokens
+
+    def can_consume(self, amount: float, now: float) -> bool:
+        """Whether ``amount`` tokens are available at ``now``."""
+        return self.tokens(now) >= amount
+
+    def consume(self, amount: float, now: float) -> bool:
+        """Take ``amount`` tokens if available; returns success."""
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def time_until_available(self, amount: float, now: float) -> float:
+        """Microseconds until ``amount`` tokens will be available."""
+        self._refill(now)
+        deficit = amount - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate

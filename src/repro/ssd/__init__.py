@@ -1,0 +1,25 @@
+"""Discrete-event SSD substrate: flash geometry, timing, FTL, and GC.
+
+This package plays the role of the open-channel SSD hardware in the paper.
+It models channels, chips, and blocks explicitly, serves page operations
+through a pipelined bus/chip timing model, performs out-of-place updates
+with page-level mapping, and reclaims space with lazy garbage collection.
+"""
+
+from repro.ssd.geometry import BlockState, FlashBlock, PagePointer
+from repro.ssd.channel import Channel, ChannelStats
+from repro.ssd.device import Ssd
+from repro.ssd.ftl import VssdFtl, FtlStats
+from repro.ssd.hbt import HarvestedBlockTable
+
+__all__ = [
+    "BlockState",
+    "FlashBlock",
+    "PagePointer",
+    "Channel",
+    "ChannelStats",
+    "Ssd",
+    "VssdFtl",
+    "FtlStats",
+    "HarvestedBlockTable",
+]

@@ -1,0 +1,230 @@
+"""Channel timing model: a shared bus feeding parallel flash chips.
+
+Each channel owns ``chips_per_channel`` chips and one command/data bus.
+Page operations pipeline across the two resources:
+
+* **read** — the chip senses the page (``page_read_us``), then the bus
+  transfers it out (``bus_transfer_us``).
+* **write** — the bus transfers data in, then the chip programs it
+  (``page_write_us``).
+
+Chips within a channel operate in parallel, so the channel's sustainable
+throughput is ``page_size / max(bus_time, (op_time + bus_time) / n_chips)``.
+With the default timing this calibrates to roughly 64 MB/s per channel,
+the figure quoted in Section 3.6.2 of the paper.
+
+Garbage collection occupies a chip (and implicitly the channel's free-block
+accounting) for the duration of the migrate-and-erase sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import SSDConfig
+from repro.ssd.geometry import BlockState, FlashBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class ChannelStats:
+    """Cumulative per-channel counters, used for utilization metrics."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    gc_pages_migrated: int = 0
+    gc_erases: int = 0
+    busy_us: float = 0.0
+    gc_busy_us: float = 0.0
+
+    def snapshot(self) -> "ChannelStats":
+        """An independent copy of the counters (for windowed deltas)."""
+        return ChannelStats(
+            pages_read=self.pages_read,
+            pages_written=self.pages_written,
+            gc_pages_migrated=self.gc_pages_migrated,
+            gc_erases=self.gc_erases,
+            busy_us=self.busy_us,
+            gc_busy_us=self.gc_busy_us,
+        )
+
+
+class Channel:
+    """One flash channel: chips, blocks, a bus, and outstanding-op limits."""
+
+    def __init__(self, channel_id: int, config: SSDConfig, sim: "Simulator"):
+        self.channel_id = channel_id
+        self.config = config
+        self.sim = sim
+        self.blocks: list[FlashBlock] = [
+            FlashBlock(channel_id, chip, index, config.pages_per_block)
+            for chip in range(config.chips_per_channel)
+            for index in range(config.blocks_per_chip)
+        ]
+        self._chip_busy_until = [0.0] * config.chips_per_channel
+        self._bus_busy_until = 0.0
+        self._next_write_chip = 0
+        self.outstanding = 0
+        self.in_gc = False
+        self._gc_until = 0.0
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    # Capacity / admission
+    # ------------------------------------------------------------------
+    def busy_horizon_us(self) -> float:
+        """Queued bus work ahead of a newly dispatched page (us)."""
+        return max(0.0, self._bus_busy_until - self.sim.now)
+
+    def has_capacity(self) -> bool:
+        """True if the channel can absorb another page within its queue
+        depth.
+
+        The queue-depth limit is expressed as a busy horizon: a channel
+        with ``max_queue_depth`` pages of bus work queued stops accepting
+        new dispatches until the backlog drains, which is the backpressure
+        an NVMe submission queue of that depth provides.
+        """
+        horizon = self.config.max_queue_depth * self.config.bus_transfer_us
+        return self.busy_horizon_us() < horizon
+
+    def queue_headroom(self) -> int:
+        """How many more pages fit under the busy-horizon queue bound."""
+        remaining = (
+            self.config.max_queue_depth * self.config.bus_transfer_us
+            - self.busy_horizon_us()
+        )
+        return max(0, int(remaining / self.config.bus_transfer_us))
+
+    def acquire(self, pages: int) -> None:
+        """Count ``pages`` as outstanding on this channel."""
+        self.outstanding += pages
+
+    def release(self, pages: int) -> None:
+        """Return ``pages`` previously acquired."""
+        self.outstanding -= pages
+        if self.outstanding < 0:
+            raise RuntimeError(f"channel {self.channel_id} outstanding went negative")
+
+    # ------------------------------------------------------------------
+    # Page service (timing only; mapping is the FTL's business)
+    # ------------------------------------------------------------------
+    def next_write_chip(self) -> int:
+        """Round-robin chip selection for write striping within the channel."""
+        chip = self._next_write_chip
+        self._next_write_chip = (chip + 1) % self.config.chips_per_channel
+        return chip
+
+    def service_read(self, chip_id: int, front: bool = False) -> float:
+        """Serve a page read on ``chip_id``; returns absolute finish time.
+
+        ``front`` models priority arbitration (FleetIO's Set_Priority at
+        level HIGH): the transfer is inserted at the head of the bus
+        queue — it completes after at most one in-progress transfer,
+        while the queued backlog shifts behind it (the bus still does the
+        same total work).
+        """
+        cfg = self.config
+        now = self.sim.now
+        sense_start = max(now, self._chip_busy_until[chip_id])
+        sense_done = sense_start + cfg.page_read_us
+        if front:
+            # Head-of-queue insertion: wait for at most one in-progress
+            # transfer instead of the whole backlog.
+            bus_available = min(self._bus_busy_until, now + cfg.bus_transfer_us)
+            xfer_start = max(sense_done, bus_available)
+            done = xfer_start + cfg.bus_transfer_us
+            self._bus_busy_until = max(self._bus_busy_until, now) + cfg.bus_transfer_us
+        else:
+            xfer_start = max(sense_done, self._bus_busy_until)
+            done = xfer_start + cfg.bus_transfer_us
+            self._bus_busy_until = done
+        self._chip_busy_until[chip_id] = max(self._chip_busy_until[chip_id], done)
+        self.stats.pages_read += 1
+        self.stats.busy_us += cfg.page_read_us + cfg.bus_transfer_us
+        return done
+
+    def service_write(
+        self, chip_id: int, background: bool = False, front: bool = False
+    ) -> float:
+        """Serve a page program on ``chip_id``; returns absolute finish time.
+
+        ``background`` marks GC copy-back programs: their bus transfer is
+        charged at ``gc_bus_share`` (the rest hides in idle gaps under
+        background-priority arbitration).  ``front`` inserts the transfer
+        at the head of the bus queue (priority HIGH), as in
+        :meth:`service_read`.
+        """
+        cfg = self.config
+        now = self.sim.now
+        xfer_time = cfg.bus_transfer_us * (cfg.gc_bus_share if background else 1.0)
+        if front and not background:
+            # Head-of-queue insertion (see service_read).
+            bus_available = min(self._bus_busy_until, now + xfer_time)
+            xfer_done = max(now, bus_available) + xfer_time
+            self._bus_busy_until = max(self._bus_busy_until, now) + xfer_time
+        else:
+            xfer_start = max(now, self._bus_busy_until)
+            xfer_done = xfer_start + xfer_time
+            self._bus_busy_until = xfer_done
+        program_start = max(xfer_done, self._chip_busy_until[chip_id])
+        done = program_start + cfg.page_write_us
+        self._chip_busy_until[chip_id] = done
+        self.stats.pages_written += 1
+        self.stats.busy_us += cfg.page_write_us + xfer_time
+        return done
+
+    def occupy_for_gc(self, chip_id: int, migrate_reads: int, erases: int) -> float:
+        """Charge a GC migrate-and-erase sequence.
+
+        The erase occupies the victim chip (erase suspension is not
+        modeled); page migrations stream over the channel bus, contending
+        with host transfers, while the chip itself stays available for
+        host reads between GC page reads (read-priority arbitration, as
+        on modern controllers).  Returns the time the sequence finishes.
+        The channel's ``in_gc`` flag stays set until the latest in-flight
+        GC on the channel completes.
+        """
+        cfg = self.config
+        erase_start = max(self.sim.now, self._chip_busy_until[chip_id])
+        erase_done = erase_start + erases * cfg.block_erase_us
+        self._chip_busy_until[chip_id] = erase_done
+        bus_time = migrate_reads * cfg.bus_transfer_us * cfg.gc_bus_share
+        self._bus_busy_until = max(self.sim.now, self._bus_busy_until) + bus_time
+        done = max(erase_done, self._bus_busy_until)
+        self.stats.gc_pages_migrated += migrate_reads
+        self.stats.gc_erases += erases
+        self.stats.busy_us += erases * cfg.block_erase_us + bus_time
+        self.stats.gc_busy_us += erases * cfg.block_erase_us + bus_time
+        self.in_gc = True
+        self._gc_until = max(self._gc_until, done)
+        self.sim.schedule(done - self.sim.now, self._maybe_clear_gc)
+        return done
+
+    def _maybe_clear_gc(self) -> None:
+        if self.sim.now >= self._gc_until:
+            self.in_gc = False
+
+    # ------------------------------------------------------------------
+    # Block accounting
+    # ------------------------------------------------------------------
+    def blocks_owned_by(self, vssd_id: Optional[int]) -> list:
+        """All blocks on this channel owned by ``vssd_id``."""
+        return [b for b in self.blocks if b.owner == vssd_id]
+
+    def free_fraction_for(self, vssd_id: int) -> float:
+        """Fraction of this vSSD's blocks on the channel that are FREE."""
+        owned = self.blocks_owned_by(vssd_id)
+        if not owned:
+            return 0.0
+        free = sum(1 for b in owned if b.state is BlockState.FREE)
+        return free / len(owned)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Channel({self.channel_id}, outstanding={self.outstanding}, "
+            f"in_gc={self.in_gc})"
+        )

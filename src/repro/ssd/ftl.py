@@ -1,0 +1,728 @@
+"""Per-vSSD flash translation layer with harvesting-aware GC.
+
+Each vSSD runs its own FTL over the blocks it may write:
+
+* its **own region** — blocks it owns (its allocated channels), and
+* zero or more **harvest regions** — blocks of ghost superblocks (gSBs)
+  it has harvested from collocated vSSDs (Section 3.6).
+
+Writes stripe round-robin across every channel the FTL can currently
+write, which is how harvesting converts into extra bandwidth.  Reads go
+wherever the page lives, including harvested channels.
+
+Garbage collection follows Figure 9: victim selection prioritizes
+harvested/reclaimed blocks (HBT bit = 1); their valid data is copied back
+to the harvesting vSSD's *own* blocks; the erased block is marked regular
+again.  Blocks of a *live* gSB are recycled back into the gSB so a
+harvested channel keeps providing write bandwidth, while blocks of a
+*reclaiming* gSB are handed back to their home vSSD.
+
+The write path is on the simulator's critical path, so the region
+bookkeeping is O(1) per page: free blocks are per-channel deques
+(interleaved by chip so consecutive opens hit different chips), open
+frontiers rotate per channel, and the FTL caches its channel round-robin
+list, rebuilding it only when a region's capacity shape changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.config import SSDConfig
+from repro.ssd.geometry import BlockState, FlashBlock, PagePointer
+from repro.ssd.hbt import HarvestedBlockTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ssd.device import Ssd
+
+
+class OutOfSpaceError(RuntimeError):
+    """Raised when a write cannot be placed even after urgent GC."""
+
+
+@dataclass
+class FtlStats:
+    """Cumulative per-vSSD FTL counters."""
+
+    host_reads: int = 0
+    host_writes: int = 0
+    unmapped_reads: int = 0
+    gc_reads: int = 0
+    gc_writes: int = 0
+    gc_runs: int = 0
+    blocks_erased: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        """(host + GC writes) / host writes; 1.0 when GC never copied."""
+        if self.host_writes == 0:
+            return 1.0
+        return (self.host_writes + self.gc_writes) / self.host_writes
+
+
+class WriteRegion:
+    """A pool of programmable blocks grouped by channel.
+
+    ``kind`` is ``"own"`` for the vSSD's own blocks or ``"harvest"`` for a
+    harvested gSB's blocks.  A harvest region flips ``reclaiming`` when its
+    gSB is being lazily reclaimed; from then on erased blocks leave the
+    region through ``on_block_released`` instead of being recycled.
+
+    Within a channel up to ``chips_per_channel`` blocks are open at once,
+    rotated per program so writes exploit chip parallelism.
+    """
+
+    def __init__(
+        self,
+        region_id: str,
+        kind: str = "own",
+        on_block_released: Optional[Callable[[FlashBlock], None]] = None,
+        max_open_per_channel: int = 4,
+        purpose: str = "bandwidth",
+        wear_aware: bool = False,
+    ):
+        if kind not in ("own", "harvest"):
+            raise ValueError(f"unknown region kind {kind!r}")
+        if purpose not in ("bandwidth", "capacity"):
+            raise ValueError(f"unknown region purpose {purpose!r}")
+        #: Pick the least-erased free block when opening a frontier, so
+        #: erase wear spreads evenly (FlashBlox's uniform-lifetime goal).
+        self.wear_aware = wear_aware
+        self.region_id = region_id
+        self.kind = kind
+        #: "bandwidth" regions recycle by copying data back to the
+        #: harvester's own blocks (Figure 9); "capacity" regions hold
+        #: data long-term, so their GC stays inside the region
+        #: (Section 5's capacity-harvesting extension).
+        self.purpose = purpose
+        self.reclaiming = False
+        self.on_block_released = on_block_released
+        self.max_open_per_channel = max_open_per_channel
+        self._free: dict = {}   # channel -> deque[FlashBlock]
+        self._open: dict = {}   # channel -> deque[FlashBlock] (rotated)
+        self._channels: set = set()
+        self._free_pages = 0
+        #: Bumped whenever the set of writable channels may have changed;
+        #: the FTL uses it to invalidate its cached striping order.
+        self.version = 0
+
+    # -- population ----------------------------------------------------
+    def add_block(self, block: FlashBlock) -> None:
+        """Add one FREE block to the region's free pool."""
+        if not block.is_free:
+            raise ValueError(f"region only accepts FREE blocks, got {block!r}")
+        queue = self._free.get(block.channel_id)
+        if queue is None:
+            queue = self._free[block.channel_id] = deque()
+        # Interleave chips: append so that consecutive pops alternate chips
+        # when blocks were adopted in chip-sorted batches.
+        queue.append(block)
+        self._channels.add(block.channel_id)
+        self._free_pages += block.pages_per_block
+        self.version += 1
+
+    def add_blocks(self, blocks: Iterable[FlashBlock]) -> None:
+        """Add FREE blocks, chip-interleaved for write parallelism."""
+        # Sort so chips interleave in the free queues.
+        ordered = sorted(blocks, key=lambda b: (b.index, b.chip_id, b.channel_id))
+        for block in ordered:
+            self.add_block(block)
+
+    # -- inspection ------------------------------------------------------
+    def channels(self) -> list:
+        """All channel ids this region has blocks on."""
+        return sorted(self._channels)
+
+    def can_write(self, channel_id: int) -> bool:
+        """True if the channel has an open or openable block."""
+        if self._free.get(channel_id):
+            return True
+        open_queue = self._open.get(channel_id)
+        return bool(open_queue)
+
+    def writable_channels(self) -> list:
+        """Channels that can currently accept a program."""
+        return [ch for ch in sorted(self._channels) if self.can_write(ch)]
+
+    def free_pages(self, pages_per_block: Optional[int] = None) -> int:
+        """Free (unprogrammed) pages in the region, including open space."""
+        open_space = sum(
+            block.free_pages for queue in self._open.values() for block in queue
+        )
+        return self._free_pages + open_space
+
+    def free_block_count(self) -> int:
+        """FREE blocks across all channels of the region."""
+        return sum(len(q) for q in self._free.values())
+
+    def free_block_count_on(self, channel_id: int) -> int:
+        """FREE blocks on one channel of the region."""
+        queue = self._free.get(channel_id)
+        return len(queue) if queue else 0
+
+    def take_free_blocks(self, channel_id: int, count: int) -> list:
+        """Remove up to ``count`` FREE blocks on ``channel_id`` from the
+        region (used when carving a gSB out of a vSSD's free space)."""
+        queue = self._free.get(channel_id)
+        taken: list = []
+        while queue and len(taken) < count:
+            block = queue.pop()
+            taken.append(block)
+            self._free_pages -= block.pages_per_block
+        if taken:
+            self.version += 1
+        return taken
+
+    # -- frontier --------------------------------------------------------
+    def frontier_block(self, channel_id: int, writer: int) -> Optional[FlashBlock]:
+        """Return an OPEN block on ``channel_id`` to program next.
+
+        Rotates across up to ``max_open_per_channel`` open blocks (one per
+        chip in steady state) so writes within a channel pipeline across
+        chips.  Returns None when the channel is exhausted.
+        """
+        open_queue = self._open.get(channel_id)
+        if open_queue is None:
+            open_queue = self._open[channel_id] = deque()
+        # Drop filled frontiers.
+        while open_queue and open_queue[0].state is BlockState.FULL:
+            open_queue.popleft()
+        free_queue = self._free.get(channel_id)
+        while len(open_queue) < self.max_open_per_channel and free_queue:
+            if self.wear_aware:
+                block = min(free_queue, key=lambda b: b.erase_count)
+                free_queue.remove(block)
+            else:
+                block = free_queue.popleft()
+            self._free_pages -= block.pages_per_block
+            block.writer = writer
+            open_queue.append(block)
+        if not open_queue:
+            self.version += 1  # channel exhausted: striping order changed
+            return None
+        block = open_queue[0]
+        open_queue.rotate(-1)
+        return block
+
+    def frontier_blocks(self) -> set:
+        """Identity set of currently open blocks (GC must skip them)."""
+        return {
+            id(block) for queue in self._open.values() for block in queue
+        }
+
+    def release_erased(self, block: FlashBlock) -> None:
+        """Route a freshly erased block per region policy."""
+        self._discard_open(block)
+        if self.kind == "harvest" and not self.reclaiming:
+            self.add_block(block)
+        elif self.on_block_released is not None:
+            self.on_block_released(block)
+
+    def _discard_open(self, block: FlashBlock) -> None:
+        queue = self._open.get(block.channel_id)
+        if queue:
+            try:
+                queue.remove(block)
+            except ValueError:
+                pass
+
+    def drain_free_blocks(self) -> list:
+        """Remove and return every FREE block (used by gSB reclaim).
+
+        This includes blocks that were popped into an open-frontier queue
+        but never programmed — they are still physically erased.
+        """
+        drained: list = []
+        for queue in self._free.values():
+            drained.extend(queue)
+            self._free_pages -= sum(b.pages_per_block for b in queue)
+            queue.clear()
+        for open_queue in self._open.values():
+            untouched = [b for b in open_queue if b.is_free]
+            for block in untouched:
+                open_queue.remove(block)
+                block.writer = None
+                drained.append(block)
+        self.version += 1
+        return drained
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"WriteRegion({self.region_id}, kind={self.kind}, "
+            f"free_blocks={self.free_block_count()}, reclaiming={self.reclaiming})"
+        )
+
+
+class VssdFtl:
+    """Flash translation layer for one vSSD."""
+
+    #: Max victims reclaimed per GC invocation, bounding GC stall length.
+    GC_BATCH_BLOCKS = 2
+
+    def __init__(
+        self,
+        vssd_id: int,
+        ssd: "Ssd",
+        hbt: Optional[HarvestedBlockTable] = None,
+        gc_threshold: Optional[float] = None,
+    ):
+        self.vssd_id = vssd_id
+        self.ssd = ssd
+        self.config: SSDConfig = ssd.config
+        self.hbt = hbt if hbt is not None else HarvestedBlockTable()
+        self.gc_threshold = (
+            gc_threshold if gc_threshold is not None else self.config.gc_free_block_threshold
+        )
+        self.page_map: dict = {}  # lpn -> PagePointer
+        self.own_region = WriteRegion(
+            f"own:{vssd_id}", kind="own",
+            max_open_per_channel=self.config.chips_per_channel,
+            wear_aware=getattr(self.config, "wear_aware_allocation", False),
+        )
+        self.harvest_regions: list = []
+        self.stats = FtlStats()
+        self._write_rr = 0
+        self._unmapped_rr = 0
+        self._own_blocks_per_channel: dict = {}
+        self._in_gc = False
+        # Cached striping order: list of (region, channel_id).
+        self._slots: list = []
+        self._slots_version = -1
+
+    # ------------------------------------------------------------------
+    # Block population
+    # ------------------------------------------------------------------
+    def adopt_blocks(self, blocks: Iterable[FlashBlock]) -> None:
+        """Add owned FREE blocks to the own region (initial allocation or
+        blocks returned from a reclaimed gSB)."""
+        blocks = list(blocks)
+        for block in blocks:
+            if block.owner != self.vssd_id:
+                raise ValueError(
+                    f"block {block.block_id} owned by {block.owner}, not {self.vssd_id}"
+                )
+            per_channel = self._own_blocks_per_channel
+            per_channel[block.channel_id] = per_channel.get(block.channel_id, 0) + 1
+        self.own_region.add_blocks(blocks)
+
+    def surrender_free_blocks(self, channel_id: int, count: int) -> list:
+        """Give up FREE owned blocks on ``channel_id`` (gSB creation).
+
+        Returns the surrendered blocks; the caller transfers ownership.
+        """
+        taken = self.own_region.take_free_blocks(channel_id, count)
+        if taken:
+            per_channel = self._own_blocks_per_channel
+            per_channel[channel_id] = per_channel.get(channel_id, 0) - len(taken)
+        return taken
+
+    def add_harvest_region(self, region: WriteRegion) -> None:
+        """Attach a harvested gSB's blocks as a writable region."""
+        if region.kind != "harvest":
+            raise ValueError("add_harvest_region requires a harvest region")
+        self.harvest_regions.append(region)
+        self._slots_version = -1
+
+    def remove_harvest_region(self, region: WriteRegion) -> None:
+        """Detach a harvest region (after its gSB is reclaimed)."""
+        self.harvest_regions.remove(region)
+        self._slots_version = -1
+
+    # ------------------------------------------------------------------
+    # Capacity / state inspection
+    # ------------------------------------------------------------------
+    def write_channels(self) -> list:
+        """Channels this FTL can currently program, own + harvested."""
+        chans = set(self.own_region.writable_channels())
+        for region in self.harvest_regions:
+            if not region.reclaiming:
+                chans.update(region.writable_channels())
+        return sorted(chans)
+
+    def free_pages(self) -> int:
+        """Free pages in the own region (the vSSD's available capacity)."""
+        return self.own_region.free_pages()
+
+    def channel_count(self) -> int:
+        """Channels this vSSD currently touches (own + live harvested)."""
+        count = len(self.own_region._channels)
+        for region in self.harvest_regions:
+            if not region.reclaiming:
+                count += len(region._channels)
+        return max(count, 1)
+
+    def free_fraction(self, channel_id: Optional[int] = None) -> float:
+        """FREE fraction of owned blocks, per channel or overall."""
+        if channel_id is None:
+            owned = sum(self._own_blocks_per_channel.values())
+            free = self.own_region.free_block_count()
+            return free / owned if owned else 0.0
+        owned = self._own_blocks_per_channel.get(channel_id, 0)
+        if owned <= 0:
+            return 0.0
+        return self.own_region.free_block_count_on(channel_id) / owned
+
+    def mapped_pages(self) -> int:
+        """Number of live logical pages (the vSSD's used capacity)."""
+        return len(self.page_map)
+
+    # ------------------------------------------------------------------
+    # Host I/O
+    # ------------------------------------------------------------------
+    def write_page(self, lpn: int, front: bool = False) -> tuple:
+        """Write one logical page.
+
+        Returns ``(completion_time_us, channel_id)`` so callers can track
+        per-channel outstanding operations.  ``front`` requests priority
+        arbitration on the channel bus (Set_Priority HIGH).
+        """
+        pointer = self._allocate_and_program(lpn)
+        channel = self.ssd.channels[pointer.block.channel_id]
+        done = channel.service_write(pointer.block.chip_id, front=front)
+        self.stats.host_writes += 1
+        self._maybe_gc(pointer.block.channel_id)
+        return done, pointer.block.channel_id
+
+    def read_page(self, lpn: int, front: bool = False) -> tuple:
+        """Read one logical page.
+
+        Returns ``(completion_time_us, channel_id)``.  ``front`` requests
+        priority arbitration on the channel bus (Set_Priority HIGH).
+        """
+        pointer = self.page_map.get(lpn)
+        if pointer is None:
+            return self._read_unmapped()
+        channel = self.ssd.channels[pointer.block.channel_id]
+        done = channel.service_read(pointer.block.chip_id, front=front)
+        self.stats.host_reads += 1
+        return done, pointer.block.channel_id
+
+    def page_location(self, lpn: int) -> Optional[PagePointer]:
+        """Physical location of ``lpn``, or None if never written."""
+        return self.page_map.get(lpn)
+
+    def warm_fill(self, lpns: Iterable[int]) -> int:
+        """Program pages without consuming simulated time.
+
+        Used to warm a vSSD before an experiment (the paper warms each
+        vSSD until at least 50% of its free blocks are consumed so GC is
+        exercised during measurement).  Mapping and block state change;
+        channel timing and host-write statistics do not.
+        """
+        count = 0
+        for lpn in lpns:
+            self._allocate_and_program(lpn)
+            count += 1
+        return count
+
+    def trim_all(self) -> int:
+        """Invalidate every mapped page (vSSD deallocation, Section 3.7)."""
+        count = 0
+        for lpn, pointer in list(self.page_map.items()):
+            pointer.block.invalidate(pointer.page)
+            del self.page_map[lpn]
+            count += 1
+        return count
+
+    def _read_unmapped(self) -> tuple:
+        """Serve a read of a never-written LPN from an owned channel."""
+        channels = self.own_region.channels() or self.write_channels()
+        if not channels:
+            raise OutOfSpaceError(f"vSSD {self.vssd_id} has no channels to read from")
+        channel_id = channels[self._unmapped_rr % len(channels)]
+        self._unmapped_rr += 1
+        channel = self.ssd.channels[channel_id]
+        chip = channel.next_write_chip()
+        done = channel.service_read(chip)
+        self.stats.unmapped_reads += 1
+        self.stats.host_reads += 1
+        return done, channel_id
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _allocate_and_program(
+        self,
+        lpn: int,
+        for_gc: bool = False,
+        target_region: Optional[WriteRegion] = None,
+    ) -> PagePointer:
+        old = self.page_map.get(lpn)
+        block = self._pick_frontier(for_gc=for_gc, target_region=target_region)
+        if block is None:
+            if not for_gc and not self._in_gc:
+                self._urgent_gc()
+                block = self._pick_frontier(for_gc=for_gc)
+            if block is None:
+                raise OutOfSpaceError(
+                    f"vSSD {self.vssd_id}: no programmable block available"
+                )
+        page = block.program(lpn)
+        pointer = PagePointer(block, page)
+        self.page_map[lpn] = pointer
+        if old is not None:
+            old.block.invalidate(old.page)
+        return pointer
+
+    def _regions_version(self) -> int:
+        version = self.own_region.version
+        for region in self.harvest_regions:
+            version += region.version + (1000003 if region.reclaiming else 0)
+        return version
+
+    def _rebuild_slots(self) -> None:
+        slots = [
+            (self.own_region, ch) for ch in self.own_region.writable_channels()
+        ]
+        for region in self.harvest_regions:
+            if region.reclaiming:
+                continue
+            slots.extend((region, ch) for ch in region.writable_channels())
+        self._slots = slots
+        self._slots_version = self._regions_version()
+
+    def _pick_frontier(
+        self,
+        for_gc: bool = False,
+        target_region: Optional[WriteRegion] = None,
+    ) -> Optional[FlashBlock]:
+        """Round-robin over writable (region, channel) pairs.
+
+        GC copy-back writes only target the own region (Figure 9: valid
+        data of harvested blocks is written to the harvest vSSD's blocks)
+        unless ``target_region`` pins them — capacity-region compaction
+        stays inside its region.
+        """
+        if target_region is not None:
+            for channel_id in target_region.writable_channels():
+                block = target_region.frontier_block(channel_id, self.vssd_id)
+                if block is not None:
+                    return block
+            return None
+        if for_gc:
+            # Copy-back writes spread across the least-busy own channels
+            # so a GC batch does not bury one channel in backlog.
+            channels = sorted(
+                self.own_region.writable_channels(),
+                key=lambda ch: self.ssd.channels[ch].busy_horizon_us(),
+            )
+            for channel_id in channels:
+                block = self.own_region.frontier_block(channel_id, self.vssd_id)
+                if block is not None:
+                    return block
+            return None
+        # Each miss bumps the region version (the channel exhausted), so
+        # the rebuild-and-retry loop strictly shrinks the slot list and
+        # terminates; the guard bounds pathological cases.
+        guard = 4 * self.config.num_channels + 8
+        while guard > 0:
+            guard -= 1
+            if self._slots_version != self._regions_version():
+                self._rebuild_slots()
+            slots = self._slots
+            if not slots:
+                return None
+            # Prefer the next round-robin channel that still has queue
+            # headroom; loading a channel past its horizon would let one
+            # tenant build unbounded backlog behind which collocated
+            # readers stall.  If every channel is at its horizon, take the
+            # least busy one so dispatches approved by the scheduler still
+            # make progress.
+            n = len(slots)
+            start = self._write_rr
+            choice = None
+            for k in range(n):
+                region, channel_id = slots[(start + k) % n]
+                if self.ssd.channels[channel_id].has_capacity():
+                    choice = (region, channel_id, k)
+                    break
+            if choice is None:
+                region, channel_id = min(
+                    slots,
+                    key=lambda slot: self.ssd.channels[slot[1]].busy_horizon_us(),
+                )
+                self._write_rr = start + 1
+            else:
+                region, channel_id, k = choice
+                self._write_rr = start + k + 1
+            block = region.frontier_block(channel_id, self.vssd_id)
+            if block is not None:
+                return block
+        return None
+
+    # ------------------------------------------------------------------
+    # Garbage collection (Figure 9 semantics)
+    # ------------------------------------------------------------------
+    def _maybe_gc(self, channel_id: int) -> None:
+        if self._in_gc:
+            return
+        owned = self._own_blocks_per_channel.get(channel_id, 0)
+        if owned > 0 and self.free_fraction(channel_id) < self.gc_threshold:
+            self.run_gc(channel_id)
+            return
+        for region in self.harvest_regions:
+            if (
+                not region.reclaiming
+                and channel_id in region._channels
+                and region.free_block_count_on(channel_id) == 0
+            ):
+                self.recycle_region(region, channel_id)
+                break
+
+    def _urgent_gc(self) -> None:
+        """Out-of-space fallback: GC every channel we own."""
+        for channel_id in list(self._own_blocks_per_channel):
+            self.run_gc(channel_id, urgent=True)
+
+    def run_gc(self, channel_id: int, urgent: bool = False) -> int:
+        """Free up space in the own pool on ``channel_id``.
+
+        Victim priority (Figure 9): harvested/reclaimed blocks (HBT = 1)
+        first, then regular blocks with the fewest valid pages.  Valid
+        data is rewritten into this vSSD's own blocks; the erased block
+        is marked regular and returns to the own free pool.
+
+        Returns the number of blocks erased.
+        """
+        self._in_gc = True
+        erased = 0
+        try:
+            limit = self.GC_BATCH_BLOCKS * (2 if urgent else 1)
+            while erased < limit:
+                victim = self._select_own_victim(channel_id)
+                if victim is None:
+                    break
+                erased += self._collect_block(victim, None)
+                if not urgent and self.free_fraction(channel_id) >= self.gc_threshold:
+                    break
+            if erased:
+                self.stats.gc_runs += 1
+        finally:
+            self._in_gc = False
+        return erased
+
+    def recycle_region(self, region: WriteRegion, channel_id: int) -> int:
+        """Recycle exhausted live-gSB blocks on ``channel_id``.
+
+        For bandwidth-purpose regions, valid data is copied back to this
+        vSSD's own blocks (Figure 9) so the harvested channel keeps
+        providing write bandwidth.  For capacity-purpose regions the data
+        must *stay* in the harvested space, so GC runs within the region:
+        victims with invalid pages are compacted into the region's own
+        frontier.
+        """
+        self._in_gc = True
+        erased = 0
+        try:
+            frontier_ids = region.frontier_blocks()
+            in_region = region.purpose == "capacity"
+            victims = [
+                block
+                for block in self._harvest_region_blocks(region)
+                if block.channel_id == channel_id
+                and block.state is BlockState.FULL
+                and id(block) not in frontier_ids
+                and not (in_region and block.valid_count >= block.pages_per_block)
+            ]
+            victims.sort(key=lambda b: b.valid_count)
+            for victim in victims[: self.GC_BATCH_BLOCKS]:
+                erased += self._collect_block(
+                    victim, region, target_region=region if in_region else None
+                )
+            if erased:
+                self.stats.gc_runs += 1
+        finally:
+            self._in_gc = False
+        return erased
+
+    def _select_own_victim(self, channel_id: int):
+        """Best own-pool victim: HBT-flagged first, then fewest valid."""
+        frontier_ids = self.own_region.frontier_blocks()
+        best = None
+        best_key = None
+        for block in self.ssd.channels[channel_id].blocks:
+            if block.owner != self.vssd_id:
+                continue
+            if block.writer not in (self.vssd_id, None):
+                continue
+            if block.state is not BlockState.FULL:
+                continue
+            if id(block) in frontier_ids:
+                continue
+            if not block.harvested_flag and block.valid_count >= block.pages_per_block:
+                continue
+            key = (0 if block.harvested_flag else 1, block.valid_count)
+            if best_key is None or key < best_key:
+                best, best_key = block, key
+        return best
+
+    def _harvest_region_blocks(self, region: WriteRegion) -> list:
+        """All OPEN/FULL blocks this FTL wrote inside a harvest region."""
+        blocks = []
+        for channel_id in region.channels():
+            for block in self.ssd.channels[channel_id].blocks:
+                if block.writer == self.vssd_id and block.harvested_flag:
+                    blocks.append(block)
+        return blocks
+
+    def collect_blocks(self, blocks: list, region: WriteRegion) -> int:
+        """Force-collect specific region blocks (lazy gSB reclamation).
+
+        Unlike threshold GC this also takes OPEN blocks, so a half-written
+        write frontier cannot stall a reclaim forever.
+        """
+        collected = 0
+        for block in blocks:
+            if block.is_free:
+                continue
+            if block.writer != self.vssd_id:
+                raise ValueError(
+                    f"block {block.block_id} written by {block.writer}, "
+                    f"not by vSSD {self.vssd_id}"
+                )
+            collected += self._collect_block(block, region)
+        return collected
+
+    def _collect_block(
+        self,
+        victim: FlashBlock,
+        region: Optional[WriteRegion],
+        target_region: Optional[WriteRegion] = None,
+    ) -> int:
+        """Migrate valid pages out of ``victim``, erase it, route it."""
+        valid = victim.valid_lpns()
+        if target_region is not None and valid:
+            # In-region compaction needs somewhere inside the region to
+            # put the data; bail out rather than deadlock.
+            if target_region.free_pages() < len(valid):
+                return 0
+        channel = self.ssd.channels[victim.channel_id]
+        for _page, lpn in valid:
+            pointer = self._allocate_and_program(
+                lpn, for_gc=True, target_region=target_region
+            )
+            # Copy-back programs consume destination channel time just
+            # like host writes; this is the GC interference the RL state's
+            # In_GC flag lets agents react to.
+            dest = self.ssd.channels[pointer.block.channel_id]
+            dest.service_write(pointer.block.chip_id, background=True)
+            self.stats.gc_reads += 1
+            self.stats.gc_writes += 1
+        channel.occupy_for_gc(victim.chip_id, migrate_reads=len(valid), erases=1)
+        was_harvested = victim.harvested_flag
+        victim.erase()
+        self.hbt.mark_regular(victim)
+        self.stats.blocks_erased += 1
+        if region is not None and region.kind == "harvest":
+            if not region.reclaiming:
+                # Live gSB: keep the block harvestable for continued use.
+                self.hbt.mark_harvested(victim)
+            region.release_erased(victim)
+        else:
+            if was_harvested and victim.owner != self.vssd_id:
+                raise RuntimeError("own-region GC erased a foreign block")
+            self.own_region._discard_open(victim)
+            self.own_region.add_block(victim)
+        return 1

@@ -1,0 +1,156 @@
+"""Flash geometry primitives: blocks, page pointers, block lifecycle.
+
+A :class:`FlashBlock` is the unit of erase and of ownership transfer
+between vSSDs (ghost superblocks move whole blocks).  Pages within a block
+must be programmed sequentially, mirroring NAND constraints.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class BlockState(enum.Enum):
+    """Lifecycle of a flash block."""
+
+    FREE = "free"      # erased, no data
+    OPEN = "open"      # partially programmed write frontier
+    FULL = "full"      # all pages programmed
+
+
+class PagePointer:
+    """Physical location of one logical page: (block, page index)."""
+
+    __slots__ = ("block", "page")
+
+    def __init__(self, block: "FlashBlock", page: int):
+        self.block = block
+        self.page = page
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PagePointer({self.block.block_id}, page={self.page})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PagePointer)
+            and other.block is self.block
+            and other.page == self.page
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.block), self.page))
+
+
+class FlashBlock:
+    """One erase block.
+
+    Ownership model (Section 3.6/3.7 of the paper):
+
+    * ``owner`` — the vSSD that owns the physical resource (the *home*
+      vSSD for harvested blocks).
+    * ``writer`` — the vSSD whose data currently occupies the block.  For
+      a block inside a harvested gSB this is the *harvest* vSSD; otherwise
+      it equals ``owner``.
+    * ``harvested_flag`` — the Harvested Block Table bit: 1 marks blocks
+      that are harvested or reclaimed, which GC prioritizes as victims and
+      whose valid data is copied back to the writer's own blocks.
+    """
+
+    __slots__ = (
+        "channel_id",
+        "chip_id",
+        "index",
+        "pages_per_block",
+        "state",
+        "owner",
+        "writer",
+        "harvested_flag",
+        "write_ptr",
+        "page_lpns",
+        "valid_count",
+        "erase_count",
+    )
+
+    def __init__(self, channel_id: int, chip_id: int, index: int, pages_per_block: int):
+        self.channel_id = channel_id
+        self.chip_id = chip_id
+        self.index = index
+        self.pages_per_block = pages_per_block
+        self.state = BlockState.FREE
+        self.owner: Optional[int] = None
+        self.writer: Optional[int] = None
+        self.harvested_flag = False
+        self.write_ptr = 0
+        # page_lpns[i] is the LPN stored at page i, or None if invalid/unwritten.
+        self.page_lpns: list[Optional[int]] = [None] * pages_per_block
+        self.valid_count = 0
+        self.erase_count = 0
+
+    @property
+    def block_id(self) -> tuple:
+        """The (channel, chip, index) physical address tuple."""
+        return (self.channel_id, self.chip_id, self.index)
+
+    @property
+    def free_pages(self) -> int:
+        """Unprogrammed pages remaining in the block."""
+        return self.pages_per_block - self.write_ptr
+
+    @property
+    def is_free(self) -> bool:
+        """True if the block is erased and unprogrammed."""
+        return self.state is BlockState.FREE
+
+    def program(self, lpn: int) -> int:
+        """Program the next sequential page with logical page ``lpn``.
+
+        Returns the page index written.  Raises if the block is full or
+        still FREE-but-unopened bookkeeping was skipped.
+        """
+        if self.write_ptr >= self.pages_per_block:
+            raise RuntimeError(f"block {self.block_id} is full")
+        page = self.write_ptr
+        self.page_lpns[page] = lpn
+        self.valid_count += 1
+        self.write_ptr += 1
+        self.state = (
+            BlockState.FULL if self.write_ptr == self.pages_per_block else BlockState.OPEN
+        )
+        return page
+
+    def invalidate(self, page: int) -> None:
+        """Mark the data at ``page`` invalid (out-of-place update)."""
+        if self.page_lpns[page] is None:
+            raise RuntimeError(
+                f"double invalidate of page {page} in block {self.block_id}"
+            )
+        self.page_lpns[page] = None
+        self.valid_count -= 1
+
+    def valid_lpns(self) -> list:
+        """Pairs of (page index, lpn) for all still-valid pages."""
+        return [
+            (page, lpn)
+            for page, lpn in enumerate(self.page_lpns[: self.write_ptr])
+            if lpn is not None
+        ]
+
+    def erase(self) -> None:
+        """Erase the block, returning it to FREE with no owner of data."""
+        if self.valid_count != 0:
+            raise RuntimeError(
+                f"erasing block {self.block_id} with {self.valid_count} valid pages"
+            )
+        self.state = BlockState.FREE
+        self.write_ptr = 0
+        self.page_lpns = [None] * self.pages_per_block
+        self.writer = None
+        self.harvested_flag = False
+        self.erase_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FlashBlock({self.block_id}, {self.state.value}, "
+            f"valid={self.valid_count}/{self.pages_per_block}, owner={self.owner})"
+        )

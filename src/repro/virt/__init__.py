@@ -1,0 +1,41 @@
+"""SSD virtualization: vSSDs, ghost superblocks, and admission control."""
+
+from repro.virt.vssd import Vssd
+from repro.virt.gsb import GhostSuperblock, GsbPool
+from repro.virt.gsb_manager import GsbManager
+from repro.virt.actions import (
+    HarvestAction,
+    MakeHarvestableAction,
+    RlAction,
+    SetPriorityAction,
+)
+from repro.virt.admission import AdmissionController
+from repro.virt.manager import PLACEHOLDER_VSSD_ID, StorageVirtualizer
+from repro.virt.policies import (
+    all_of,
+    business_hours_freeze,
+    cap_harvested_channels,
+    cap_offered_fraction,
+    deny_harvest_for_classes,
+    deny_offer_for_classes,
+)
+
+__all__ = [
+    "Vssd",
+    "GhostSuperblock",
+    "GsbPool",
+    "GsbManager",
+    "RlAction",
+    "HarvestAction",
+    "MakeHarvestableAction",
+    "SetPriorityAction",
+    "AdmissionController",
+    "StorageVirtualizer",
+    "PLACEHOLDER_VSSD_ID",
+    "all_of",
+    "business_hours_freeze",
+    "cap_harvested_channels",
+    "cap_offered_fraction",
+    "deny_harvest_for_classes",
+    "deny_offer_for_classes",
+]

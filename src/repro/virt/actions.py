@@ -1,0 +1,55 @@
+"""RL action commands (Table 2).
+
+These are plain command objects: the RL agents emit them, admission
+control validates and orders them, and the gSB manager executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.request import Priority
+
+
+@dataclass(frozen=True)
+class RlAction:
+    """Base class for the three FleetIO actions."""
+
+    vssd_id: int
+
+
+@dataclass(frozen=True)
+class HarvestAction(RlAction):
+    """Harvest(gsb_bw): acquire ``gsb_bw_mbps`` of bandwidth from the pool.
+
+    The manager converts bandwidth to a channel count (read and write
+    bandwidth are combined, Section 3.3.2).
+    """
+
+    gsb_bw_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.gsb_bw_mbps <= 0:
+            raise ValueError("harvest bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MakeHarvestableAction(RlAction):
+    """Make_Harvestable(gsb_bw): offer ``gsb_bw_mbps`` for others.
+
+    A value of 0 means "offer nothing", which also reclaims any gSBs this
+    vSSD currently offers beyond the target (Section 3.6.2).
+    """
+
+    gsb_bw_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.gsb_bw_mbps < 0:
+            raise ValueError("harvestable bandwidth cannot be negative")
+
+
+@dataclass(frozen=True)
+class SetPriorityAction(RlAction):
+    """Set_Priority(level): change the vSSD's I/O scheduling priority."""
+
+    level: Priority

@@ -1,0 +1,172 @@
+"""Admission control for RL actions — Section 3.5.
+
+Harvest() and Make_Harvestable() actions are queued and processed in
+batches (every 50 ms by default).  Each batch is reordered so that
+Make_Harvestable actions execute first — producers before consumers —
+which maximizes the harvestable supply and avoids immediate reclamation.
+When harvest demand exceeds supply, vSSDs holding fewer harvested
+resources are served first; ties fall back to first-come-first-serve.
+
+Cloud providers can plug in permission policies (callables) that veto
+individual actions, e.g. barring spot tenants from harvesting or premium
+tenants from offering their resources.
+
+Set_Priority actions do not touch shared storage resources and are
+applied immediately, outside the batch path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.config import ADMISSION_BATCH_INTERVAL_S
+from repro.virt.actions import (
+    HarvestAction,
+    MakeHarvestableAction,
+    RlAction,
+    SetPriorityAction,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.virt.gsb_manager import GsbManager
+    from repro.virt.vssd import Vssd
+
+#: policy(action, vssd) -> bool; False vetoes the action.
+AdmissionPolicy = Callable[[RlAction, "Vssd"], bool]
+
+
+@dataclass
+class AdmissionStats:
+    """Counters of submitted, denied, and executed actions."""
+    submitted: int = 0
+    denied: int = 0
+    batches: int = 0
+    executed_make_harvestable: int = 0
+    executed_harvest: int = 0
+    failed_harvest: int = 0
+    priority_changes: int = 0
+
+
+class AdmissionController:
+    """Validates, batches, reorders, and executes RL actions."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gsb_manager: "GsbManager",
+        set_priority_fn: Optional[Callable[[int, int], None]] = None,
+        batch_interval_s: float = ADMISSION_BATCH_INTERVAL_S,
+        policies: Optional[list] = None,
+    ):
+        self.sim = sim
+        self.gsb_manager = gsb_manager
+        self.set_priority_fn = set_priority_fn
+        self.batch_interval_us = batch_interval_s * 1_000_000.0
+        self.policies: list = list(policies or [])
+        self.stats = AdmissionStats()
+        self._pending: list = []
+        self._vssds: dict = {}
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Registration / lifecycle
+    # ------------------------------------------------------------------
+    def register_vssd(self, vssd: "Vssd") -> None:
+        """Make a vSSD known to admission control and the gSB manager."""
+        self._vssds[vssd.vssd_id] = vssd
+        self.gsb_manager.register_vssd(vssd)
+
+    def add_policy(self, policy: AdmissionPolicy) -> None:
+        """Install a permission-check callable (False vetoes an action)."""
+        self.policies.append(policy)
+
+    def start(self) -> None:
+        """Begin periodic batch processing on the simulator clock."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.batch_interval_us, self._batch_tick)
+
+    def stop(self) -> None:
+        """Halt periodic batch processing."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, action: RlAction) -> None:
+        """Queue a harvesting action; apply priority changes immediately."""
+        self.stats.submitted += 1
+        vssd = self._vssds.get(action.vssd_id)
+        if vssd is None:
+            raise KeyError(f"vSSD {action.vssd_id} not registered for admission")
+        if not self._admissible(action, vssd):
+            self.stats.denied += 1
+            return
+        if isinstance(action, SetPriorityAction):
+            vssd.priority = action.level
+            if self.set_priority_fn is not None:
+                self.set_priority_fn(action.vssd_id, action.level)
+            self.stats.priority_changes += 1
+            return
+        self._pending.append(action)
+
+    def _admissible(self, action: RlAction, vssd: "Vssd") -> bool:
+        return all(policy(action, vssd) for policy in self.policies)
+
+    # ------------------------------------------------------------------
+    # Batch processing
+    # ------------------------------------------------------------------
+    def _batch_tick(self) -> None:
+        if not self._running:
+            return
+        self.process_batch()
+        self.sim.schedule(self.batch_interval_us, self._batch_tick)
+
+    def process_batch(self) -> int:
+        """Execute all pending actions; returns the number executed.
+
+        Make_Harvestable actions run first so supply lands before demand.
+        Harvest actions are ranked by how much each vSSD has already
+        harvested (fewest first) when demand exceeds supply.
+        """
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self.stats.batches += 1
+        executed = 0
+
+        makes = [a for a in batch if isinstance(a, MakeHarvestableAction)]
+        harvests = [a for a in batch if isinstance(a, HarvestAction)]
+
+        for action in makes:
+            home = self._vssds[action.vssd_id]
+            self.gsb_manager.make_harvestable(home, action.gsb_bw_mbps)
+            self.stats.executed_make_harvestable += 1
+            executed += 1
+
+        demand = sum(
+            max(1, self.gsb_manager.bandwidth_to_channels(a.gsb_bw_mbps))
+            for a in harvests
+        )
+        supply = sum(g.n_chls for g in self.gsb_manager.pool.peek_all())
+        if demand > supply:
+            harvests.sort(
+                key=lambda a: self._vssds[a.vssd_id].harvested_channel_count()
+            )
+        for action in harvests:
+            harvester = self._vssds[action.vssd_id]
+            gsb = self.gsb_manager.harvest(harvester, action.gsb_bw_mbps)
+            if gsb is None:
+                self.stats.failed_harvest += 1
+            else:
+                self.stats.executed_harvest += 1
+            executed += 1
+        return executed
+
+    @property
+    def pending_actions(self) -> int:
+        """Actions queued for the next batch."""
+        return len(self._pending)

@@ -1,0 +1,115 @@
+"""Reusable admission-control policies (Section 3.5).
+
+The paper gives two provider examples — preventing high-priority VMs
+from offering their resources, and preventing spot VMs from harvesting —
+and notes providers can query per-vSSD metadata to implement custom
+rules.  This module packages those and a few natural companions as
+composable callables for
+:meth:`repro.virt.admission.AdmissionController.add_policy`.
+
+Each policy is ``policy(action, vssd) -> bool``; ``False`` vetoes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.virt.actions import HarvestAction, MakeHarvestableAction, RlAction
+from repro.virt.vssd import Vssd
+
+AdmissionPolicy = Callable[[RlAction, Vssd], bool]
+
+
+def deny_harvest_for_classes(*tenant_classes: str) -> AdmissionPolicy:
+    """Bar the listed tenant classes from harvesting.
+
+    The paper's example: "cloud providers may prevent low-priority VMs
+    (e.g., Spot VMs) from harvesting at all."
+    """
+    barred = set(tenant_classes)
+
+    def policy(action: RlAction, vssd: Vssd) -> bool:
+        return not (isinstance(action, HarvestAction) and vssd.tenant_class in barred)
+
+    return policy
+
+
+def deny_offer_for_classes(*tenant_classes: str) -> AdmissionPolicy:
+    """Bar the listed tenant classes from making resources harvestable.
+
+    The paper's example: "cloud providers may prevent high-priority VMs
+    from making their resources harvestable, even if doing so would
+    benefit overall resource utilization."
+    """
+    barred = set(tenant_classes)
+
+    def policy(action: RlAction, vssd: Vssd) -> bool:
+        return not (
+            isinstance(action, MakeHarvestableAction)
+            and action.gsb_bw_mbps > 1e-6  # reclaiming (level 0) stays allowed
+            and vssd.tenant_class in barred
+        )
+
+    return policy
+
+
+def cap_harvested_channels(limit: int) -> AdmissionPolicy:
+    """Veto harvest actions once a vSSD already holds ``limit`` channels.
+
+    A fairness guard: no tenant can monopolize the harvestable supply.
+    """
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+
+    def policy(action: RlAction, vssd: Vssd) -> bool:
+        if not isinstance(action, HarvestAction):
+            return True
+        return vssd.harvested_channel_count() < limit
+
+    return policy
+
+
+def cap_offered_fraction(max_fraction: float) -> AdmissionPolicy:
+    """Veto offers beyond ``max_fraction`` of a vSSD's own channels.
+
+    Protects tenants from an over-eager (or compromised) agent giving
+    away so much capacity that their own SLO becomes unservable.
+    """
+    if not 0.0 <= max_fraction <= 1.0:
+        raise ValueError("max_fraction must be in [0, 1]")
+
+    def policy(action: RlAction, vssd: Vssd) -> bool:
+        if not isinstance(action, MakeHarvestableAction):
+            return True
+        if action.gsb_bw_mbps <= 1e-6:  # pure reclaim
+            return True
+        limit = int(vssd.num_channels * max_fraction)
+        return vssd.offered_channel_count() < limit
+
+    return policy
+
+
+def business_hours_freeze(
+    is_frozen: Callable[[], bool],
+) -> AdmissionPolicy:
+    """Veto all harvesting state changes while ``is_frozen()`` is true.
+
+    Providers freeze resource movement during change windows or
+    incidents; Set_Priority remains allowed (it is purely local).
+    """
+
+    def policy(action: RlAction, vssd: Vssd) -> bool:
+        if isinstance(action, (HarvestAction, MakeHarvestableAction)):
+            return not is_frozen()
+        return True
+
+    return policy
+
+
+def all_of(*policies: AdmissionPolicy) -> AdmissionPolicy:
+    """Combine policies; every one must allow the action."""
+
+    def policy(action: RlAction, vssd: Vssd) -> bool:
+        return all(p(action, vssd) for p in policies)
+
+    return policy

@@ -1,0 +1,58 @@
+"""Synthetic cloud-workload generators.
+
+Each of the paper's workloads (Table 4 plus the pre-training set in
+Section 3.8) is modeled as a stochastic I/O process parameterized in the
+same feature space the paper's clustering uses (Figure 6): read/write
+bandwidth, LPA entropy, and average I/O size — plus an arrival model
+(open-loop Poisson for latency-sensitive services, closed-loop with
+intensity phases for bandwidth-intensive batch jobs).
+"""
+
+from repro.workloads.address import (
+    AddressPattern,
+    HotspotPattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfPattern,
+)
+from repro.workloads.spec import Phase, WorkloadSpec
+from repro.workloads.model import WorkloadModel, Trace, synthesize_trace
+from repro.workloads.drivers import ClosedLoopDriver, OpenLoopDriver, make_driver
+from repro.workloads.catalog import (
+    EVALUATION_WORKLOADS,
+    TRAINING_WORKLOADS,
+    WORKLOAD_CATALOG,
+    get_spec,
+)
+from repro.workloads.replay import (
+    TraceReplayDriver,
+    load_msr_trace,
+    load_trace,
+    save_trace,
+    trace_summary,
+)
+
+__all__ = [
+    "AddressPattern",
+    "UniformPattern",
+    "ZipfPattern",
+    "SequentialPattern",
+    "HotspotPattern",
+    "Phase",
+    "WorkloadSpec",
+    "WorkloadModel",
+    "Trace",
+    "synthesize_trace",
+    "OpenLoopDriver",
+    "ClosedLoopDriver",
+    "make_driver",
+    "WORKLOAD_CATALOG",
+    "EVALUATION_WORKLOADS",
+    "TRAINING_WORKLOADS",
+    "get_spec",
+    "TraceReplayDriver",
+    "load_msr_trace",
+    "load_trace",
+    "save_trace",
+    "trace_summary",
+]

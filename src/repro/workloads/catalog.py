@@ -1,0 +1,177 @@
+"""The workload catalog: Table 4's evaluation set plus the pre-training set.
+
+Parameters are chosen to land each workload in the region of the paper's
+four-feature space (read/write bandwidth, LPA entropy, average I/O size)
+shown in Figure 6:
+
+* **Bandwidth-intensive (BI cluster)** — TeraSort, ML Prep, PageRank (and
+  Batch Analytics for training): closed-loop, large sequential I/O,
+  phase cycles alternating saturation with compute-only lulls.
+* **Latency-sensitive (LC-1 cluster)** — VDI-Web, TPCE, SearchEngine,
+  LiveMaps: open-loop small random I/O at moderate rates with bursts.
+* **LC-2 cluster** — YCSB-B alone: like LC-1 but with a steep Zipf skew,
+  i.e. clearly lower LPA entropy (better locality).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.address import (
+    HotspotPattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfPattern,
+)
+from repro.workloads.spec import Phase, WorkloadSpec
+
+WORKLOAD_CATALOG = {
+    # ------------------------------------------------------------------
+    # Bandwidth-intensive evaluation workloads (Table 4)
+    # ------------------------------------------------------------------
+    "terasort": WorkloadSpec(
+        name="terasort",
+        category="bandwidth",
+        mode="closed",
+        read_ratio=0.5,  # sort reads input, writes runs
+        io_sizes_pages=(16, 32),
+        io_size_probs=(0.7, 0.3),
+        pattern_factory=lambda ws: SequentialPattern(ws, reseek_prob=0.02),
+        base_iops=1200.0,
+        outstanding=24,
+        phases=(Phase(3.0, 1.0), Phase(1.5, 0.3), Phase(1.0, 0.0)),
+        working_set_fraction=0.6,
+    ),
+    "mlprep": WorkloadSpec(
+        name="mlprep",
+        category="bandwidth",
+        mode="closed",
+        read_ratio=0.8,  # image preprocessing: read-dominant with output writes
+        io_sizes_pages=(8, 16),
+        io_size_probs=(0.6, 0.4),
+        pattern_factory=lambda ws: UniformPattern(ws),
+        base_iops=1500.0,
+        outstanding=20,
+        phases=(Phase(2.5, 1.0), Phase(2.0, 0.25)),
+        working_set_fraction=0.6,
+    ),
+    "pagerank": WorkloadSpec(
+        name="pagerank",
+        category="bandwidth",
+        mode="closed",
+        read_ratio=0.9,  # iterative graph scans
+        io_sizes_pages=(16, 32),
+        io_size_probs=(0.5, 0.5),
+        pattern_factory=lambda ws: SequentialPattern(ws, reseek_prob=0.005),
+        base_iops=1500.0,
+        outstanding=28,
+        phases=(Phase(4.0, 1.0), Phase(2.0, 0.1)),
+        working_set_fraction=0.6,
+    ),
+    # ------------------------------------------------------------------
+    # Latency-sensitive evaluation workloads (Table 4)
+    # ------------------------------------------------------------------
+    "vdi-web": WorkloadSpec(
+        name="vdi-web",
+        category="latency",
+        mode="open",
+        read_ratio=0.7,
+        io_sizes_pages=(1, 2),
+        io_size_probs=(0.8, 0.2),
+        pattern_factory=lambda ws: HotspotPattern(ws, hot_fraction=0.25, hot_probability=0.7),
+        base_iops=2000.0,
+        phases=(Phase(2.0, 1.0), Phase(1.0, 1.8), Phase(2.0, 0.6)),
+        working_set_fraction=0.5,
+    ),
+    "ycsb": WorkloadSpec(
+        name="ycsb",
+        category="latency",
+        mode="open",
+        read_ratio=0.95,  # YCSB-B: 95/5 read/update
+        io_sizes_pages=(1,),
+        io_size_probs=(1.0,),
+        pattern_factory=lambda ws: ZipfPattern(ws, theta=2.0),
+        base_iops=3000.0,
+        phases=(Phase(3.0, 1.0), Phase(1.0, 1.6), Phase(2.0, 0.7)),
+        working_set_fraction=0.5,
+    ),
+    # ------------------------------------------------------------------
+    # Pre-training workloads (Section 3.8; not used in evaluation runs)
+    # ------------------------------------------------------------------
+    "livemaps": WorkloadSpec(
+        name="livemaps",
+        category="latency",
+        mode="open",
+        read_ratio=0.85,
+        io_sizes_pages=(1, 2, 4),
+        io_size_probs=(0.5, 0.3, 0.2),
+        pattern_factory=lambda ws: HotspotPattern(ws, hot_fraction=0.3, hot_probability=0.6),
+        base_iops=2500.0,
+        phases=(Phase(2.0, 1.0), Phase(2.0, 1.5), Phase(2.0, 0.5)),
+        working_set_fraction=0.5,
+    ),
+    "tpce": WorkloadSpec(
+        name="tpce",
+        category="latency",
+        mode="open",
+        read_ratio=0.9,
+        io_sizes_pages=(1,),
+        io_size_probs=(1.0,),
+        pattern_factory=lambda ws: ZipfPattern(ws, theta=0.8),
+        base_iops=3500.0,
+        phases=(Phase(3.0, 1.0), Phase(1.5, 1.4), Phase(1.5, 0.8)),
+        working_set_fraction=0.5,
+    ),
+    "searchengine": WorkloadSpec(
+        name="searchengine",
+        category="latency",
+        mode="open",
+        read_ratio=0.98,
+        io_sizes_pages=(1, 2),
+        io_size_probs=(0.7, 0.3),
+        pattern_factory=lambda ws: ZipfPattern(ws, theta=0.6),
+        base_iops=4000.0,
+        phases=(Phase(2.0, 1.0), Phase(1.0, 2.0), Phase(2.0, 0.6)),
+        working_set_fraction=0.5,
+    ),
+    "batchanalytics": WorkloadSpec(
+        name="batchanalytics",
+        category="bandwidth",
+        mode="closed",
+        read_ratio=0.6,
+        io_sizes_pages=(8, 16),
+        io_size_probs=(0.5, 0.5),
+        pattern_factory=lambda ws: SequentialPattern(ws, reseek_prob=0.05),
+        base_iops=1300.0,
+        outstanding=16,
+        phases=(Phase(3.0, 1.0), Phase(2.0, 0.2)),
+        working_set_fraction=0.6,
+    ),
+}
+
+#: Workloads used in the paper's evaluation (Table 4).
+EVALUATION_WORKLOADS = ("terasort", "mlprep", "pagerank", "vdi-web", "ycsb")
+
+#: Workloads used only for offline pre-training (Section 3.8).
+TRAINING_WORKLOADS = ("livemaps", "tpce", "searchengine", "batchanalytics")
+
+#: Ground-truth cluster labels for Figure 6.
+CLUSTER_GROUND_TRUTH = {
+    "terasort": "BI",
+    "mlprep": "BI",
+    "pagerank": "BI",
+    "batchanalytics": "BI",
+    "vdi-web": "LC-1",
+    "livemaps": "LC-1",
+    "tpce": "LC-1",
+    "searchengine": "LC-1",
+    "ycsb": "LC-2",
+}
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a workload by catalog name (case-insensitive)."""
+    key = name.lower()
+    if key not in WORKLOAD_CATALOG:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOAD_CATALOG)}"
+        )
+    return WORKLOAD_CATALOG[key]

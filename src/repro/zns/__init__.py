@@ -1,0 +1,28 @@
+"""Zoned-namespace (ZNS) support — the paper's generalizability claim.
+
+Section 5 argues FleetIO's device-agnostic design "can map the gSB
+abstraction to different types of SSD devices, such as Zoned Namespace
+(ZNS) SSDs".  This package substantiates that claim on the simulator:
+
+* :mod:`repro.zns.zone` — the zone state machine (EMPTY / OPEN / CLOSED /
+  FULL) with sequential-append semantics over flash blocks.
+* :mod:`repro.zns.namespace` — a zoned namespace carved out of the
+  discrete-event SSD: zone allocation, open-zone limits, append / read /
+  reset with real channel timing.
+* :mod:`repro.zns.adapter` — the bridge to FleetIO: EMPTY zones become
+  ghost superblocks, so the same gSB pool, admission control, and RL
+  actions drive harvesting on a zoned device.
+"""
+
+from repro.zns.zone import Zone, ZoneState
+from repro.zns.namespace import ZnsError, ZonedNamespace
+from repro.zns.adapter import ZnsHarvestAdapter, zone_to_gsb
+
+__all__ = [
+    "Zone",
+    "ZoneState",
+    "ZonedNamespace",
+    "ZnsError",
+    "ZnsHarvestAdapter",
+    "zone_to_gsb",
+]

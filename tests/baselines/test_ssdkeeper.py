@@ -1,0 +1,64 @@
+"""Tests for the SSDKeeper baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MlpRegressor, SsdKeeperAllocator
+from repro.config import SSDConfig
+
+
+def test_regressor_fits_linear_function():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, (200, 3))
+    y = 2.0 * x[:, 0] - x[:, 1] + 0.5
+    model = MlpRegressor(3, hidden=16, seed=0)
+    mse = model.fit(x, y, epochs=300, learning_rate=1e-2)
+    assert mse < 0.05
+
+
+def test_regressor_predict_shape():
+    model = MlpRegressor(2, hidden=4)
+    assert model.predict(np.zeros((5, 2))).shape == (5,)
+    assert model.predict(np.zeros(2)).shape == (1,)
+
+
+@pytest.fixture(scope="module")
+def allocator():
+    allocator = SsdKeeperAllocator(SSDConfig(), seed=0)
+    allocator.train(windows_per_workload=3, requests_per_window=1500)
+    return allocator
+
+
+def test_training_converges(allocator):
+    assert allocator.trained
+    assert allocator.training_mse < 2.0
+
+
+def test_predict_before_train_raises():
+    with pytest.raises(RuntimeError):
+        SsdKeeperAllocator().predict_demand(np.zeros(4))
+
+
+def test_partition_sums_to_total(allocator):
+    counts = allocator.partition(["vdi-web", "terasort"], total_channels=16)
+    assert sum(counts) == 16
+    assert all(c >= 1 for c in counts)
+
+
+def test_partition_favors_bandwidth_demand(allocator):
+    counts = allocator.partition(["ycsb", "pagerank"], total_channels=16)
+    ycsb, pagerank = counts
+    assert pagerank > ycsb
+
+
+def test_partition_many_tenants(allocator):
+    names = ["vdi-web", "ycsb", "terasort", "pagerank"]
+    counts = allocator.partition(names, total_channels=16)
+    assert sum(counts) == 16
+    assert all(c >= 1 for c in counts)
+
+
+def test_partition_static_and_deterministic(allocator):
+    a = allocator.partition(["vdi-web", "terasort"], total_channels=16)
+    b = allocator.partition(["vdi-web", "terasort"], total_channels=16)
+    assert a == b

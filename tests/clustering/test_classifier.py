@@ -1,0 +1,55 @@
+"""Tests for the workload-type classifier."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import WorkloadTypeClassifier, fit_default_classifier
+from repro.clustering.features import trace_feature_windows
+from repro.workloads import get_spec, synthesize_trace
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return fit_default_classifier(seed=0, windows_per_workload=4, requests_per_window=2000)
+
+
+def test_high_test_accuracy(classifier):
+    # The paper reports 98.4%; our synthetic workloads separate cleanly.
+    assert classifier.report.test_accuracy >= 0.9
+
+
+def test_three_clusters_labeled(classifier):
+    assert set(classifier.report.cluster_labels.values()) == {"BI", "LC-1", "LC-2"}
+
+
+def test_fresh_traces_classified_correctly(classifier):
+    rng = np.random.default_rng(99)
+    for name, expected in (
+        ("terasort", "BI"),
+        ("vdi-web", "LC-1"),
+        ("ycsb", "LC-2"),
+    ):
+        trace = synthesize_trace(get_spec(name), rng, 2000)
+        row = trace_feature_windows(trace, 2000)[0]
+        assert classifier.predict_label(row[None, :]) == expected
+
+
+def test_outlier_returns_none(classifier):
+    # A feature vector far outside anything trained on.
+    weird = np.array([[1e6, 1e6, 0.5, 1e5]])
+    assert classifier.predict_label(weird) is None
+
+
+def test_mismatched_lengths_rejected():
+    clf = WorkloadTypeClassifier()
+    with pytest.raises(ValueError):
+        clf.fit(np.zeros((4, 4)), ["a", "b"])
+
+
+def test_report_populated(classifier):
+    report = classifier.report
+    assert report.train_samples > report.test_samples > 0
+    assert set(report.per_workload_accuracy) <= {
+        "terasort", "mlprep", "pagerank", "vdi-web", "ycsb",
+        "livemaps", "tpce", "searchengine", "batchanalytics",
+    }

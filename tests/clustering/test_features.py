@@ -1,0 +1,83 @@
+"""Tests for I/O feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import extract_features, trace_feature_windows
+from repro.clustering.features import lpa_entropy
+from repro.workloads import get_spec, synthesize_trace
+
+
+def test_entropy_of_constant_address_is_zero():
+    assert lpa_entropy(np.zeros(1000, dtype=int)) == 0.0
+
+
+def test_entropy_of_uniform_is_high():
+    rng = np.random.default_rng(0)
+    lpns = rng.integers(0, 1_000_000, 5000)
+    assert lpa_entropy(lpns) > 0.9
+
+
+def test_entropy_empty_is_zero():
+    assert lpa_entropy(np.array([], dtype=int)) == 0.0
+
+
+def test_entropy_bounded():
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        lpns = rng.integers(0, rng.integers(2, 10_000), 500)
+        assert 0.0 <= lpa_entropy(lpns) <= 1.0
+
+
+def test_extract_features_bandwidths():
+    # Two requests over 1 second: one read of 4 pages, one write of 2.
+    times = np.array([0.0, 1_000_000.0])
+    ops = np.array([1, 0])
+    lpns = np.array([0, 100])
+    sizes = np.array([4, 2])
+    page = 1024 * 1024  # 1 MiB pages for easy numbers
+    feats = extract_features(times, ops, lpns, sizes, page)
+    assert feats[0] == pytest.approx(4.0)   # read MB/s
+    assert feats[1] == pytest.approx(2.0)   # write MB/s
+    assert feats[3] == pytest.approx(3.0 * 1024)  # mean size in KB
+
+
+def test_extract_features_empty():
+    empty = np.array([])
+    feats = extract_features(empty, empty, empty, empty, 16384)
+    assert (feats == 0).all()
+
+
+def test_trace_feature_windows_shape():
+    trace = synthesize_trace(get_spec("ycsb"), np.random.default_rng(0), 3000)
+    rows = trace_feature_windows(trace, requests_per_window=1000)
+    assert rows.shape == (3, 4)
+
+
+def test_trace_too_short_raises():
+    trace = synthesize_trace(get_spec("ycsb"), np.random.default_rng(0), 100)
+    with pytest.raises(ValueError):
+        trace_feature_windows(trace, requests_per_window=1000)
+
+
+def test_bandwidth_workload_features_dominate():
+    rng = np.random.default_rng(0)
+    bw = trace_feature_windows(
+        synthesize_trace(get_spec("terasort"), rng, 2000), 1000
+    ).mean(axis=0)
+    lat = trace_feature_windows(
+        synthesize_trace(get_spec("vdi-web"), rng, 2000), 1000
+    ).mean(axis=0)
+    assert bw[0] + bw[1] > lat[0] + lat[1]  # total bandwidth
+    assert bw[3] > lat[3]                   # request size
+
+
+def test_ycsb_entropy_below_vdi():
+    rng = np.random.default_rng(0)
+    ycsb = trace_feature_windows(
+        synthesize_trace(get_spec("ycsb"), rng, 2000), 1000
+    ).mean(axis=0)
+    vdi = trace_feature_windows(
+        synthesize_trace(get_spec("vdi-web"), rng, 2000), 1000
+    ).mean(axis=0)
+    assert ycsb[2] < vdi[2]

@@ -1,0 +1,79 @@
+"""Tests for alpha fine-tuning by binary search."""
+
+import pytest
+
+from repro.clustering import tune_alpha
+
+
+def _monotone_eval(threshold_alpha):
+    """Violations decrease with alpha; bandwidth decreases with alpha."""
+
+    def evaluate(alpha):
+        violations = max(0.0, 0.2 * (1.0 - alpha / max(threshold_alpha, 1e-9)))
+        bandwidth = 1.0 - 0.5 * alpha
+        return violations, bandwidth
+
+    return evaluate
+
+
+def test_finds_smallest_feasible_alpha():
+    # Violations hit 5% exactly at alpha where 0.2*(1 - a/0.4) = 0.05
+    # -> a = 0.3.
+    alpha = tune_alpha(_monotone_eval(0.4), slo_threshold=0.05, iterations=12)
+    assert alpha == pytest.approx(0.3, abs=0.01)
+
+
+def test_low_alpha_already_feasible():
+    evaluate = lambda alpha: (0.0, 1.0)
+    assert tune_alpha(evaluate) == 0.0
+
+
+def test_infeasible_returns_high():
+    evaluate = lambda alpha: (0.5, 1.0)
+    assert tune_alpha(evaluate) == 1.0
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        tune_alpha(lambda a: (0.0, 1.0), low=0.5, high=0.5)
+
+
+def test_cluster_alpha_ordering():
+    """The paper's fine-tuned alphas: BI < LC-2 < LC-1 (bandwidth jobs
+    tolerate violations; latency services do not)."""
+    from repro.config import CLUSTER_ALPHAS
+
+    assert CLUSTER_ALPHAS["BI"] < CLUSTER_ALPHAS["LC-2"] < CLUSTER_ALPHAS["LC-1"]
+
+
+def test_fast_env_evaluator_is_monotone():
+    """More alpha -> fewer violations, less harvested bandwidth."""
+    from repro.clustering import make_fast_env_evaluator
+
+    evaluate = make_fast_env_evaluator("livemaps", windows=15)
+    vio_low, bw_low = evaluate(0.0)
+    vio_high, bw_high = evaluate(1.0)
+    assert vio_high <= vio_low
+    assert bw_high <= bw_low + 0.05
+
+
+def test_tune_alpha_on_fast_env():
+    """End-to-end: binary search lands on a feasible, small alpha."""
+    from repro.clustering import make_fast_env_evaluator
+
+    evaluate = make_fast_env_evaluator("livemaps", windows=15)
+    alpha = tune_alpha(evaluate, iterations=5)
+    vio, _bw = evaluate(alpha)
+    assert vio <= 0.05 + 0.02
+    assert alpha < 0.5
+
+
+def test_search_monotonically_converges():
+    calls = []
+
+    def evaluate(alpha):
+        calls.append(alpha)
+        return (0.2 if alpha < 0.5 else 0.0), 1.0
+
+    alpha = tune_alpha(evaluate, iterations=10)
+    assert 0.5 <= alpha <= 0.55

@@ -1,0 +1,103 @@
+"""Tests for k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import KMeans
+
+
+def _three_blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 8.0]])
+    points = np.concatenate(
+        [center + rng.normal(0, 0.5, (n, 2)) for center in centers]
+    )
+    labels = np.repeat([0, 1, 2], n)
+    return points, labels
+
+
+def test_recovers_separated_blobs():
+    points, truth = _three_blobs()
+    km = KMeans(n_clusters=3, seed=1).fit(points)
+    predicted = km.predict(points)
+    # Clusters must be pure (up to label permutation).
+    for k in range(3):
+        members = truth[predicted == k]
+        assert (members == members[0]).all()
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        KMeans(2).predict(np.zeros((3, 2)))
+
+
+def test_fewer_samples_than_clusters_rejected():
+    with pytest.raises(ValueError):
+        KMeans(5).fit(np.zeros((3, 2)))
+
+
+def test_inertia_decreases_with_more_clusters():
+    points, _ = _three_blobs()
+    one = KMeans(1, seed=0).fit(points).inertia_
+    three = KMeans(3, seed=0).fit(points).inertia_
+    assert three < one
+
+
+def test_transform_distance_shape():
+    points, _ = _three_blobs()
+    km = KMeans(3, seed=0).fit(points)
+    distances = km.transform_distance(points[:5])
+    assert distances.shape == (5, 3)
+    assert (distances >= 0).all()
+
+
+def test_standardization_handles_scale_differences():
+    rng = np.random.default_rng(0)
+    # Feature 1 is 1000x larger; without standardization it dominates.
+    a = np.column_stack([rng.normal(0, 1, 50), rng.normal(0, 1000, 50)])
+    b = np.column_stack([rng.normal(5, 1, 50), rng.normal(0, 1000, 50)])
+    km = KMeans(2, seed=0, standardize=True).fit(np.concatenate([a, b]))
+    predicted = km.predict(np.concatenate([a, b]))
+    purity_a = max((predicted[:50] == 0).mean(), (predicted[:50] == 1).mean())
+    purity_b = max((predicted[50:] == 0).mean(), (predicted[50:] == 1).mean())
+    assert purity_a > 0.9 and purity_b > 0.9
+    # Without standardization the noisy large-scale feature dominates and
+    # the split is near-random.
+    km_raw = KMeans(2, seed=0, standardize=False).fit(np.concatenate([a, b]))
+    raw_pred = km_raw.predict(np.concatenate([a, b]))
+    raw_purity = max((raw_pred[:50] == 0).mean(), (raw_pred[:50] == 1).mean())
+    assert purity_a >= raw_purity
+
+
+def test_deterministic_given_seed():
+    points, _ = _three_blobs()
+    a = KMeans(3, seed=7).fit(points).centers
+    b = KMeans(3, seed=7).fit(points).centers
+    assert np.allclose(a, b)
+
+
+def test_n_init_picks_best_restart():
+    points, _ = _three_blobs()
+    single = KMeans(3, seed=3, n_init=1).fit(points).inertia_
+    multi = KMeans(3, seed=3, n_init=10).fit(points).inertia_
+    assert multi <= single + 1e-9
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        KMeans(0)
+    with pytest.raises(ValueError):
+        KMeans(2, n_init=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=100))
+def test_every_point_assigned_to_nearest_center(k, seed):
+    """Property: predict() assigns each point to its closest center."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(0, 3, (40, 3))
+    km = KMeans(k, seed=seed, standardize=False).fit(points)
+    predicted = km.predict(points)
+    distances = km.transform_distance(points)
+    assert (predicted == distances.argmin(axis=1)).all()

@@ -1,0 +1,60 @@
+"""Tests for PCA."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Pca
+
+
+def test_transform_shape():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, (50, 4))
+    projected = Pca(n_components=2).fit_transform(x)
+    assert projected.shape == (50, 2)
+
+
+def test_first_component_captures_dominant_direction():
+    rng = np.random.default_rng(0)
+    t = rng.normal(0, 5, 200)
+    x = np.column_stack([t, 0.5 * t + rng.normal(0, 0.1, 200)])
+    pca = Pca(n_components=2, standardize=False).fit(x)
+    assert pca.explained_variance_ratio_[0] > 0.95
+
+
+def test_explained_variance_sums_to_at_most_one():
+    rng = np.random.default_rng(1)
+    x = rng.normal(0, 1, (60, 5))
+    pca = Pca(n_components=3).fit(x)
+    assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+
+def test_components_are_orthonormal():
+    rng = np.random.default_rng(2)
+    x = rng.normal(0, 1, (60, 4))
+    pca = Pca(n_components=2).fit(x)
+    gram = pca.components_ @ pca.components_.T
+    assert np.allclose(gram, np.eye(2), atol=1e-9)
+
+
+def test_transform_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        Pca().transform(np.zeros((3, 2)))
+
+
+def test_too_many_components_rejected():
+    with pytest.raises(ValueError):
+        Pca(n_components=5).fit(np.zeros((10, 3)))
+
+
+def test_projection_centered():
+    rng = np.random.default_rng(3)
+    x = rng.normal(10, 2, (100, 3))
+    projected = Pca(n_components=2).fit_transform(x)
+    assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_constant_feature_handled():
+    rng = np.random.default_rng(4)
+    x = np.column_stack([rng.normal(0, 1, 50), np.full(50, 7.0)])
+    projected = Pca(n_components=1).fit_transform(x)
+    assert np.isfinite(projected).all()

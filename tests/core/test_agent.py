@@ -1,0 +1,94 @@
+"""Tests for the per-vSSD RL agent."""
+
+import numpy as np
+import pytest
+
+from repro.config import RLConfig
+from repro.core.actionspace import ActionSpace
+from repro.core.agent import FleetIoAgent
+from repro.rl import PolicyValueNet
+from repro.virt.vssd import Vssd
+
+
+@pytest.fixture
+def agent():
+    config = RLConfig(batch_size=4)
+    space = ActionSpace(60.0)
+    net = PolicyValueNet(config.state_dim, space.num_actions, (8, 8))
+    vssd = Vssd(0, "v", None, [0, 1])
+    return FleetIoAgent(
+        vssd, net, space, config=config, explore=False, finetune=True,
+        finetune_interval=3,
+    )
+
+
+def _state(agent):
+    return np.zeros(agent.config.state_dim)
+
+
+def test_decide_records_pending(agent):
+    action = agent.decide(_state(agent))
+    assert 0 <= action < agent.action_space.num_actions
+    assert agent._pending is not None
+
+
+def test_observe_reward_fills_buffer(agent):
+    agent.decide(_state(agent))
+    agent.observe_reward(0.5)
+    assert len(agent.buffer) == 1
+    assert agent._pending is None
+    assert agent.rewards_seen == [0.5]
+
+
+def test_observe_without_pending_is_noop(agent):
+    agent.observe_reward(1.0)
+    assert len(agent.buffer) == 0
+
+
+def test_finetune_runs_on_interval(agent):
+    for window in range(6):
+        agent.decide(_state(agent))
+        agent.observe_reward(0.1)
+        agent.end_window()
+    # After 2 intervals of 3 windows with batch_size 4, at least one
+    # update ran and the buffer was flushed.
+    assert agent.trainer.optimizer.steps > 0
+    assert len(agent.buffer) == 0
+
+
+def test_greedy_mode_deterministic(agent):
+    a = agent.decide(_state(agent))
+    b = agent.decide(_state(agent))
+    assert a == b
+
+
+def test_explore_mode_uses_rng():
+    config = RLConfig()
+    space = ActionSpace(60.0)
+    net = PolicyValueNet(config.state_dim, space.num_actions, (8, 8))
+    vssd = Vssd(0, "v", None, [0])
+    agent = FleetIoAgent(
+        vssd, net, space, config=config, explore=True,
+        rng=np.random.default_rng(0),
+    )
+    actions = {agent.decide(np.zeros(config.state_dim)) for _ in range(30)}
+    assert len(actions) > 1
+
+
+def test_default_alpha_is_unified(agent):
+    assert agent.alpha == agent.config.unified_alpha
+
+
+def test_mean_reward(agent):
+    for reward in (1.0, 2.0, 3.0):
+        agent.decide(_state(agent))
+        agent.observe_reward(reward)
+    assert agent.mean_reward() == pytest.approx(2.0)
+    assert agent.mean_reward(last_n=1) == pytest.approx(3.0)
+
+
+def test_flush_closes_open_path(agent):
+    agent.decide(_state(agent))
+    agent.observe_reward(0.5)
+    agent.flush()
+    assert agent.buffer.open_path_length == 0

@@ -1,0 +1,85 @@
+"""Tests for offline pre-training (kept tiny: 2-3 iterations)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RLConfig
+from repro.core.pretrain import (
+    PretrainResult,
+    _merge_buffers,
+    _sample_collocation,
+    pretrain,
+)
+from repro.config import SSDConfig
+from repro.rl import RolloutBuffer
+
+
+def test_pretrain_returns_trained_net():
+    result = pretrain(iterations=2, seed=0, rollout_batch=64, episode_windows=5)
+    assert isinstance(result, PretrainResult)
+    assert len(result.mean_rewards) == 2
+    assert result.net.num_parameters() > 0
+
+
+def test_pretrain_checkpoint_selected():
+    result = pretrain(iterations=20, seed=0, rollout_batch=64, episode_windows=5)
+    assert result.best_iteration >= 0
+    assert np.isfinite(result.best_reward)
+
+
+def test_pretrain_deterministic_given_seed():
+    a = pretrain(iterations=2, seed=5, rollout_batch=64, episode_windows=5)
+    b = pretrain(iterations=2, seed=5, rollout_batch=64, episode_windows=5)
+    assert np.allclose(a.net.get_flat_params(), b.net.get_flat_params())
+
+
+def test_sample_collocation_shape():
+    rng = np.random.default_rng(0)
+    config = SSDConfig()
+    for _ in range(20):
+        specs = _sample_collocation(rng, config)
+        assert 2 <= len(specs) <= 8
+        # At least one latency service and one bandwidth job, so both
+        # harvesting directions exist.
+        categories = {spec.workload.category for spec in specs}
+        assert categories == {"latency", "bandwidth"}
+        assert sum(spec.channels for spec in specs) <= config.num_channels
+
+
+def test_merge_buffers_normalizes_per_agent():
+    rl = RLConfig()
+    big = RolloutBuffer(rl.discount_factor, rl.gae_lambda)
+    small = RolloutBuffer(rl.discount_factor, rl.gae_lambda)
+    rng = np.random.default_rng(0)
+    for _ in range(16):
+        big.add(rng.standard_normal(3), 0, -1.0, 100.0 * rng.random(), 0.0)
+        small.add(rng.standard_normal(3), 0, -1.0, 0.01 * rng.random(), 0.0)
+    big.finish_path()
+    small.finish_path()
+    merged = _merge_buffers([big, small], rl)
+    adv = np.asarray(merged.advantages)
+    # Both halves contribute unit-scale advantages after normalization.
+    assert np.abs(adv[:16]).max() == pytest.approx(np.abs(adv[16:]).max(), rel=2.0)
+    assert len(merged) == 32
+
+
+def test_interference_curriculum_applies():
+    """Early iterations use the mild coefficient, late ones the harsh."""
+    seen = []
+    import sys
+
+    pretrain_module = sys.modules["repro.core.pretrain"]
+    original = pretrain_module.FastFleetEnv
+
+    class SpyEnv(original):
+        def __init__(self, *args, **kwargs):
+            seen.append(kwargs.get("interference_coef"))
+            super().__init__(*args, **kwargs)
+
+    pretrain_module.FastFleetEnv = SpyEnv
+    try:
+        pretrain(iterations=4, seed=0, rollout_batch=32, episode_windows=3,
+                 interference_schedule=((0.5, 1.0), (1.0, 9.0)))
+    finally:
+        pretrain_module.FastFleetEnv = original
+    assert 1.0 in seen and 9.0 in seen

@@ -1,0 +1,91 @@
+"""Tests for Eq. 1 and Eq. 2 reward functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reward import (
+    multi_agent_rewards,
+    reward_config_for_cluster,
+    single_agent_reward,
+)
+
+
+def test_eq1_pure_utilization_when_alpha_zero():
+    reward = single_agent_reward(300.0, 0.5, guaranteed_bw_mbps=600.0, alpha=0.0)
+    assert reward == pytest.approx(0.5)
+
+
+def test_eq1_pure_isolation_when_alpha_one():
+    reward = single_agent_reward(300.0, 0.05, guaranteed_bw_mbps=600.0, alpha=1.0)
+    assert reward == pytest.approx(-5.0)  # 0.05 / 0.01
+
+
+def test_eq1_blend():
+    reward = single_agent_reward(
+        480.0, 0.02, guaranteed_bw_mbps=480.0, alpha=0.2, slo_violation_guarantee=0.01
+    )
+    assert reward == pytest.approx(0.8 * 1.0 - 0.2 * 2.0)
+
+
+def test_eq1_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        single_agent_reward(1.0, 0.0, guaranteed_bw_mbps=0.0, alpha=0.1)
+    with pytest.raises(ValueError):
+        single_agent_reward(1.0, 0.0, guaranteed_bw_mbps=1.0, alpha=2.0)
+    with pytest.raises(ValueError):
+        single_agent_reward(1.0, 0.0, 1.0, 0.1, slo_violation_guarantee=0.0)
+
+
+def test_eq2_blends_with_beta():
+    singles = {0: 1.0, 1: 0.0}
+    blended = multi_agent_rewards(singles, beta=0.6)
+    assert blended[0] == pytest.approx(0.6 * 1.0 + 0.4 * 0.0)
+    assert blended[1] == pytest.approx(0.6 * 0.0 + 0.4 * 1.0)
+
+
+def test_eq2_beta_one_is_selfish():
+    singles = {0: 1.0, 1: -1.0}
+    blended = multi_agent_rewards(singles, beta=1.0)
+    assert blended == pytest.approx(singles)
+
+
+def test_eq2_single_agent_degenerates():
+    assert multi_agent_rewards({3: 0.7}, beta=0.6) == {3: pytest.approx(0.7)}
+
+
+def test_eq2_three_agents_mean_of_others():
+    singles = {0: 0.0, 1: 3.0, 2: 6.0}
+    blended = multi_agent_rewards(singles, beta=0.5)
+    assert blended[0] == pytest.approx(0.5 * 0.0 + 0.5 * 4.5)
+
+
+def test_eq2_empty():
+    assert multi_agent_rewards({}, beta=0.6) == {}
+
+
+def test_eq2_invalid_beta():
+    with pytest.raises(ValueError):
+        multi_agent_rewards({0: 1.0}, beta=1.5)
+
+
+def test_cluster_alpha_lookup():
+    assert reward_config_for_cluster("BI") == 0.0
+    assert reward_config_for_cluster("LC-1") == 2.5e-2
+    assert reward_config_for_cluster("LC-2") == 5e-3
+    # Unknown clusters use the unified alpha (Section 3.4).
+    assert reward_config_for_cluster("unknown") == 0.01
+
+
+@given(
+    singles=st.dictionaries(
+        st.integers(0, 5),
+        st.floats(min_value=-5, max_value=5),
+        min_size=2,
+        max_size=6,
+    ),
+    beta=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_eq2_preserves_total_reward(singles, beta):
+    """Property: the blend redistributes reward but conserves the sum."""
+    blended = multi_agent_rewards(singles, beta)
+    assert sum(blended.values()) == pytest.approx(sum(singles.values()), abs=1e-9)

@@ -1,0 +1,88 @@
+"""Tests for RL state featurization."""
+
+import numpy as np
+import pytest
+
+from repro.config import RLConfig
+from repro.core.monitor import WindowStats
+from repro.core.state import StateFeaturizer, window_features
+
+
+def _stats(**kwargs):
+    defaults = dict(
+        vssd_id=0,
+        window_start_s=0.0,
+        window_end_s=2.0,
+        avg_bw_mbps=100.0,
+        avg_iops=2000.0,
+        avg_latency_us=800.0,
+        slo_violation_frac=0.05,
+        queue_delay_us=500.0,
+        rw_ratio=0.7,
+        avail_capacity_frac=0.5,
+        in_gc=True,
+        cur_priority=2,
+        completed=4000,
+        reads=2800,
+        writes=1200,
+    )
+    defaults.update(kwargs)
+    return WindowStats(**defaults)
+
+
+def test_eleven_features_per_window():
+    features = window_features(_stats(), [])
+    assert features.shape == (11,)
+
+
+def test_feature_values():
+    other = _stats(avg_iops=1000.0, slo_violation_frac=0.1)
+    features = window_features(_stats(), [other, other], guaranteed_bw_mbps=200.0)
+    assert features[0] == pytest.approx(0.5)     # bw / guaranteed
+    assert features[3] == pytest.approx(0.05)    # own violations
+    assert features[5] == pytest.approx(0.7)     # rw ratio
+    assert features[7] == 1.0                    # in_gc
+    assert features[8] == pytest.approx(1.0)     # HIGH priority / 2
+    assert features[9] == pytest.approx(0.2)     # shared IOPS sum / 1e4
+    assert features[10] == pytest.approx(0.2)    # shared violations sum
+
+
+def test_state_dim_is_three_windows():
+    config = RLConfig()
+    featurizer = StateFeaturizer(config)
+    assert featurizer.state_dim == 33
+    state = featurizer.push(_stats(), [])
+    assert state.shape == (33,)
+
+
+def test_cold_start_zero_padded():
+    featurizer = StateFeaturizer(RLConfig())
+    state = featurizer.push(_stats(), [])
+    assert (state[:22] == 0).all()
+    assert not (state[22:] == 0).all()
+
+
+def test_history_rolls():
+    featurizer = StateFeaturizer(RLConfig())
+    a = featurizer.push(_stats(avg_bw_mbps=100.0), [], guaranteed_bw_mbps=100.0)
+    b = featurizer.push(_stats(avg_bw_mbps=200.0), [], guaranteed_bw_mbps=100.0)
+    c = featurizer.push(_stats(avg_bw_mbps=300.0), [], guaranteed_bw_mbps=100.0)
+    # Oldest window first: 1.0, 2.0, 3.0 in the bw slots.
+    assert c[0] == pytest.approx(1.0)
+    assert c[11] == pytest.approx(2.0)
+    assert c[22] == pytest.approx(3.0)
+    d = featurizer.push(_stats(avg_bw_mbps=400.0), [], guaranteed_bw_mbps=100.0)
+    assert d[0] == pytest.approx(2.0)  # the first window rolled off
+
+
+def test_reset_clears_history():
+    featurizer = StateFeaturizer(RLConfig())
+    featurizer.push(_stats(), [])
+    featurizer.reset()
+    assert (featurizer.state() == 0).all()
+
+
+def test_scale_free_bandwidth_feature():
+    small = window_features(_stats(avg_bw_mbps=50.0), [], guaranteed_bw_mbps=100.0)
+    large = window_features(_stats(avg_bw_mbps=500.0), [], guaranteed_bw_mbps=1000.0)
+    assert small[0] == pytest.approx(large[0])

@@ -1,0 +1,89 @@
+"""Tests for run_policy_comparison and the manager-backed policies."""
+
+import pytest
+
+from repro.config import RLConfig, SSDConfig
+from repro.harness import plans_for_pair, run_policy_comparison
+from repro.harness.experiment import Experiment
+
+
+@pytest.fixture
+def fast_config():
+    return SSDConfig(
+        num_channels=4,
+        chips_per_channel=2,
+        blocks_per_chip=16,
+        pages_per_block=32,
+        min_superblock_blocks=4,
+    )
+
+
+def test_slo_calibrated_from_hardware_run(fast_config):
+    plans = plans_for_pair("ycsb", "batchanalytics")
+    results = run_policy_comparison(
+        plans,
+        policies=("hardware", "software"),
+        duration_s=4.0,
+        measure_after_s=1.0,
+        ssd_config=fast_config,
+    )
+    # After the hardware run, every plan's SLO is its hardware P99.
+    for plan in plans:
+        assert plan.slo_latency_us == pytest.approx(
+            results["hardware"].vssd(plan.name).p99_latency_us
+        )
+    # The software run's violation metric used that SLO: close to 1% for
+    # hardware (by the P99 definition) and higher under contention for
+    # the latency tenant.
+    assert results["software"].vssd("ycsb").slo_violation_frac >= 0.0
+
+
+def test_hardware_runs_first_even_if_not_listed_first(fast_config):
+    plans = plans_for_pair("ycsb", "batchanalytics")
+    results = run_policy_comparison(
+        plans,
+        policies=("software", "hardware"),
+        duration_s=3.0,
+        measure_after_s=1.0,
+        ssd_config=fast_config,
+    )
+    # Output preserves the requested order but calibration happened.
+    assert list(results) == ["software", "hardware"]
+    assert all(plan.slo_latency_us is not None for plan in plans)
+
+
+def test_adaptive_policy_through_experiment(fast_config):
+    plans = plans_for_pair("ycsb", "batchanalytics")
+    rl = RLConfig(decision_interval_s=0.5)
+    result = Experiment(
+        plans, "adaptive", ssd_config=fast_config, rl_config=rl
+    ).run(duration_s=4.0, measure_after_s=1.0)
+    assert result.vssd("batchanalytics").mean_bw_mbps > 0
+    assert result.admission_stats.submitted >= 0
+
+
+def test_ssdkeeper_policy_through_experiment(fast_config):
+    plans = plans_for_pair("ycsb", "batchanalytics")
+    result = Experiment(plans, "ssdkeeper", ssd_config=fast_config).run(
+        duration_s=3.0, measure_after_s=1.0
+    )
+    # SSDKeeper statically partitions all channels.
+    assert result.vssd("ycsb").completed > 0
+    assert result.vssd("batchanalytics").completed > 0
+
+
+def test_results_exportable(fast_config, tmp_path):
+    from repro.harness import results_to_csv, utilization_chart
+
+    plans = plans_for_pair("ycsb", "batchanalytics")
+    results = run_policy_comparison(
+        plans,
+        policies=("hardware",),
+        duration_s=2.0,
+        measure_after_s=0.5,
+        ssd_config=fast_config,
+    )
+    rows = results_to_csv(results, tmp_path / "out.csv")
+    assert rows == 2
+    chart = utilization_chart(results)
+    assert "hardware" in chart

@@ -1,0 +1,28 @@
+"""Tests for the cached pre-trained artifacts."""
+
+import numpy as np
+
+from repro.harness import get_classifier, get_pretrained_net
+
+
+def test_disk_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    import repro.harness.pretrained as module
+
+    module._net_cache.clear()
+    net = get_pretrained_net(iterations=2, seed=1)
+    assert (tmp_path / "pretrained_i2_s1.npz").exists()
+    module._net_cache.clear()
+    again = get_pretrained_net(iterations=2, seed=1)
+    assert np.allclose(net.get_flat_params(), again.get_flat_params())
+
+
+def test_memo_cache_returns_same_object(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    a = get_pretrained_net(iterations=2, seed=2)
+    b = get_pretrained_net(iterations=2, seed=2)
+    assert a is b
+
+
+def test_classifier_memoized():
+    assert get_classifier(seed=0) is get_classifier(seed=0)

@@ -1,0 +1,92 @@
+"""Tests for CSV export and ASCII charts."""
+
+import numpy as np
+import pytest
+
+from repro.harness.metrics import ExperimentResult, VssdResult
+from repro.harness.report import (
+    bar_chart,
+    comparison_table,
+    load_results_csv,
+    p99_chart,
+    results_to_csv,
+    utilization_chart,
+)
+
+
+def _result(policy, util=0.3, p99=2000.0):
+    result = ExperimentResult(
+        policy=policy, duration_s=10.0, measure_start_s=0.0,
+        total_bandwidth_mbps=1000.0,
+    )
+    result.util_series = np.array([util * 1000.0])
+    result.vssds["lat"] = VssdResult(
+        name="lat", workload="ycsb", category="latency", completed=100,
+        mean_bw_mbps=40.0, mean_latency_us=500.0, p95_latency_us=900.0,
+        p99_latency_us=p99, p999_latency_us=3000.0, slo_latency_us=1000.0,
+        slo_violation_frac=0.02, write_amplification=1.05, gc_runs=3,
+    )
+    result.vssds["bw"] = VssdResult(
+        name="bw", workload="terasort", category="bandwidth", completed=200,
+        mean_bw_mbps=250.0, mean_latency_us=20_000.0, p95_latency_us=50_000.0,
+        p99_latency_us=80_000.0, p999_latency_us=120_000.0, slo_latency_us=None,
+        slo_violation_frac=0.0, write_amplification=1.3, gc_runs=40,
+    )
+    return result
+
+
+@pytest.fixture
+def results():
+    return {"hardware": _result("hardware", 0.25, 1000.0),
+            "fleetio": _result("fleetio", 0.32, 1300.0)}
+
+
+def test_csv_roundtrip(results, tmp_path):
+    path = tmp_path / "results.csv"
+    rows = results_to_csv(results, path)
+    assert rows == 4
+    loaded = load_results_csv(path)
+    assert len(loaded) == 4
+    first = loaded[0]
+    assert first["policy"] == "hardware"
+    assert first["vssd"] in ("lat", "bw")
+    assert float(first["avg_utilization"]) == pytest.approx(0.25)
+
+
+def test_csv_handles_missing_slo(results, tmp_path):
+    path = tmp_path / "results.csv"
+    results_to_csv(results, path)
+    rows = load_results_csv(path)
+    bw_rows = [r for r in rows if r["vssd"] == "bw"]
+    assert all(r["slo_latency_us"] == "" for r in bw_rows)
+
+
+def test_bar_chart_scales_and_annotates():
+    chart = bar_chart({"a": 10.0, "b": 5.0}, title="t", width=10, baseline="a")
+    lines = chart.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+    assert "(0.50x)" in lines[2]
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}, title="t") == "t"
+
+
+def test_utilization_chart(results):
+    chart = utilization_chart(results, baseline="hardware")
+    assert "hardware" in chart and "fleetio" in chart
+    assert "%" in chart
+
+
+def test_p99_chart(results):
+    chart = p99_chart(results, "lat")
+    assert "ms" in chart
+    assert "1.00ms" in chart or "1.0" in chart
+
+
+def test_comparison_table(results):
+    table = comparison_table(results)
+    assert "policy" in table.splitlines()[0]
+    assert len(table.splitlines()) == 3

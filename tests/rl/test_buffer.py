@@ -1,0 +1,93 @@
+"""Tests for the rollout buffer and GAE."""
+
+import numpy as np
+import pytest
+
+from repro.rl import RolloutBuffer
+
+
+def _fill(buffer, rewards, values, bootstrap=0.0):
+    for r, v in zip(rewards, values):
+        buffer.add(np.zeros(2), 0, -0.5, r, v)
+    buffer.finish_path(bootstrap)
+
+
+def test_gae_matches_hand_computation():
+    gamma, lam = 0.9, 0.8
+    buffer = RolloutBuffer(discount=gamma, gae_lambda=lam)
+    rewards = [1.0, 0.0, 2.0]
+    values = [0.5, 0.4, 0.3]
+    _fill(buffer, rewards, values, bootstrap=0.2)
+    deltas = [
+        1.0 + gamma * 0.4 - 0.5,
+        0.0 + gamma * 0.3 - 0.4,
+        2.0 + gamma * 0.2 - 0.3,
+    ]
+    adv2 = deltas[2]
+    adv1 = deltas[1] + gamma * lam * adv2
+    adv0 = deltas[0] + gamma * lam * adv1
+    assert buffer.advantages == pytest.approx([adv0, adv1, adv2])
+    assert buffer.returns == pytest.approx(
+        [adv0 + 0.5, adv1 + 0.4, adv2 + 0.3]
+    )
+
+
+def test_multiple_paths():
+    buffer = RolloutBuffer(discount=0.9)
+    _fill(buffer, [1.0], [0.0])
+    _fill(buffer, [2.0], [0.0])
+    assert len(buffer) == 2
+    assert len(buffer.advantages) == 2
+
+
+def test_get_requires_finished_path():
+    buffer = RolloutBuffer()
+    buffer.add(np.zeros(2), 0, 0.0, 1.0, 0.0)
+    with pytest.raises(RuntimeError):
+        buffer.get()
+
+
+def test_get_normalizes_advantages():
+    buffer = RolloutBuffer(discount=0.9)
+    _fill(buffer, [1.0, -1.0, 3.0, 0.5], [0.0, 0.0, 0.0, 0.0])
+    data = buffer.get(normalize_advantages=True)
+    assert data["advantages"].mean() == pytest.approx(0.0, abs=1e-9)
+    assert data["advantages"].std() == pytest.approx(1.0, rel=1e-6)
+
+
+def test_get_raw_advantages():
+    buffer = RolloutBuffer(discount=0.9)
+    _fill(buffer, [1.0, 2.0], [0.0, 0.0])
+    data = buffer.get(normalize_advantages=False)
+    assert data["advantages"][1] == pytest.approx(2.0)
+
+
+def test_clear():
+    buffer = RolloutBuffer()
+    _fill(buffer, [1.0], [0.0])
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.open_path_length == 0
+
+
+def test_open_path_length():
+    buffer = RolloutBuffer()
+    buffer.add(np.zeros(2), 0, 0.0, 1.0, 0.0)
+    assert buffer.open_path_length == 1
+    buffer.finish_path()
+    assert buffer.open_path_length == 0
+
+
+def test_invalid_discount_rejected():
+    with pytest.raises(ValueError):
+        RolloutBuffer(discount=0.0)
+    with pytest.raises(ValueError):
+        RolloutBuffer(gae_lambda=1.5)
+
+
+def test_bootstrap_affects_last_advantage():
+    buffer_a = RolloutBuffer(discount=0.9)
+    _fill(buffer_a, [1.0], [0.0], bootstrap=0.0)
+    buffer_b = RolloutBuffer(discount=0.9)
+    _fill(buffer_b, [1.0], [0.0], bootstrap=10.0)
+    assert buffer_b.advantages[0] > buffer_a.advantages[0]

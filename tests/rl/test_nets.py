@@ -1,0 +1,114 @@
+"""Tests for the policy/value network, including a numeric gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.rl import PolicyValueNet
+from repro.rl.policy import log_softmax
+
+
+@pytest.fixture
+def net():
+    return PolicyValueNet(6, 4, (8, 8), rng=np.random.default_rng(0))
+
+
+def test_forward_shapes(net):
+    x = np.random.default_rng(1).standard_normal((5, 6))
+    logits, values, cache = net.forward(x)
+    assert logits.shape == (5, 4)
+    assert values.shape == (5,)
+    assert len(cache) == 3  # input + two hidden activations
+
+
+def test_forward_single_state(net):
+    logits, values, _ = net.forward(np.zeros(6))
+    assert logits.shape == (1, 4)
+
+
+def test_parameter_count_matches_architecture(net):
+    expected = (6 * 8 + 8) + (8 * 8 + 8) + (8 * 4 + 4) + (8 * 1 + 1)
+    assert net.num_parameters() == expected
+
+
+def test_paper_architecture_size():
+    """Table 3: hidden layers [50, 50]; the paper reports ~9K parameters
+    and a 2.2 MB serialized model; ours is the same order of magnitude."""
+    from repro.config import RLConfig
+    from repro.core.actionspace import ActionSpace
+
+    config = RLConfig()
+    space = ActionSpace(60.0)
+    net = PolicyValueNet(config.state_dim, space.num_actions, config.hidden_layer_sizes)
+    assert 3000 < net.num_parameters() < 20_000
+
+
+def test_clone_is_independent(net):
+    clone = net.clone()
+    clone.params["W0"][0, 0] += 1.0
+    assert net.params["W0"][0, 0] != clone.params["W0"][0, 0]
+
+
+def test_flat_params_roundtrip(net):
+    flat = net.get_flat_params()
+    other = PolicyValueNet(6, 4, (8, 8), rng=np.random.default_rng(9))
+    other.set_flat_params(flat)
+    x = np.random.default_rng(2).standard_normal((3, 6))
+    a, _, _ = net.forward(x)
+    b, _, _ = other.forward(x)
+    assert np.allclose(a, b)
+
+
+def test_flat_params_wrong_size_rejected(net):
+    with pytest.raises(ValueError):
+        net.set_flat_params(np.zeros(3))
+
+
+def test_save_load_roundtrip(net, tmp_path):
+    path = str(tmp_path / "model.npz")
+    net.save(path)
+    loaded = PolicyValueNet.load(path)
+    x = np.random.default_rng(3).standard_normal((2, 6))
+    a, av, _ = net.forward(x)
+    b, bv, _ = loaded.forward(x)
+    assert np.allclose(a, b)
+    assert np.allclose(av, bv)
+
+
+def test_backward_matches_numeric_gradient(net):
+    """Full-network gradient check against central differences."""
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((4, 6))
+    dlogits = rng.standard_normal((4, 4)) * 0.1
+    dvalues = rng.standard_normal(4) * 0.1
+
+    def scalar_loss():
+        logits, values, _ = net.forward(x)
+        return float((logits * dlogits).sum() + (values * dvalues).sum())
+
+    _logits, _values, cache = net.forward(x)
+    grads = net.backward(cache, dlogits, dvalues)
+    eps = 1e-6
+    for key in ("W0", "W1", "Wp", "Wv", "b0", "bp", "bv"):
+        param = net.params[key]
+        flat_index = (0,) * param.ndim
+        original = param[flat_index]
+        param[flat_index] = original + eps
+        plus = scalar_loss()
+        param[flat_index] = original - eps
+        minus = scalar_loss()
+        param[flat_index] = original
+        numeric = (plus - minus) / (2 * eps)
+        assert grads[key][flat_index] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+
+def test_invalid_dims_rejected():
+    with pytest.raises(ValueError):
+        PolicyValueNet(0, 4)
+    with pytest.raises(ValueError):
+        PolicyValueNet(4, 0)
+
+
+def test_log_softmax_normalized():
+    logits = np.array([[1.0, 2.0, 3.0], [1000.0, 1000.0, 1000.0]])
+    logp = log_softmax(logits)
+    assert np.allclose(np.exp(logp).sum(axis=1), 1.0)

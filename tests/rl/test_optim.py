@@ -1,0 +1,55 @@
+"""Tests for the Adam optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.rl import Adam
+
+
+def test_minimizes_quadratic():
+    params = {"x": np.array([5.0])}
+    adam = Adam(learning_rate=0.1)
+    for _ in range(300):
+        grads = {"x": 2 * params["x"]}
+        adam.step(params, grads, max_grad_norm=None)
+    assert abs(params["x"][0]) < 0.05
+
+
+def test_gradient_clipping():
+    params = {"x": np.array([0.0])}
+    adam = Adam(learning_rate=1.0)
+    adam.step(params, {"x": np.array([1e9])}, max_grad_norm=0.5)
+    # Clipped: the first Adam step magnitude is ~lr regardless, but the
+    # internal moments must reflect the clipped gradient.
+    assert abs(adam._m["x"][0]) <= 0.5 * 0.1 + 1e-9
+
+
+def test_steps_counter():
+    adam = Adam()
+    params = {"x": np.zeros(2)}
+    adam.step(params, {"x": np.ones(2)})
+    adam.step(params, {"x": np.ones(2)})
+    assert adam.steps == 2
+
+
+def test_reset():
+    adam = Adam()
+    params = {"x": np.zeros(2)}
+    adam.step(params, {"x": np.ones(2)})
+    adam.reset()
+    assert adam.steps == 0
+    assert adam._m == {}
+
+
+def test_invalid_lr_rejected():
+    with pytest.raises(ValueError):
+        Adam(learning_rate=0.0)
+
+
+def test_bias_correction_first_step():
+    """With bias correction the first step is ~lr in the gradient
+    direction, not lr * (1 - beta1)."""
+    params = {"x": np.array([0.0])}
+    adam = Adam(learning_rate=0.01)
+    adam.step(params, {"x": np.array([1.0])}, max_grad_norm=None)
+    assert params["x"][0] == pytest.approx(-0.01, rel=1e-3)

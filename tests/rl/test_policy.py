@@ -1,0 +1,66 @@
+"""Tests for the categorical policy."""
+
+import numpy as np
+import pytest
+
+from repro.rl import CategoricalPolicy, PolicyValueNet
+from repro.rl.policy import softmax
+
+
+@pytest.fixture
+def policy():
+    net = PolicyValueNet(4, 3, (8,), rng=np.random.default_rng(0))
+    return CategoricalPolicy(net)
+
+
+def test_act_returns_valid_tuple(policy):
+    rng = np.random.default_rng(1)
+    action, logp, value = policy.act(np.zeros(4), rng)
+    assert 0 <= action < 3
+    assert logp <= 0.0
+    assert isinstance(value, float)
+
+
+def test_act_logp_consistent_with_distribution(policy):
+    rng = np.random.default_rng(1)
+    state = np.ones(4)
+    probs = policy.action_distribution(state)
+    action, logp, _ = policy.act(state, rng)
+    assert logp == pytest.approx(np.log(probs[action]), rel=1e-9)
+
+
+def test_sampling_follows_distribution(policy):
+    rng = np.random.default_rng(2)
+    state = np.ones(4) * 0.5
+    probs = policy.action_distribution(state)
+    counts = np.zeros(3)
+    for _ in range(3000):
+        action, _, _ = policy.act(state, rng)
+        counts[action] += 1
+    assert np.allclose(counts / 3000, probs, atol=0.04)
+
+
+def test_act_deterministic_is_argmax(policy):
+    state = np.ones(4)
+    probs = policy.action_distribution(state)
+    assert policy.act_deterministic(state) == int(np.argmax(probs))
+
+
+def test_act_greedy_returns_logp_and_value(policy):
+    state = np.ones(4)
+    action, logp, value = policy.act_greedy(state)
+    assert action == policy.act_deterministic(state)
+    probs = policy.action_distribution(state)
+    assert logp == pytest.approx(np.log(probs[action]), rel=1e-9)
+    assert value == pytest.approx(policy.value(state))
+
+
+def test_distribution_sums_to_one(policy):
+    probs = policy.action_distribution(np.random.default_rng(3).standard_normal(4))
+    assert probs.sum() == pytest.approx(1.0)
+    assert (probs >= 0).all()
+
+
+def test_softmax_stability():
+    probs = softmax(np.array([[1e4, 1e4 + 1.0]]))
+    assert np.isfinite(probs).all()

@@ -1,0 +1,129 @@
+"""Tests for the PPO trainer, including an end-to-end learning check."""
+
+import numpy as np
+import pytest
+
+from repro.config import RLConfig
+from repro.rl import CategoricalPolicy, PolicyValueNet, PpoTrainer, RolloutBuffer
+from repro.rl.policy import log_softmax
+
+
+@pytest.fixture
+def trainer():
+    net = PolicyValueNet(3, 4, (8, 8), rng=np.random.default_rng(0))
+    config = RLConfig(learning_rate=1e-3, batch_size=8)
+    return PpoTrainer(net, config, np.random.default_rng(1))
+
+
+def _loss_value(net, config, states, actions, old_logp, advantages, returns):
+    logits, values, _ = net.forward(states)
+    logp_all = log_softmax(logits)
+    logp = logp_all[np.arange(len(actions)), actions]
+    ratio = np.exp(logp - old_logp)
+    clipped = np.clip(ratio, 1 - config.clip_epsilon, 1 + config.clip_epsilon)
+    surrogate = np.minimum(ratio * advantages, clipped * advantages)
+    probs = np.exp(logp_all)
+    entropy = -(probs * logp_all).sum(axis=1)
+    return float(
+        -surrogate.mean()
+        + config.value_coef * ((values - returns) ** 2).mean()
+        - config.entropy_coef * entropy.mean()
+    )
+
+
+def test_loss_gradients_match_numeric(trainer):
+    """The analytic PPO gradient equals the numeric gradient of the loss."""
+    rng = np.random.default_rng(2)
+    net, config = trainer.net, trainer.config
+    states = rng.standard_normal((6, 3))
+    actions = rng.integers(0, 4, 6)
+    old_logp = np.log(np.full(6, 0.25))
+    advantages = rng.standard_normal(6)
+    returns = rng.standard_normal(6)
+
+    logits, values, cache = net.forward(states)
+    dlogits, dvalues, _ = trainer._loss_gradients(
+        logits, values, actions, old_logp, advantages, returns
+    )
+    grads = net.backward(cache, dlogits, dvalues)
+    eps = 1e-6
+    for key in ("W0", "Wp", "Wv", "b1"):
+        param = net.params[key]
+        index = (0,) * param.ndim
+        original = param[index]
+        param[index] = original + eps
+        plus = _loss_value(net, config, states, actions, old_logp, advantages, returns)
+        param[index] = original - eps
+        minus = _loss_value(net, config, states, actions, old_logp, advantages, returns)
+        param[index] = original
+        numeric = (plus - minus) / (2 * eps)
+        assert grads[key][index] == pytest.approx(numeric, rel=1e-3, abs=1e-8)
+
+
+def test_update_returns_stats(trainer):
+    buffer = RolloutBuffer(discount=0.9)
+    rng = np.random.default_rng(3)
+    for _ in range(32):
+        buffer.add(rng.standard_normal(3), int(rng.integers(4)), -1.4, rng.random(), 0.0)
+    buffer.finish_path()
+    stats = trainer.update(buffer)
+    assert np.isfinite(stats.policy_loss)
+    assert stats.value_loss >= 0
+    assert stats.entropy > 0
+
+
+def test_update_empty_buffer_rejected(trainer):
+    with pytest.raises(ValueError):
+        trainer.update(RolloutBuffer())
+
+
+def test_clip_fraction_reported(trainer):
+    buffer = RolloutBuffer(discount=0.9)
+    rng = np.random.default_rng(3)
+    # Deliberately wrong old_logp values force clipping.
+    for _ in range(32):
+        buffer.add(rng.standard_normal(3), int(rng.integers(4)), -8.0, 1.0, 0.0)
+    buffer.finish_path()
+    stats = trainer.update(buffer)
+    assert 0.0 <= stats.clip_fraction <= 1.0
+
+
+def test_learns_contextual_bandit():
+    """PPO must solve a trivial two-state bandit to near-optimality."""
+    net = PolicyValueNet(2, 2, (16,), rng=np.random.default_rng(0))
+    policy = CategoricalPolicy(net)
+    config = RLConfig(learning_rate=3e-3, batch_size=64)
+    trainer = PpoTrainer(net, config, np.random.default_rng(1))
+    rng = np.random.default_rng(2)
+    for _iteration in range(50):
+        buffer = RolloutBuffer(discount=0.05)
+        for _ in range(128):
+            state = np.eye(2)[rng.integers(0, 2)]
+            action, logp, value = policy.act(state, rng)
+            reward = 1.0 if action == int(state[1]) else 0.0
+            buffer.add(state, action, logp, reward, value)
+            buffer.finish_path(0.0)
+        trainer.update(buffer)
+    correct = sum(
+        policy.act_deterministic(np.eye(2)[s]) == s for s in (0, 1)
+    )
+    assert correct == 2
+
+
+def test_value_function_learns():
+    """The value head regresses state values under fixed returns."""
+    net = PolicyValueNet(2, 2, (16,), rng=np.random.default_rng(0))
+    config = RLConfig(learning_rate=3e-3, batch_size=32)
+    trainer = PpoTrainer(net, config, np.random.default_rng(1))
+    rng = np.random.default_rng(2)
+    for _ in range(60):
+        buffer = RolloutBuffer(discount=0.05)
+        for _ in range(64):
+            state = np.eye(2)[rng.integers(0, 2)]
+            reward = 2.0 if state[1] else -1.0
+            buffer.add(state, 0, np.log(0.5), reward, 0.0)
+            buffer.finish_path(0.0)
+        trainer.update(buffer)
+    policy = CategoricalPolicy(net)
+    assert policy.value(np.eye(2)[1]) == pytest.approx(2.0, abs=0.5)
+    assert policy.value(np.eye(2)[0]) == pytest.approx(-1.0, abs=0.5)

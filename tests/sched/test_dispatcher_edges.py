@@ -1,0 +1,95 @@
+"""Edge-path tests for the dispatcher: retries, unregistration, bursts."""
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.sched import (
+    FifoPolicy,
+    IoDispatcher,
+    IoRequest,
+    TokenBucketStridePolicy,
+)
+from repro.sim import Simulator
+from repro.ssd import Ssd, VssdFtl
+
+
+def _world(policy=None):
+    config = SSDConfig(
+        num_channels=2, chips_per_channel=2, blocks_per_chip=8, pages_per_block=16
+    )
+    sim = Simulator()
+    ssd = Ssd(config, sim)
+    dispatcher = IoDispatcher(sim, ssd, policy or FifoPolicy())
+    ftl = VssdFtl(0, ssd)
+    ftl.adopt_blocks(ssd.allocate_channels(0, [0, 1]))
+    dispatcher.register_vssd(0, ftl)
+    return config, sim, ssd, dispatcher
+
+
+def _req(config, op="write", lpn=0, pages=1, vssd=0):
+    return IoRequest(vssd, op, lpn, pages, config.page_size, 0.0)
+
+
+def test_token_blocked_queue_drains_via_retry():
+    """With an initially empty token bucket, requests dispatch only after
+    refills — through the dispatcher's scheduled retry, with no external
+    kick."""
+    policy = TokenBucketStridePolicy(rate_bytes_per_us=1.0, burst_bytes=16384.0)
+    config, sim, ssd, dispatcher = _world(policy)
+    done = []
+    dispatcher.add_completion_callback(done.append)
+    for i in range(5):
+        dispatcher.submit(_req(config, lpn=i))
+    sim.run()
+    assert len(done) == 5
+    # Tokens for 5 pages at 1 B/us means at least ~64 ms of simulated
+    # pacing beyond the first burst page.
+    assert sim.now >= 3 * 16384
+
+
+def test_unregister_mid_stream_drops_queue():
+    config, sim, ssd, dispatcher = _world()
+    for i in range(3):
+        dispatcher.submit(_req(config, lpn=i))
+    dispatcher.unregister_vssd(0)
+    sim.run()  # in-flight requests complete; queue is gone
+    with pytest.raises(KeyError):
+        dispatcher.submit(_req(config))
+
+
+def test_burst_of_large_writes_completes(benchmark=None):
+    config, sim, ssd, dispatcher = _world()
+    done = []
+    dispatcher.add_completion_callback(done.append)
+    for i in range(30):
+        dispatcher.submit(_req(config, lpn=i * 8, pages=8))
+    sim.run()
+    assert len(done) == 30
+    assert all(r.complete_time >= r.dispatch_time >= r.submit_time for r in done)
+
+
+def test_mixed_read_write_interleave_completes():
+    config, sim, ssd, dispatcher = _world()
+    ftl = dispatcher.ftls[0]
+    ftl.warm_fill(range(64))
+    done = []
+    dispatcher.add_completion_callback(done.append)
+    for i in range(60):
+        op = "read" if i % 3 else "write"
+        dispatcher.submit(_req(config, op=op, lpn=i % 64))
+    sim.run()
+    assert len(done) == 60
+    reads = [r for r in done if r.is_read]
+    assert reads and all(not r.failed for r in reads)
+
+
+def test_retry_event_coalescing():
+    """Multiple blocked pumps reuse/tighten one retry event rather than
+    piling up events."""
+    policy = TokenBucketStridePolicy(rate_bytes_per_us=0.01, burst_bytes=16384.0)
+    config, sim, ssd, dispatcher = _world(policy)
+    for i in range(4):
+        dispatcher.submit(_req(config, lpn=i))
+    # At most a couple of pending events exist (one retry + completions).
+    assert sim.pending_events <= 3
+    sim.run()

@@ -1,0 +1,130 @@
+"""Tests for dispatch-ordering policies."""
+
+from collections import deque
+
+import pytest
+
+from repro.sched import (
+    FifoPolicy,
+    IoRequest,
+    Priority,
+    PriorityPolicy,
+    TokenBucketStridePolicy,
+)
+
+
+def _req(vssd_id, submit_time=0.0, pages=1):
+    return IoRequest(vssd_id, "read", 0, pages, 16384, submit_time)
+
+
+def _queues(*requests_per_vssd):
+    return {
+        vssd_id: deque(reqs) for vssd_id, reqs in enumerate(requests_per_vssd)
+    }
+
+
+ALLOW = lambda request: True
+DENY = lambda request: False
+
+
+class TestFifo:
+    def test_oldest_head_wins(self):
+        queues = _queues([_req(0, 10.0)], [_req(1, 5.0)])
+        assert FifoPolicy().select(20.0, queues, ALLOW) == 1
+
+    def test_blocked_heads_skipped(self):
+        queues = _queues([_req(0, 10.0)], [_req(1, 5.0)])
+        blocked_first = lambda r: r.vssd_id != 1
+        assert FifoPolicy().select(20.0, queues, blocked_first) == 0
+
+    def test_empty_returns_none(self):
+        assert FifoPolicy().select(0.0, _queues([], []), ALLOW) is None
+
+
+class TestPriority:
+    def _policy(self):
+        policy = PriorityPolicy()
+        policy.register_vssd(0)
+        policy.register_vssd(1)
+        return policy
+
+    def test_default_is_medium(self):
+        assert self._policy().get_priority(0) is Priority.MEDIUM
+
+    def test_high_priority_wins_despite_age(self):
+        policy = self._policy()
+        policy.set_priority(1, Priority.HIGH)
+        queues = _queues([_req(0, 1.0)], [_req(1, 100.0)])
+        assert policy.select(200.0, queues, ALLOW) == 1
+
+    def test_fifo_within_level(self):
+        policy = self._policy()
+        queues = _queues([_req(0, 50.0)], [_req(1, 10.0)])
+        assert policy.select(60.0, queues, ALLOW) == 1
+
+    def test_low_priority_loses(self):
+        policy = self._policy()
+        policy.set_priority(0, Priority.LOW)
+        queues = _queues([_req(0, 1.0)], [_req(1, 100.0)])
+        assert policy.select(200.0, queues, ALLOW) == 1
+
+    def test_set_priority_unknown_vssd_raises(self):
+        with pytest.raises(KeyError):
+            self._policy().set_priority(9, Priority.HIGH)
+
+    def test_unregister(self):
+        policy = self._policy()
+        policy.unregister_vssd(1)
+        queues = _queues([_req(0)], [])
+        assert policy.select(0.0, queues, ALLOW) == 0
+
+
+class TestTokenBucketStride:
+    def _policy(self, rate=1000.0, burst=1 << 20):
+        policy = TokenBucketStridePolicy(rate_bytes_per_us=rate, burst_bytes=burst)
+        policy.register_vssd(0)
+        policy.register_vssd(1)
+        return policy
+
+    def test_alternates_when_both_eligible(self):
+        policy = self._policy()
+        queues = _queues(
+            [_req(0) for _ in range(4)], [_req(1) for _ in range(4)]
+        )
+        picks = []
+        for _ in range(4):
+            choice = policy.select(0.0, queues, ALLOW)
+            picks.append(choice)
+            queues[choice].popleft()
+        assert picks.count(0) == 2 and picks.count(1) == 2
+
+    def test_empty_bucket_blocks(self):
+        policy = TokenBucketStridePolicy(rate_bytes_per_us=0.001, burst_bytes=16384.0)
+        policy.register_vssd(0)
+        queues = {0: deque([_req(0, pages=4)])}  # 64 KiB > 16 KiB burst
+        assert policy.select(0.0, queues, ALLOW) is None
+
+    def test_next_eligible_time_reports_refill(self):
+        policy = TokenBucketStridePolicy(rate_bytes_per_us=1.0, burst_bytes=16384.0)
+        policy.register_vssd(0)
+        queues = {0: deque([_req(0, pages=4)])}
+        policy.select(0.0, queues, ALLOW)
+        when = policy.next_eligible_time(0.0, queues)
+        assert when == pytest.approx(4 * 16384 - 16384)
+
+    def test_tokens_consumed_on_select(self):
+        policy = TokenBucketStridePolicy(rate_bytes_per_us=1.0, burst_bytes=32768.0)
+        policy.register_vssd(0)
+        queues = {0: deque([_req(0), _req(0), _req(0)])}
+        assert policy.select(0.0, queues, ALLOW) == 0
+        queues[0].popleft()
+        assert policy.select(0.0, queues, ALLOW) == 0
+        queues[0].popleft()
+        # Burst of 2 pages consumed; the third must wait.
+        assert policy.select(0.0, queues, ALLOW) is None
+
+    def test_per_vssd_rate_override(self):
+        policy = TokenBucketStridePolicy(rate_bytes_per_us=1.0, burst_bytes=16384.0)
+        policy.register_vssd(0, rate_bytes_per_us=100.0, burst_bytes=1 << 20)
+        queues = {0: deque([_req(0, pages=10)])}
+        assert policy.select(0.0, queues, ALLOW) == 0

@@ -1,0 +1,99 @@
+"""Tests for stride scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import StrideScheduler
+
+
+def test_equal_tickets_alternate():
+    sched = StrideScheduler()
+    sched.add_client("a", 100)
+    sched.add_client("b", 100)
+    picks = [sched.pick() for _ in range(10)]
+    assert picks.count("a") == 5
+    assert picks.count("b") == 5
+
+
+def test_proportional_share():
+    sched = StrideScheduler()
+    sched.add_client("heavy", 300)
+    sched.add_client("light", 100)
+    picks = [sched.pick() for _ in range(400)]
+    assert picks.count("heavy") == pytest.approx(300, abs=2)
+    assert picks.count("light") == pytest.approx(100, abs=2)
+
+
+def test_eligibility_filter():
+    sched = StrideScheduler()
+    sched.add_client("a", 100)
+    sched.add_client("b", 100)
+    assert sched.pick(eligible=["b"]) == "b"
+
+
+def test_pick_empty_returns_none():
+    sched = StrideScheduler()
+    assert sched.pick() is None
+    sched.add_client("a")
+    assert sched.pick(eligible=[]) is None
+
+
+def test_new_client_does_not_monopolize():
+    sched = StrideScheduler()
+    sched.add_client("old", 100)
+    for _ in range(50):
+        sched.pick()
+    sched.add_client("new", 100)
+    picks = [sched.pick() for _ in range(20)]
+    # The newcomer starts at the current minimum pass; it should get
+    # roughly half the picks, not all of them.
+    assert 5 <= picks.count("new") <= 15
+
+
+def test_duplicate_client_rejected():
+    sched = StrideScheduler()
+    sched.add_client("a")
+    with pytest.raises(ValueError):
+        sched.add_client("a")
+
+
+def test_invalid_tickets_rejected():
+    sched = StrideScheduler()
+    with pytest.raises(ValueError):
+        sched.add_client("a", tickets=0)
+
+
+def test_remove_client():
+    sched = StrideScheduler()
+    sched.add_client("a")
+    sched.add_client("b")
+    sched.remove_client("a")
+    assert all(sched.pick() == "b" for _ in range(5))
+
+
+def test_set_tickets_changes_share():
+    sched = StrideScheduler()
+    sched.add_client("a", 100)
+    sched.add_client("b", 100)
+    sched.set_tickets("a", 400)
+    picks = [sched.pick() for _ in range(100)]
+    assert picks.count("a") > 70
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=500), min_size=2, max_size=5),
+    st.integers(min_value=100, max_value=400),
+)
+def test_shares_converge_to_ticket_ratio(tickets, rounds):
+    """Property: pick counts converge to the ticket proportions."""
+    sched = StrideScheduler()
+    for i, t in enumerate(tickets):
+        sched.add_client(i, t)
+    counts = {i: 0 for i in range(len(tickets))}
+    for _ in range(rounds):
+        counts[sched.pick()] += 1
+    total_tickets = sum(tickets)
+    for i, t in enumerate(tickets):
+        expected = rounds * t / total_tickets
+        assert abs(counts[i] - expected) <= max(3.0, 0.15 * rounds)

@@ -1,0 +1,69 @@
+"""Tests for the token-bucket rate limiter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sched import TokenBucket
+
+
+def test_starts_full():
+    bucket = TokenBucket(rate_bytes_per_us=1.0, burst_bytes=100.0)
+    assert bucket.tokens(0.0) == 100.0
+
+
+def test_consume_depletes():
+    bucket = TokenBucket(1.0, 100.0)
+    assert bucket.consume(60.0, now=0.0)
+    assert bucket.tokens(0.0) == pytest.approx(40.0)
+
+
+def test_consume_fails_when_insufficient():
+    bucket = TokenBucket(1.0, 100.0)
+    bucket.consume(100.0, now=0.0)
+    assert not bucket.consume(1.0, now=0.0)
+
+
+def test_refill_over_time():
+    bucket = TokenBucket(2.0, 100.0)
+    bucket.consume(100.0, now=0.0)
+    assert bucket.tokens(10.0) == pytest.approx(20.0)
+
+
+def test_refill_caps_at_burst():
+    bucket = TokenBucket(2.0, 100.0)
+    assert bucket.tokens(1_000_000.0) == 100.0
+
+
+def test_time_until_available():
+    bucket = TokenBucket(2.0, 100.0)
+    bucket.consume(100.0, now=0.0)
+    assert bucket.time_until_available(50.0, now=0.0) == pytest.approx(25.0)
+    assert bucket.time_until_available(0.0, now=0.0) == 0.0
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        TokenBucket(0.0, 10.0)
+    with pytest.raises(ValueError):
+        TokenBucket(1.0, 0.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=50.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_tokens_never_negative_or_above_burst(steps):
+    """Invariant: token level stays within [0, burst] under any trace."""
+    bucket = TokenBucket(rate_bytes_per_us=1.5, burst_bytes=64.0)
+    now = 0.0
+    for delta, amount in steps:
+        now += delta
+        bucket.consume(amount, now)
+        level = bucket.tokens(now)
+        assert -1e-9 <= level <= 64.0 + 1e-9

@@ -1,0 +1,39 @@
+"""Tests for named random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_name_returns_same_generator():
+    streams = RandomStreams(seed=1)
+    assert streams.get("a") is streams.get("a")
+
+
+def test_streams_are_reproducible_across_instances():
+    a = RandomStreams(seed=5).get("workload").random(10)
+    b = RandomStreams(seed=5).get("workload").random(10)
+    assert (a == b).all()
+
+
+def test_different_names_differ():
+    streams = RandomStreams(seed=5)
+    a = streams.get("x").random(10)
+    b = streams.get("y").random(10)
+    assert not (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).get("x").random(10)
+    b = RandomStreams(seed=2).get("x").random(10)
+    assert not (a == b).all()
+
+
+def test_spawn_is_deterministic():
+    a = RandomStreams(seed=3).spawn("rep1").get("x").random(5)
+    b = RandomStreams(seed=3).spawn("rep1").get("x").random(5)
+    assert (a == b).all()
+
+
+def test_spawn_differs_from_parent():
+    parent = RandomStreams(seed=3)
+    child = parent.spawn("rep1")
+    assert not (parent.get("x").random(5) == child.get("x").random(5)).all()

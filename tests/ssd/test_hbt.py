@@ -1,0 +1,52 @@
+"""Tests for the Harvested Block Table."""
+
+from repro.ssd.geometry import FlashBlock
+from repro.ssd.hbt import HarvestedBlockTable
+
+
+def _block(index=0):
+    return FlashBlock(0, 0, index, pages_per_block=4)
+
+
+def test_mark_harvested_sets_flag_and_tracks(hbt):
+    block = _block()
+    hbt.mark_harvested(block)
+    assert block.harvested_flag is True
+    assert hbt.is_harvested(block.block_id)
+    assert len(hbt) == 1
+
+
+def test_mark_regular_clears(hbt):
+    block = _block()
+    hbt.mark_harvested(block)
+    hbt.mark_regular(block)
+    assert block.harvested_flag is False
+    assert not hbt.is_harvested(block.block_id)
+    assert len(hbt) == 0
+
+
+def test_mark_regular_idempotent(hbt):
+    block = _block()
+    hbt.mark_regular(block)
+    assert len(hbt) == 0
+
+
+def test_mark_many(hbt):
+    blocks = [_block(i) for i in range(5)]
+    hbt.mark_many(blocks)
+    assert len(hbt) == 5
+
+
+def test_footprint_is_one_bit_per_block(hbt):
+    # The paper: at most 0.5 MB for a 1 TB SSD with 4 MB blocks.
+    blocks_in_1tb = (1 << 40) // (4 << 20)
+    bits = hbt.footprint_bits(blocks_in_1tb)
+    assert bits / 8 / (1 << 20) <= 0.5
+
+
+def test_erase_then_hbt_stays_consistent(hbt):
+    block = _block()
+    hbt.mark_harvested(block)
+    block.erase()  # erase clears the block-side flag
+    hbt.mark_regular(block)
+    assert not hbt.is_harvested(block.block_id)

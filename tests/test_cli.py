@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("terasort", "ycsb", "vdi-web"):
+        assert name in out
+
+
+def test_run_command_small_device(capsys):
+    code = main([
+        "run", "ycsb", "batchanalytics",
+        "--policy", "hardware", "--duration", "2", "--warmup", "0.5",
+        "--channels", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hardware" in out
+    assert "ycsb" in out
+    assert "bw=" in out
+
+
+def test_compare_command_subset(capsys):
+    code = main([
+        "compare", "ycsb", "batchanalytics",
+        "--policies", "hardware,software",
+        "--duration", "2", "--warmup", "0.5", "--channels", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hardware" in out and "software" in out
+
+
+def test_classify_command(capsys):
+    assert main(["classify", "pagerank"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster:" in out
+    assert "BI" in out
+
+
+def test_unknown_workload_fails(capsys):
+    code = main(["run", "postgres", "--duration", "1"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_duplicate_workload_names_disambiguated(capsys):
+    code = main([
+        "run", "ycsb", "ycsb",
+        "--policy", "hardware", "--duration", "1", "--warmup", "0.2",
+        "--channels", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ycsb-1" in out and "ycsb-2" in out
+
+
+def test_parser_covers_all_commands():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, type(parser._actions[-1]))
+    )
+    names = set(sub.choices)
+    assert {"run", "compare", "workloads", "classify", "pretrain", "overheads"} <= names

@@ -1,0 +1,92 @@
+"""Table 3 parameter assertions and config validation."""
+
+import pytest
+
+from repro.config import (
+    ADMISSION_BATCH_INTERVAL_S,
+    CLUSTER_ALPHAS,
+    FINETUNE_SLO_THRESHOLD,
+    RLConfig,
+    SSDConfig,
+)
+
+
+class TestTable3Defaults:
+    """The defaults mirror Table 3 of the paper."""
+
+    def test_sdf_parameters(self):
+        config = SSDConfig()
+        assert config.num_channels == 16
+        assert config.chips_per_channel == 4
+        assert config.page_size == 16 * 1024
+        assert config.max_queue_depth == 16
+        assert config.overprovision_ratio == 0.20
+
+    def test_rl_parameters(self):
+        config = RLConfig()
+        assert config.decision_interval_s == 2.0
+        assert config.beta == 0.6
+        assert config.learning_rate == 1e-4
+        assert config.discount_factor == 0.9
+        assert config.hidden_layer_sizes == (50, 50)
+        assert config.batch_size == 32
+
+    def test_state_space_dimensions(self):
+        # Section 3.3.1: 11 states per window, 3 windows concatenated.
+        config = RLConfig()
+        assert config.states_per_window == 11
+        assert config.history_windows == 3
+        assert config.state_dim == 33
+
+    def test_channel_bandwidth_calibration(self):
+        # Section 3.6.2: ~64 MB/s maximum bandwidth per channel.
+        config = SSDConfig()
+        assert 50 <= config.channel_write_bandwidth_mbps <= 75
+        assert 50 <= config.channel_read_bandwidth_mbps <= 80
+
+    def test_gc_and_gsb_policy(self):
+        config = SSDConfig()
+        assert config.gc_free_block_threshold == 0.20  # Section 4.1
+        assert config.gsb_min_free_fraction == 0.25    # Section 3.6.2
+
+    def test_admission_batching_interval(self):
+        assert ADMISSION_BATCH_INTERVAL_S == 0.05  # Section 3.5: 50 ms
+
+    def test_cluster_alphas(self):
+        # Section 3.8: LC-1 2.5e-2, LC-2 5e-3, BI 0.
+        assert CLUSTER_ALPHAS == {"LC-1": 2.5e-2, "LC-2": 5e-3, "BI": 0.0}
+
+    def test_finetune_threshold(self):
+        assert FINETUNE_SLO_THRESHOLD == 0.05  # Section 3.4: 5%
+
+    def test_slo_violation_guarantee(self):
+        assert RLConfig().slo_violation_guarantee == 0.01  # Section 3.3.3
+
+
+class TestValidation:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SSDConfig(num_channels=0)
+        with pytest.raises(ValueError):
+            SSDConfig(pages_per_block=-1)
+        with pytest.raises(ValueError):
+            SSDConfig(overprovision_ratio=1.0)
+
+    def test_invalid_rl_params_rejected(self):
+        with pytest.raises(ValueError):
+            RLConfig(beta=1.5)
+        with pytest.raises(ValueError):
+            RLConfig(discount_factor=0.0)
+        with pytest.raises(ValueError):
+            RLConfig(decision_interval_s=0.0)
+
+    def test_capacity_derivations(self):
+        config = SSDConfig(
+            num_channels=2, chips_per_channel=2, blocks_per_chip=4,
+            pages_per_block=8, page_size=1024,
+        )
+        assert config.block_size == 8192
+        assert config.blocks_per_channel == 8
+        assert config.total_blocks == 16
+        assert config.capacity_bytes == 16 * 8192
+        assert config.usable_bytes == int(16 * 8192 * 0.8)

@@ -1,0 +1,54 @@
+"""Sanity checks on the example scripts (compile + structure).
+
+The examples are exercised for real in documentation runs; here we only
+guarantee they stay syntactically valid, importable-at-the-top, and keep
+the `main()` convention — cheap guards against bit-rot.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(pathlib.Path(__file__).parent.parent.joinpath("examples").glob("*.py"))
+
+
+def test_all_seven_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "harvesting_lifecycle.py",
+        "workload_clustering.py",
+        "policy_comparison.py",
+        "trace_replay.py",
+        "zns_harvesting.py",
+        "provider_controls.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    compile(path.read_text(), str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+    has_main = any(
+        isinstance(node, ast.FunctionDef) and node.name == "main"
+        for node in tree.body
+    )
+    assert has_main, f"{path.name} lacks a main()"
+    assert "__main__" in path.read_text(), f"{path.name} lacks the main guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples must not reach into private modules (underscore names)."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            assert not any(part.startswith("_") for part in node.module.split(".")), (
+                path.name, node.module
+            )

@@ -1,0 +1,161 @@
+"""Tests for admission control: batching, reordering, policies."""
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.sched.request import Priority
+from repro.virt import (
+    HarvestAction,
+    MakeHarvestableAction,
+    SetPriorityAction,
+    StorageVirtualizer,
+)
+
+
+@pytest.fixture
+def virt(small_config):
+    v = StorageVirtualizer(config=small_config)
+    v.create_vssd("lat", [0, 1])
+    v.create_vssd("bw", [2, 3])
+    return v
+
+
+def _warm(vssd, fraction=0.3):
+    ftl = vssd.ftl
+    pages = sum(ftl._own_blocks_per_channel.values()) * ftl.config.pages_per_block
+    ftl.warm_fill(range(int(pages * fraction)))
+
+
+def test_set_priority_applies_immediately(virt):
+    lat = virt.vssd_by_name("lat")
+    virt.admission.submit(SetPriorityAction(lat.vssd_id, Priority.HIGH))
+    assert lat.priority is Priority.HIGH
+    assert virt.policy.get_priority(lat.vssd_id) is Priority.HIGH
+    assert virt.admission.pending_actions == 0
+
+
+def test_harvest_actions_batched(virt):
+    bw = virt.vssd_by_name("bw")
+    virt.admission.submit(HarvestAction(bw.vssd_id, gsb_bw_mbps=100.0))
+    assert virt.admission.pending_actions == 1
+    assert virt.gsb_manager.stats.gsbs_harvested == 0
+
+
+def test_batch_runs_make_harvestable_first(virt, small_config):
+    """Within one batch, supply lands before demand is served."""
+    lat, bw = virt.vssd_by_name("lat"), virt.vssd_by_name("bw")
+    per = small_config.channel_write_bandwidth_mbps
+    # Harvest submitted BEFORE the offer; reordering makes it succeed.
+    virt.admission.submit(HarvestAction(bw.vssd_id, per + 1))
+    virt.admission.submit(MakeHarvestableAction(lat.vssd_id, per + 1))
+    virt.admission.process_batch()
+    assert virt.admission.stats.executed_harvest == 1
+    assert virt.admission.stats.failed_harvest == 0
+    assert bw.harvested_channel_count() == 1
+
+
+def test_scarce_supply_served_to_least_harvested(virt, small_config):
+    virt3 = StorageVirtualizer(config=small_config)
+    a = virt3.create_vssd("a", [0])
+    b = virt3.create_vssd("b", [1])
+    c = virt3.create_vssd("c", [2, 3])
+    per = small_config.channel_write_bandwidth_mbps
+    # c offers one channel; a and b both want one; a already harvested
+    # elsewhere... emulate by giving a a prior harvest from c.
+    virt3.admission.submit(MakeHarvestableAction(c.vssd_id, per + 1))
+    virt3.admission.process_batch()
+    virt3.gsb_manager.harvest(a, per + 1)  # a now holds 1 harvested channel
+    virt3.admission.submit(MakeHarvestableAction(c.vssd_id, 2 * per + 1))
+    virt3.admission.submit(HarvestAction(a.vssd_id, per + 1))
+    virt3.admission.submit(HarvestAction(b.vssd_id, per + 1))
+    virt3.admission.process_batch()
+    # b (zero harvested) is served before a.
+    assert b.harvested_channel_count() >= 1
+
+
+def test_policy_vetoes_action(virt):
+    bw = virt.vssd_by_name("bw")
+    virt.admission.add_policy(
+        lambda action, vssd: not isinstance(action, HarvestAction)
+    )
+    virt.admission.submit(HarvestAction(bw.vssd_id, 100.0))
+    assert virt.admission.stats.denied == 1
+    assert virt.admission.pending_actions == 0
+
+
+def test_spot_tenant_policy_example(virt, small_config):
+    """Cloud providers may bar spot tenants from harvesting (S 3.5)."""
+    spot = virt.create_vssd("spot", [], isolation="hardware") if False else None
+    bw = virt.vssd_by_name("bw")
+    bw.tenant_class = "spot"
+
+    def no_spot_harvest(action, vssd):
+        return not (isinstance(action, HarvestAction) and vssd.tenant_class == "spot")
+
+    virt.admission.add_policy(no_spot_harvest)
+    virt.admission.submit(HarvestAction(bw.vssd_id, 100.0))
+    assert virt.admission.stats.denied == 1
+
+
+def test_premium_tenant_cannot_offer(virt):
+    lat = virt.vssd_by_name("lat")
+    lat.tenant_class = "premium"
+
+    def no_premium_offer(action, vssd):
+        return not (
+            isinstance(action, MakeHarvestableAction)
+            and vssd.tenant_class == "premium"
+        )
+
+    virt.admission.add_policy(no_premium_offer)
+    virt.admission.submit(MakeHarvestableAction(lat.vssd_id, 100.0))
+    assert virt.admission.stats.denied == 1
+
+
+def test_periodic_batch_on_simulator_clock(virt, small_config):
+    lat, bw = virt.vssd_by_name("lat"), virt.vssd_by_name("bw")
+    per = small_config.channel_write_bandwidth_mbps
+    virt.admission.start()
+    virt.admission.submit(MakeHarvestableAction(lat.vssd_id, per + 1))
+    virt.admission.submit(HarvestAction(bw.vssd_id, per + 1))
+    # Nothing executes before the 50 ms batch boundary...
+    virt.sim.run_until(49_000.0)
+    assert virt.gsb_manager.stats.gsbs_harvested == 0
+    # ...and everything executes right after it.
+    virt.sim.run_until(51_000.0)
+    assert virt.gsb_manager.stats.gsbs_harvested == 1
+
+
+def test_stop_halts_batching(virt):
+    virt.admission.start()
+    virt.admission.stop()
+    bw = virt.vssd_by_name("bw")
+    virt.admission.submit(HarvestAction(bw.vssd_id, 100.0))
+    virt.sim.run_until_seconds(1.0)
+    assert virt.admission.pending_actions == 1
+
+
+def test_unknown_vssd_rejected(virt):
+    with pytest.raises(KeyError):
+        virt.admission.submit(HarvestAction(99, 100.0))
+
+
+def test_action_validation():
+    with pytest.raises(ValueError):
+        HarvestAction(0, gsb_bw_mbps=0.0)
+    with pytest.raises(ValueError):
+        MakeHarvestableAction(0, gsb_bw_mbps=-1.0)
+
+
+def test_batch_processing_is_fast(virt, small_config):
+    """S 4.7: a batch of 1,000 actions processes in well under 50 ms of
+    wall-clock (the paper reports 0.8 ms on their hardware)."""
+    import time
+
+    bw = virt.vssd_by_name("bw")
+    for _ in range(1000):
+        virt.admission.submit(HarvestAction(bw.vssd_id, 1000.0))
+    start = time.perf_counter()
+    virt.admission.process_batch()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 0.5

@@ -1,0 +1,91 @@
+"""Tests for the storage virtualizer: vSSD lifecycle, placeholder."""
+
+import pytest
+
+from repro.sched.policies import TokenBucketStridePolicy
+from repro.virt import PLACEHOLDER_VSSD_ID, StorageVirtualizer
+
+
+@pytest.fixture
+def virt(small_config):
+    return StorageVirtualizer(config=small_config)
+
+
+def test_hardware_vssd_owns_whole_channels(virt, small_config):
+    vssd = virt.create_vssd("a", [0, 1])
+    owned = sum(vssd.ftl._own_blocks_per_channel.values())
+    assert owned == 2 * small_config.blocks_per_channel
+    assert vssd.isolation == "hardware"
+
+
+def test_software_vssds_share_channels(virt, small_config):
+    half = small_config.blocks_per_channel // 2
+    a = virt.create_vssd("a", [0, 1, 2, 3], isolation="software", blocks_per_channel=half)
+    b = virt.create_vssd("b", [0, 1, 2, 3], isolation="software", blocks_per_channel=half)
+    assert set(a.ftl._own_blocks_per_channel) == {0, 1, 2, 3}
+    assert set(b.ftl._own_blocks_per_channel) == {0, 1, 2, 3}
+
+
+def test_software_requires_block_count(virt):
+    with pytest.raises(ValueError):
+        virt.create_vssd("a", [0], isolation="software")
+
+
+def test_exhausted_channels_rejected(virt):
+    virt.create_vssd("a", [0, 1])
+    with pytest.raises(ValueError):
+        virt.create_vssd("b", [0, 1])
+
+
+def test_vssd_by_name(virt):
+    virt.create_vssd("alpha", [0])
+    assert virt.vssd_by_name("alpha").name == "alpha"
+    with pytest.raises(KeyError):
+        virt.vssd_by_name("missing")
+
+
+def test_deallocation_moves_blocks_to_placeholder(virt, small_config):
+    vssd = virt.create_vssd("a", [0, 1])
+    vssd.ftl.warm_fill(range(100))
+    virt.deallocate_vssd(vssd.vssd_id)
+    placeholder = virt.placeholder
+    assert placeholder is not None
+    owned = sum(placeholder.ftl._own_blocks_per_channel.values())
+    assert owned == 2 * small_config.blocks_per_channel
+    # All data was erased before the transfer (security, Section 5).
+    for channel in virt.ssd.channels[:2]:
+        for block in channel.blocks:
+            assert block.is_free
+
+
+def test_deallocated_capacity_is_harvestable(virt, small_config):
+    vssd = virt.create_vssd("a", [0, 1])
+    survivor = virt.create_vssd("b", [2, 3])
+    virt.deallocate_vssd(vssd.vssd_id)
+    virt.offer_placeholder_capacity()
+    assert virt.gsb_manager.pool.available() > 0
+    per = small_config.channel_write_bandwidth_mbps
+    gsb = virt.gsb_manager.harvest(survivor, per + 1)
+    assert gsb is not None
+    assert gsb.home_vssd == PLACEHOLDER_VSSD_ID
+
+
+def test_deallocate_unknown_raises(virt):
+    with pytest.raises(KeyError):
+        virt.deallocate_vssd(42)
+
+
+def test_priority_routed_to_policy(virt):
+    from repro.sched.request import Priority
+    from repro.virt.actions import SetPriorityAction
+
+    vssd = virt.create_vssd("a", [0])
+    virt.admission.submit(SetPriorityAction(vssd.vssd_id, Priority.LOW))
+    assert virt.policy.get_priority(vssd.vssd_id) is Priority.LOW
+
+
+def test_custom_scheduling_policy(small_config):
+    policy = TokenBucketStridePolicy(rate_bytes_per_us=1000.0, burst_bytes=1 << 20)
+    virt = StorageVirtualizer(config=small_config, policy=policy)
+    virt.create_vssd("a", [0])
+    assert virt.dispatcher.policy is policy

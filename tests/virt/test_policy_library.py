@@ -1,0 +1,107 @@
+"""Tests for the reusable admission-policy library."""
+
+import pytest
+
+from repro.sched.request import Priority
+from repro.virt.actions import HarvestAction, MakeHarvestableAction, SetPriorityAction
+from repro.virt.policies import (
+    all_of,
+    business_hours_freeze,
+    cap_harvested_channels,
+    cap_offered_fraction,
+    deny_harvest_for_classes,
+    deny_offer_for_classes,
+)
+from repro.virt.vssd import Vssd
+
+
+def _vssd(tenant_class="standard", channels=8):
+    return Vssd(0, "v", None, list(range(channels)), tenant_class=tenant_class)
+
+
+class FakeGsb:
+    def __init__(self, n_chls):
+        self.n_chls = n_chls
+
+
+def test_deny_harvest_for_spot():
+    policy = deny_harvest_for_classes("spot")
+    spot, standard = _vssd("spot"), _vssd("standard")
+    harvest = HarvestAction(0, 100.0)
+    assert policy(harvest, spot) is False
+    assert policy(harvest, standard) is True
+    # Other actions unaffected.
+    assert policy(MakeHarvestableAction(0, 100.0), spot) is True
+
+
+def test_deny_offer_for_premium():
+    policy = deny_offer_for_classes("premium")
+    premium = _vssd("premium")
+    assert policy(MakeHarvestableAction(0, 100.0), premium) is False
+    # Level-0 (reclaim) stays allowed — taking resources back is safe.
+    assert policy(MakeHarvestableAction(0, 1e-9), premium) is True
+    assert policy(HarvestAction(0, 100.0), premium) is True
+
+
+def test_cap_harvested_channels():
+    policy = cap_harvested_channels(2)
+    vssd = _vssd()
+    assert policy(HarvestAction(0, 100.0), vssd) is True
+    vssd.harvested_gsbs = [FakeGsb(2)]
+    assert policy(HarvestAction(0, 100.0), vssd) is False
+    assert policy(SetPriorityAction(0, Priority.HIGH), vssd) is True
+
+
+def test_cap_offered_fraction():
+    policy = cap_offered_fraction(0.25)  # 2 of 8 channels
+    vssd = _vssd(channels=8)
+    assert policy(MakeHarvestableAction(0, 100.0), vssd) is True
+    vssd.harvestable_gsbs = [FakeGsb(2)]
+    assert policy(MakeHarvestableAction(0, 100.0), vssd) is False
+    # Reclaiming is always allowed.
+    assert policy(MakeHarvestableAction(0, 1e-9), vssd) is True
+
+
+def test_business_hours_freeze():
+    frozen = [True]
+    policy = business_hours_freeze(lambda: frozen[0])
+    vssd = _vssd()
+    assert policy(HarvestAction(0, 100.0), vssd) is False
+    assert policy(SetPriorityAction(0, Priority.LOW), vssd) is True
+    frozen[0] = False
+    assert policy(HarvestAction(0, 100.0), vssd) is True
+
+
+def test_all_of_combines():
+    policy = all_of(
+        deny_harvest_for_classes("spot"),
+        cap_harvested_channels(1),
+    )
+    spot = _vssd("spot")
+    standard = _vssd("standard")
+    standard.harvested_gsbs = [FakeGsb(1)]
+    assert policy(HarvestAction(0, 100.0), spot) is False      # class veto
+    assert policy(HarvestAction(0, 100.0), standard) is False  # cap veto
+    assert policy(HarvestAction(0, 100.0), _vssd()) is True
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        cap_harvested_channels(-1)
+    with pytest.raises(ValueError):
+        cap_offered_fraction(1.5)
+
+
+def test_integration_with_admission_controller(small_config):
+    from repro.virt import StorageVirtualizer
+
+    virt = StorageVirtualizer(config=small_config)
+    spot = virt.create_vssd("spot", [0, 1], tenant_class="spot")
+    donor = virt.create_vssd("donor", [2, 3])
+    virt.admission.add_policy(deny_harvest_for_classes("spot"))
+    per = small_config.channel_write_bandwidth_mbps
+    virt.admission.submit(MakeHarvestableAction(donor.vssd_id, per + 1))
+    virt.admission.submit(HarvestAction(spot.vssd_id, per + 1))
+    virt.admission.process_batch()
+    assert virt.admission.stats.denied == 1
+    assert spot.harvested_channel_count() == 0

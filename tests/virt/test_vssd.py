@@ -1,0 +1,45 @@
+"""Tests for the vSSD abstraction."""
+
+import pytest
+
+from repro.sched.request import Priority
+from repro.virt.vssd import Vssd
+
+
+def _vssd(**kwargs):
+    defaults = dict(
+        vssd_id=0, name="v", ftl=None, channel_ids=[0, 1], isolation="hardware"
+    )
+    defaults.update(kwargs)
+    return Vssd(**defaults)
+
+
+def test_defaults():
+    vssd = _vssd()
+    assert vssd.priority is Priority.MEDIUM
+    assert vssd.num_channels == 2
+    assert vssd.tenant_class == "standard"
+    assert not vssd.deallocated
+
+
+def test_invalid_isolation_rejected():
+    with pytest.raises(ValueError):
+        _vssd(isolation="quantum")
+
+
+def test_harvested_channel_count():
+    class FakeGsb:
+        n_chls = 2
+
+    vssd = _vssd()
+    vssd.harvested_gsbs = [FakeGsb(), FakeGsb()]
+    assert vssd.harvested_channel_count() == 4
+
+
+def test_offered_channel_count():
+    class FakeGsb:
+        n_chls = 3
+
+    vssd = _vssd()
+    vssd.harvestable_gsbs = [FakeGsb()]
+    assert vssd.offered_channel_count() == 3

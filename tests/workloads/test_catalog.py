@@ -1,0 +1,58 @@
+"""Tests for the workload catalog."""
+
+import pytest
+
+from repro.workloads import EVALUATION_WORKLOADS, TRAINING_WORKLOADS, WORKLOAD_CATALOG, get_spec
+from repro.workloads.catalog import CLUSTER_GROUND_TRUTH
+
+
+def test_catalog_has_nine_workloads():
+    # Section 3.4: "We sample windows from 9 typical cloud workloads."
+    assert len(WORKLOAD_CATALOG) == 9
+
+
+def test_evaluation_set_matches_table4():
+    assert set(EVALUATION_WORKLOADS) == {
+        "terasort", "mlprep", "pagerank", "vdi-web", "ycsb"
+    }
+
+
+def test_training_set_disjoint_from_evaluation():
+    # Section 3.8: pre-training workloads are not used in the evaluation.
+    assert not set(TRAINING_WORKLOADS) & set(EVALUATION_WORKLOADS)
+
+
+def test_lookup_case_insensitive():
+    assert get_spec("TeraSort").name == "terasort"
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        get_spec("cassandra")
+
+
+def test_categories_match_table4():
+    for name in ("terasort", "mlprep", "pagerank"):
+        assert get_spec(name).category == "bandwidth"
+    for name in ("vdi-web", "ycsb"):
+        assert get_spec(name).category == "latency"
+
+
+def test_ground_truth_covers_catalog():
+    assert set(CLUSTER_GROUND_TRUTH) == set(WORKLOAD_CATALOG)
+    assert set(CLUSTER_GROUND_TRUTH.values()) == {"BI", "LC-1", "LC-2"}
+
+
+def test_ycsb_is_its_own_cluster():
+    # Figure 6: YCSB-B has its own cluster due to low LPA entropy.
+    assert CLUSTER_GROUND_TRUTH["ycsb"] == "LC-2"
+    others = [n for n, c in CLUSTER_GROUND_TRUTH.items() if c == "LC-2"]
+    assert others == ["ycsb"]
+
+
+def test_bandwidth_workloads_are_closed_loop():
+    for name, spec in WORKLOAD_CATALOG.items():
+        if spec.category == "bandwidth":
+            assert spec.mode == "closed", name
+        else:
+            assert spec.mode == "open", name

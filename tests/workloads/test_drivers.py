@@ -1,0 +1,110 @@
+"""Tests for the open/closed-loop DES drivers."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    WorkloadModel,
+    get_spec,
+    make_driver,
+)
+
+
+def _driver_for(name, sim, submit):
+    spec = get_spec(name)
+    model = WorkloadModel(spec, np.random.default_rng(0), 10_000)
+    return make_driver(model, 0, sim, submit, page_size=16384)
+
+
+def test_make_driver_picks_kind():
+    sim = Simulator()
+    assert isinstance(_driver_for("ycsb", sim, lambda r: None), OpenLoopDriver)
+    assert isinstance(_driver_for("terasort", sim, lambda r: None), ClosedLoopDriver)
+
+
+def test_open_loop_rate_approximates_spec():
+    sim = Simulator()
+    submitted = []
+    driver = _driver_for("ycsb", sim, submitted.append)
+    driver.start()
+    sim.run_until_seconds(3.0)  # ycsb phase 1 @ 3000 IOPS
+    rate = len(submitted) / 3.0
+    assert rate == pytest.approx(3000, rel=0.15)
+
+
+def test_open_loop_stops(sim=None):
+    sim = Simulator()
+    submitted = []
+    driver = _driver_for("ycsb", sim, submitted.append)
+    driver.start()
+    sim.run_until_seconds(0.5)
+    driver.stop()
+    count = len(submitted)
+    sim.run_until_seconds(1.5)
+    assert len(submitted) == count
+
+
+def test_closed_loop_maintains_outstanding():
+    sim = Simulator()
+    inflight = []
+    driver = _driver_for("terasort", sim, inflight.append)
+    driver.start()
+    assert driver.in_flight == get_spec("terasort").outstanding
+    # Completing one request triggers a replacement submission.
+    request = inflight[0]
+    request.dispatch_time = sim.now
+    request.complete_time = sim.now
+    driver.on_complete(request)
+    assert driver.in_flight == get_spec("terasort").outstanding
+    assert driver.submitted == get_spec("terasort").outstanding + 1
+
+
+def test_closed_loop_idle_phase_stops_submissions():
+    sim = Simulator()
+    inflight = []
+    driver = _driver_for("terasort", sim, inflight.append)
+    driver.start()
+    # Jump into the idle phase (scale 0 between 4.5s and 5.5s).
+    sim.run_until_seconds(4.6)
+    assert driver.target_outstanding() == 0
+    # Complete everything: nothing new should be submitted while idle.
+    before = driver.submitted
+    for request in list(inflight):
+        if request.complete_time is None:
+            request.dispatch_time = request.complete_time = sim.now
+            driver.on_complete(request)
+    assert driver.submitted == before
+
+
+def test_closed_loop_phase_tick_resumes():
+    sim = Simulator()
+    submitted = []
+    driver = _driver_for("terasort", sim, submitted.append)
+    driver.start()
+    # Drain all in-flight requests during the idle phase (4.5s-5.5s):
+    # nothing new is submitted because the target is zero.
+    sim.run_until_seconds(4.6)
+    for request in list(submitted):
+        if request.complete_time is None:
+            request.dispatch_time = request.complete_time = sim.now
+            driver.on_complete(request)
+    count_at_idle = driver.submitted
+    assert driver.in_flight == 0
+    # Crossing the phase boundary at 5.5s must top the loop back up.
+    sim.run_until_seconds(6.0)
+    assert driver.submitted > count_at_idle
+
+
+def test_driver_request_fields():
+    sim = Simulator()
+    submitted = []
+    driver = _driver_for("ycsb", sim, submitted.append)
+    driver.start()
+    sim.run_until_seconds(0.1)
+    request = submitted[0]
+    assert request.vssd_id == 0
+    assert request.op in ("read", "write")
+    assert request.num_pages >= 1

@@ -1,0 +1,75 @@
+"""Tests for the workload model and trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import WorkloadModel, get_spec, synthesize_trace
+
+
+@pytest.fixture
+def model():
+    return WorkloadModel(get_spec("ycsb"), np.random.default_rng(0), 10_000)
+
+
+def test_read_ratio_respected(model):
+    ops = [model.sample_op() for _ in range(2000)]
+    read_frac = sum(1 for op in ops if op == "read") / len(ops)
+    assert read_frac == pytest.approx(0.95, abs=0.03)
+
+
+def test_sizes_from_distribution(model):
+    sizes = {model.sample_size_pages() for _ in range(100)}
+    assert sizes == {1}
+
+
+def test_interarrival_positive(model):
+    for t in (0.0, 1.0, 5.0):
+        assert model.interarrival_us(t) > 0
+
+
+def test_idle_phase_skips_to_next_boundary():
+    spec = get_spec("terasort")  # has a 0-scale phase
+    model = WorkloadModel(spec, np.random.default_rng(0), 10_000)
+    # At 4.6s terasort is in its idle phase (3.0 + 1.5 <= t < 5.5).
+    gap = model.interarrival_us(4.6)
+    assert gap == pytest.approx((5.5 - 4.6) * 1e6)
+
+
+def test_synthesize_trace_shape():
+    trace = synthesize_trace(get_spec("vdi-web"), np.random.default_rng(1), 500)
+    assert len(trace) == 500
+    assert (np.diff(trace.times_us) >= 0).all()
+    assert set(np.unique(trace.ops)) <= {0, 1}
+    assert (trace.sizes_pages > 0).all()
+
+
+def test_trace_windows():
+    trace = synthesize_trace(get_spec("vdi-web"), np.random.default_rng(1), 1000)
+    windows = list(trace.iter_windows(300))
+    assert len(windows) == 3
+    assert all(len(w) == 300 for w in windows)
+
+
+def test_trace_window_slice():
+    trace = synthesize_trace(get_spec("ycsb"), np.random.default_rng(1), 100)
+    sub = trace.window(10, 20)
+    assert len(sub) == 20
+    assert sub.times_us[0] == trace.times_us[10]
+
+
+def test_traces_reproducible():
+    a = synthesize_trace(get_spec("ycsb"), np.random.default_rng(7), 200)
+    b = synthesize_trace(get_spec("ycsb"), np.random.default_rng(7), 200)
+    assert (a.lpns == b.lpns).all()
+    assert (a.times_us == b.times_us).all()
+
+
+def test_bandwidth_workload_rates_exceed_latency():
+    rng = np.random.default_rng(0)
+    bw = synthesize_trace(get_spec("pagerank"), rng, 1000)
+    lat = synthesize_trace(get_spec("ycsb"), rng, 1000)
+    bw_bytes = bw.sizes_pages.sum() * bw.page_size
+    lat_bytes = lat.sizes_pages.sum() * lat.page_size
+    bw_rate = bw_bytes / (bw.times_us[-1] - bw.times_us[0])
+    lat_rate = lat_bytes / (lat.times_us[-1] - lat.times_us[0])
+    assert bw_rate > 3 * lat_rate

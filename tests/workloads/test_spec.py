@@ -1,0 +1,72 @@
+"""Tests for workload specifications and phases."""
+
+import pytest
+
+from repro.workloads import Phase, UniformPattern, WorkloadSpec
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        name="test",
+        category="latency",
+        mode="open",
+        read_ratio=0.5,
+        io_sizes_pages=(1, 2),
+        io_size_probs=(0.5, 0.5),
+        pattern_factory=lambda ws: UniformPattern(ws),
+    )
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+def test_mean_io_pages():
+    assert _spec().mean_io_pages == 1.5
+
+
+def test_scale_constant_without_phases():
+    assert _spec().scale_at(123.4) == 1.0
+
+
+def test_scale_follows_phase_cycle():
+    spec = _spec(phases=(Phase(2.0, 1.0), Phase(1.0, 0.2)))
+    assert spec.scale_at(0.5) == 1.0
+    assert spec.scale_at(2.5) == 0.2
+    assert spec.scale_at(3.5) == 1.0  # wrapped around
+    assert spec.cycle_duration_s == 3.0
+
+
+def test_invalid_category_rejected():
+    with pytest.raises(ValueError):
+        _spec(category="gpu")
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        _spec(mode="turbo")
+
+
+def test_size_probs_must_sum_to_one():
+    with pytest.raises(ValueError):
+        _spec(io_size_probs=(0.5, 0.4))
+
+
+def test_size_probs_length_mismatch():
+    with pytest.raises(ValueError):
+        _spec(io_sizes_pages=(1,), io_size_probs=(0.5, 0.5))
+
+
+def test_negative_phase_rejected():
+    with pytest.raises(ValueError):
+        Phase(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        Phase(1.0, -0.5)
+
+
+def test_read_ratio_bounds():
+    with pytest.raises(ValueError):
+        _spec(read_ratio=1.5)
+
+
+def test_is_latency_sensitive():
+    assert _spec(category="latency").is_latency_sensitive
+    assert not _spec(category="bandwidth", mode="closed").is_latency_sensitive

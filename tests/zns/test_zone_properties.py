@@ -1,0 +1,63 @@
+"""Property tests: the zone state machine under random command traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ssd.geometry import FlashBlock
+from repro.zns.zone import Zone, ZoneError, ZoneState
+
+COMMANDS = ("open", "close", "finish", "reset", "advance")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    commands=st.lists(
+        st.tuples(st.sampled_from(COMMANDS), st.integers(1, 6)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_state_machine_invariants(commands):
+    """Whatever command sequence is thrown at a zone:
+
+    * the write pointer stays within [0, capacity];
+    * FULL if-and-only-if pointer == capacity (except EMPTY's 0);
+    * every block's programmed pages never exceed its capacity;
+    * illegal transitions raise ZoneError and change nothing.
+    """
+    blocks = [FlashBlock(0, i % 2, i, pages_per_block=4) for i in range(3)]
+    zone = Zone(0, blocks)
+    for command, arg in commands:
+        before = (zone.state, zone.write_pointer, zone.resets)
+        try:
+            if command == "open":
+                zone.open()
+            elif command == "close":
+                zone.close()
+            elif command == "finish":
+                zone.finish()
+            elif command == "reset":
+                if zone.state is not ZoneState.EMPTY:
+                    # Blocks may hold programmed pages; emulate the
+                    # namespace's erase step.
+                    for block in zone.blocks:
+                        for page, lpn in block.valid_lpns():
+                            block.invalidate(page)
+                        if not block.is_free:
+                            block.erase()
+                zone.reset()
+            else:
+                placements = zone.advance(arg)
+                for index, (block, _page) in enumerate(placements):
+                    block.program(before[1] + index)
+        except ZoneError:
+            after = (zone.state, zone.write_pointer, zone.resets)
+            assert after == before  # failed commands are side-effect-free
+        # Invariants.
+        assert 0 <= zone.write_pointer <= zone.capacity_pages
+        if zone.state is ZoneState.FULL:
+            assert zone.write_pointer == zone.capacity_pages
+        if zone.state is ZoneState.EMPTY:
+            assert zone.write_pointer == 0
+        for block in zone.blocks:
+            assert block.write_ptr <= block.pages_per_block
