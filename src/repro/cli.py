@@ -60,6 +60,9 @@ def _print_result(policy: str, result) -> None:
           f"(P95 {result.p95_utilization:.2%})")
     for vssd in result.vssds.values():
         print("  " + vssd.summary_row())
+    summary = result.admission_summary()
+    if summary:
+        print("  " + summary)
 
 
 def cmd_run(args) -> int:
@@ -90,6 +93,67 @@ def cmd_compare(args) -> int:
     )
     for policy, result in results.items():
         _print_result(policy, result)
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Run the scripted fault scenario and report per-phase recovery."""
+    from repro.faults import scenario_phases, slowdown_corruption_scenario
+    from repro.harness import events_to_csv
+
+    plans = _plans_from(args.workloads)
+    config = _config_from(args)
+    target = plans[0].name
+    # Under the default equal-split allocation the first plan owns the
+    # leading block of channel ids; the fault lands on its channels.
+    channels = list(range(config.num_channels // len(plans)))
+    fault_end_s = args.fault_start + args.fault_duration
+    faults = slowdown_corruption_scenario(
+        target,
+        channels,
+        slowdown_factor=args.factor,
+        fault_start_s=args.fault_start,
+        fault_duration_s=args.fault_duration,
+        corruption_start_s=args.fault_start + 1.0,
+        corruption_duration_s=max(args.fault_duration - 2.0, 1.0),
+    )
+    experiment = Experiment(
+        plans,
+        "fleetio",
+        ssd_config=config,
+        seed=args.seed,
+        faults=faults,
+        guardrails=args.guardrails,
+    )
+    label = "fleetio+guardrails" if args.guardrails else "fleetio (raw)"
+    started = time.time()
+    result = experiment.run(args.duration, args.warmup)
+    _print_result(label, result)
+
+    phases = scenario_phases(
+        experiment._measure_start_s, args.fault_start, fault_end_s, args.duration
+    )
+    print("\nP99 latency by phase (ms):")
+    print(f"{'vssd':>14s} {'pre':>9s} {'during':>9s} {'post':>9s}")
+    for plan in plans:
+        monitor = experiment.monitors[plan.name]
+        row = f"{plan.name:>14s}"
+        for start_s, end_s in phases.values():
+            row += f" {monitor.latency_percentile_between(start_s, end_s, 99) / 1000.0:9.2f}"
+        print(row)
+
+    events = sorted(
+        result.fault_events + result.guardrail_events, key=lambda e: e.time_s
+    )
+    print("\nFault / guardrail timeline:")
+    for event in events:
+        detail = f"  {event.detail}" if event.detail else ""
+        print(f"  t={event.time_s:7.2f}s  {event.source:>9s}  "
+              f"{event.kind}:{event.phase}  {event.target}{detail}")
+    if args.events_csv:
+        rows = events_to_csv(events, args.events_csv)
+        print(f"\nwrote {rows} events to {args.events_csv}")
+    print(f"\n({args.duration:.0f} simulated seconds in {time.time() - started:.1f} wall seconds)")
     return 0
 
 
@@ -199,6 +263,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset (default: all five)",
     )
     compare.set_defaults(func=cmd_compare)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a fault scenario (channel slowdown + agent corruption)",
+    )
+    faults.add_argument(
+        "workloads",
+        nargs="*",
+        default=["ycsb", "terasort"],
+        help="workloads to collocate; the first is the fault target",
+    )
+    faults.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
+    faults.add_argument(
+        "--warmup", type=float, default=6.0, help="seconds excluded from measurement"
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--channels", type=int, default=None,
+        help="total SSD channels (default: 16, Table 3)",
+    )
+    faults.add_argument(
+        "--fault-start", type=float, default=12.0, help="fault onset (seconds)"
+    )
+    faults.add_argument(
+        "--fault-duration", type=float, default=6.0, help="fault length (seconds)"
+    )
+    faults.add_argument(
+        "--factor", type=float, default=6.0, help="channel slowdown factor"
+    )
+    faults.add_argument(
+        "--guardrails",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="enable/disable the guardrail layer (--no-guardrails = raw)",
+    )
+    faults.add_argument(
+        "--events-csv", default=None, help="export the event timeline as CSV"
+    )
+    faults.set_defaults(func=cmd_faults)
 
     workloads = sub.add_parser("workloads", help="list the workload catalog")
     workloads.set_defaults(func=cmd_workloads)

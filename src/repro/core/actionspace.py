@@ -82,3 +82,18 @@ class ActionSpace:
     def indices_of(self, kind: str) -> list:
         """All action indices belonging to one family."""
         return [i for i, (k, _l) in enumerate(self._catalog) if k == kind]
+
+    def level(self, index: int) -> int:
+        """The level (channel count or priority value) of an index."""
+        return int(self._catalog[index][1])
+
+    def index_of(self, kind: str, level: int) -> int:
+        """The action index for ``(kind, level)``.
+
+        Used by the guardrail trust mechanism to re-map an aggressive
+        harvest to a milder level.
+        """
+        for i, (k, l) in enumerate(self._catalog):
+            if k == kind and int(l) == int(level):
+                return i
+        raise KeyError(f"no action ({kind!r}, {level})")

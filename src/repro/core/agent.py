@@ -100,6 +100,15 @@ class FleetIoAgent:
             self.trainer.update(self.buffer)
             self.buffer.clear()
 
+    def abort_window(self) -> None:
+        """Drop the un-credited pending transition.
+
+        Called by the guardrail watchdog when the agent enters graceful
+        degradation: the aborted action's outcome is dominated by the
+        fault, so crediting it would teach the wrong lesson.
+        """
+        self._pending = None
+
     def flush(self) -> None:
         """Finalize any open rollout segment (end of experiment)."""
         if self.buffer.open_path_length:

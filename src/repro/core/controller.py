@@ -31,9 +31,11 @@ from repro.core.agent import FleetIoAgent
 from repro.core.monitor import VssdMonitor
 from repro.core.reward import multi_agent_rewards, single_agent_reward
 from repro.clustering.features import extract_features
+from repro.sched.request import Priority
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.clustering.classifier import WorkloadTypeClassifier
+    from repro.faults.guardrails import Guardrails
     from repro.rl.nets import PolicyValueNet
     from repro.virt.manager import StorageVirtualizer
     from repro.virt.vssd import Vssd
@@ -56,10 +58,14 @@ class FleetIoController:
         beta: Optional[float] = None,
         unified_alpha_only: bool = False,
         seed: int = 0,
+        guardrails: Optional["Guardrails"] = None,
     ):
         self.virt = virtualizer
         self.rl_config = rl_config or RLConfig()
         self.classifier = classifier
+        #: Optional fault-tolerance layer (repro.faults.guardrails).
+        #: None keeps the raw FleetIO control loop byte-identical.
+        self.guardrails = guardrails
         self.explore = explore
         self.finetune = finetune
         #: Eq. 2 blend coefficient; overridable for the Fig. 15 ablation.
@@ -96,6 +102,8 @@ class FleetIoController:
         self.virt.dispatcher.add_completion_callback(monitor.on_complete)
         self.agents[vssd.vssd_id] = agent
         self.monitors[vssd.vssd_id] = monitor
+        if self.guardrails is not None:
+            self.guardrails.register(vssd.vssd_id, vssd.name)
         return agent
 
     def start(self) -> None:
@@ -128,15 +136,31 @@ class FleetIoController:
             vssd_id: monitor.snapshot_window(now_s)
             for vssd_id, monitor in self.monitors.items()
         }
+        if self.guardrails is not None:
+            stats = {
+                vssd_id: self.guardrails.sanitize(vssd_id, window, now_s)
+                for vssd_id, window in stats.items()
+            }
         self._credit_rewards(stats)
+        if self.guardrails is not None:
+            self._run_watchdogs(stats, now_s)
         self._classify_workloads()
         actions = {}
         for vssd_id, agent in self.agents.items():
+            if self.guardrails is not None and self.guardrails.suspended(vssd_id):
+                # Graceful degradation: the safe policy is a no-op — no
+                # harvesting, no priority churn, nothing to learn from.
+                actions[vssd_id] = None
+                continue
             others = [stats[v] for v in stats if v != vssd_id]
             state = agent.featurizer.push(
                 stats[vssd_id], others, self.guaranteed_bandwidth(vssd_id)
             )
             action_index = agent.decide(state)
+            if self.guardrails is not None:
+                action_index = self.guardrails.clamp_action(
+                    vssd_id, action_index, self.action_space
+                )
             actions[vssd_id] = action_index
             self.virt.admission.submit(
                 self.action_space.to_command(action_index, vssd_id)
@@ -147,6 +171,20 @@ class FleetIoController:
         self._window_index += 1
         self.window_log.append({"stats": stats, "actions": actions})
         return stats
+
+    def _run_watchdogs(self, stats: dict, now_s: float) -> None:
+        """Advance each vSSD's watchdog and apply state transitions."""
+        for vssd_id, agent in self.agents.items():
+            transition = self.guardrails.observe(vssd_id, stats[vssd_id], now_s)
+            if transition == "fallback":
+                vssd = agent.vssd
+                vssd.degraded = True
+                agent.abort_window()
+                agent.featurizer.reset()
+                self.virt.gsb_manager.release_harvested(vssd)
+                self.virt.set_priority(vssd_id, Priority.MEDIUM)
+            elif transition == "reenable":
+                agent.vssd.degraded = False
 
     def _credit_rewards(self, stats: dict) -> None:
         singles = {}

@@ -13,7 +13,7 @@ a bounded recent-request sample (for workload-type classification).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -75,6 +75,13 @@ class VssdMonitor:
         self.window_history: list = []
         self.recent_trace: deque = deque(maxlen=self.TRACE_SAMPLE_SIZE)
         self.measure_from_s = 0.0
+        # Fault-injection hooks (repro.faults): ``dropout`` drops all
+        # completion events (windows with no stats); ``corrupt`` replaces
+        # every float field of the window snapshot with NaN (a misbehaving
+        # telemetry source feeding the RL agent).
+        self.dropout = False
+        self.corrupt = False
+        self.dropped_completions = 0
 
     # ------------------------------------------------------------------
     # Event intake
@@ -82,6 +89,9 @@ class VssdMonitor:
     def on_complete(self, request: IoRequest) -> None:
         """Dispatcher completion hook: fold one request into the counters."""
         if request.vssd_id != self.vssd.vssd_id or request.failed:
+            return
+        if self.dropout:
+            self.dropped_completions += 1
             return
         latency = request.latency_us
         self._completed += 1
@@ -135,6 +145,17 @@ class VssdMonitor:
             reads=self._reads,
             writes=self._writes,
         )
+        if self.corrupt:
+            stats = replace(
+                stats,
+                avg_bw_mbps=float("nan"),
+                avg_iops=float("nan"),
+                avg_latency_us=float("nan"),
+                slo_violation_frac=float("nan"),
+                queue_delay_us=float("nan"),
+                rw_ratio=float("nan"),
+                avail_capacity_frac=float("nan"),
+            )
         self.window_history.append(stats)
         self._window_start_s = now_s
         self._bytes = 0
@@ -161,6 +182,34 @@ class VssdMonitor:
         if not data:
             return 0.0
         return float(np.percentile(np.asarray(data), percentile))
+
+    def latency_percentile_between(
+        self, start_s: float, end_s: float, percentile: float
+    ) -> float:
+        """Percentile over latencies completing in ``[start_s, end_s)``.
+
+        Used for phase analysis around injected faults: pre-fault,
+        during-fault, and post-recovery tail latencies of the same run.
+        """
+        data = [
+            latency
+            for t, latency in zip(self.completion_times_s, self.all_latencies)
+            if start_s <= t < end_s
+        ]
+        if not data:
+            return 0.0
+        return float(np.percentile(np.asarray(data), percentile))
+
+    def bandwidth_between(self, start_s: float, end_s: float) -> float:
+        """Mean bandwidth (MB/s) over completions in ``[start_s, end_s)``."""
+        if end_s <= start_s:
+            return 0.0
+        total = sum(
+            size
+            for t, size in zip(self.completion_times_s, self.completion_bytes)
+            if start_s <= t < end_s
+        )
+        return (total / (1024.0 * 1024.0)) / (end_s - start_s)
 
     def mean_bandwidth_mbps(self, elapsed_s: float) -> float:
         """Mean bandwidth over the measurement period (MB/s)."""

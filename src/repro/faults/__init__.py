@@ -1,0 +1,49 @@
+"""Fault injection and guardrailed RL control.
+
+The :mod:`repro.faults` package stresses FleetIO the way operators
+stress real fleets: channels slow down or drop offline, GC storms
+erupt, telemetry sources stall or emit garbage.  ``FaultInjector``
+schedules declarative :class:`FaultSpec` events on the simulator clock;
+``Guardrails`` keeps the RL control loop safe while they land —
+sanitizing observations, clamping actions, and degrading gracefully to
+a no-op safe policy when a vSSD's SLO collapses.
+"""
+
+from repro.faults.events import ControlEvent
+from repro.faults.guardrails import (
+    GuardrailConfig,
+    Guardrails,
+    VssdWatchdog,
+    WatchdogState,
+    sanitize_stats,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    FaultSpec,
+    agent_corruption,
+    channel_outage,
+    channel_slowdown,
+    gc_storm,
+    latency_spike,
+    monitor_dropout,
+)
+from repro.faults.scenarios import scenario_phases, slowdown_corruption_scenario
+
+__all__ = [
+    "ControlEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "GuardrailConfig",
+    "Guardrails",
+    "VssdWatchdog",
+    "WatchdogState",
+    "agent_corruption",
+    "channel_outage",
+    "channel_slowdown",
+    "gc_storm",
+    "latency_spike",
+    "monitor_dropout",
+    "sanitize_stats",
+    "scenario_phases",
+    "slowdown_corruption_scenario",
+]

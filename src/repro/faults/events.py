@@ -1,0 +1,45 @@
+"""The shared event record for fault-injection and guardrail telemetry.
+
+Both the injector and the guardrails emit :class:`ControlEvent` rows so
+one exported CSV tells the whole story of a run: when each fault landed
+and cleared, when observations were sanitized, and when the watchdog
+moved a vSSD between its states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One timestamped fault or guardrail transition.
+
+    ``source`` is ``"injector"`` or ``"guardrail"``; ``kind`` names the
+    fault type or watchdog mechanism; ``phase`` is ``start`` / ``end``
+    for faults and the transition name (``fallback`` / ``probe`` /
+    ``reenable`` / ``sanitize``) for guardrails; ``target`` identifies
+    the channel or vSSD affected.
+    """
+
+    time_s: float
+    source: str
+    kind: str
+    phase: str
+    target: str
+    detail: str = field(default="")
+
+    def as_row(self) -> tuple:
+        """The CSV row form: (time_s, source, kind, phase, target, detail)."""
+        return (
+            f"{self.time_s:.6f}",
+            self.source,
+            self.kind,
+            self.phase,
+            self.target,
+            self.detail,
+        )
+
+
+#: Column header matching :meth:`ControlEvent.as_row`.
+EVENT_COLUMNS = ("time_s", "source", "kind", "phase", "target", "detail")

@@ -1,0 +1,262 @@
+"""Guardrails that keep the RL control loop safe under faults.
+
+Three layers, applied in the controller's decision window:
+
+1. **Observation sanitization** — NaN/inf fields in a window snapshot
+   (e.g. from an ``agent_corruption`` fault) are replaced with the last
+   good value before touching rewards or the featurizer.  One corrupted
+   observation otherwise poisons *every* agent: the Eq. 2 blended reward
+   averages across tenants, and a NaN reward turns the next PPO update
+   into NaN weights.
+2. **Action clamping** — after an agent returns from degradation its
+   trust is reduced; aggressive harvests are re-mapped to milder levels
+   until trust recovers.
+3. **Per-vSSD watchdog** — ``K`` consecutive windows with the SLO
+   violation fraction above a threshold trigger graceful degradation:
+   the agent is suspended (no-op safe policy), harvested gSBs are
+   returned, priority resets, and admission refuses further harvesting.
+   After a cooldown the watchdog probes for recovery and re-enables the
+   agent with decayed trust.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.faults.events import ControlEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.actionspace import ActionSpace
+    from repro.core.monitor import WindowStats
+
+#: Float fields of WindowStats that sanitization inspects.
+_FLOAT_FIELDS = (
+    "avg_bw_mbps",
+    "avg_iops",
+    "avg_latency_us",
+    "slo_violation_frac",
+    "queue_delay_us",
+    "rw_ratio",
+    "avail_capacity_frac",
+)
+
+
+@dataclass(frozen=True)
+class GuardrailConfig:
+    """Tunables of the sanitizer, watchdog, and trust mechanism."""
+
+    #: A window is "collapsed" when SLO_Vio exceeds this fraction.
+    collapse_violation_frac: float = 0.5
+    #: Consecutive collapsed windows before entering fallback.
+    collapse_windows: int = 3
+    #: Minimum windows spent in fallback before probing for recovery.
+    cooldown_windows: int = 4
+    #: Consecutive healthy probing windows before re-enabling the agent.
+    probe_windows: int = 2
+    #: Trust multiplier applied at each fallback entry.
+    trust_decay: float = 0.5
+    #: Trust regained per healthy window while NORMAL.
+    trust_recovery: float = 0.05
+    #: Trust never decays below this floor.
+    min_trust: float = 0.1
+
+
+class WatchdogState(enum.Enum):
+    """The per-vSSD guardrail state machine."""
+
+    NORMAL = "normal"      # RL agent in control
+    FALLBACK = "fallback"  # safe no-op policy; harvesting refused
+    PROBING = "probing"    # watching for sustained recovery
+
+
+def sanitize_stats(
+    stats: "WindowStats", last_good: Optional["WindowStats"] = None
+) -> tuple:
+    """Replace non-finite float fields with the last-good snapshot's.
+
+    Returns ``(clean_stats, n_replaced)``.  With no prior good snapshot,
+    non-finite fields fall back to 0.0 — a conservative "no traffic"
+    reading rather than poison.
+    """
+    replacements = {}
+    for name in _FLOAT_FIELDS:
+        value = getattr(stats, name)
+        if not math.isfinite(value):
+            fallback = getattr(last_good, name) if last_good is not None else 0.0
+            replacements[name] = fallback
+    if not replacements:
+        return stats, 0
+    return replace(stats, **replacements), len(replacements)
+
+
+class VssdWatchdog:
+    """SLO-collapse detector and recovery prober for one vSSD."""
+
+    def __init__(self, vssd_id: int, name: str, config: GuardrailConfig):
+        self.vssd_id = vssd_id
+        self.name = name
+        self.config = config
+        self.state = WatchdogState.NORMAL
+        self.trust = 1.0
+        self.fallback_count = 0
+        self._collapsed_streak = 0
+        self._fallback_windows = 0
+        self._probe_streak = 0
+
+    def observe(self, stats: "WindowStats") -> Optional[str]:
+        """Fold one (sanitized) window in; returns a transition or None.
+
+        Transitions: ``"fallback"`` (degradation begins), ``"probe"``
+        (cooldown over, watching for recovery), ``"reenable"`` (RL agent
+        back in control with decayed trust).  Windows with no completed
+        requests are neutral — they neither accumulate collapse evidence
+        nor count as recovery.
+        """
+        cfg = self.config
+        if stats.completed == 0:
+            collapsed = healthy = False
+        else:
+            collapsed = stats.slo_violation_frac > cfg.collapse_violation_frac
+            healthy = not collapsed
+
+        if self.state is WatchdogState.NORMAL:
+            if collapsed:
+                self._collapsed_streak += 1
+                if self._collapsed_streak >= cfg.collapse_windows:
+                    self._enter_fallback()
+                    return "fallback"
+            elif healthy:
+                self._collapsed_streak = 0
+                self.trust = min(1.0, self.trust + cfg.trust_recovery)
+            # Neutral (empty) windows leave the streak untouched.
+            return None
+
+        if self.state is WatchdogState.FALLBACK:
+            self._fallback_windows += 1
+            if self._fallback_windows >= cfg.cooldown_windows and healthy:
+                self.state = WatchdogState.PROBING
+                self._probe_streak = 1
+                return "probe"
+            return None
+
+        # PROBING
+        if collapsed:
+            self.state = WatchdogState.FALLBACK
+            self._fallback_windows = 0
+            self._probe_streak = 0
+            return None
+        if healthy:
+            self._probe_streak += 1
+            if self._probe_streak >= cfg.probe_windows:
+                self.state = WatchdogState.NORMAL
+                self._collapsed_streak = 0
+                return "reenable"
+        return None
+
+    def _enter_fallback(self) -> None:
+        self.state = WatchdogState.FALLBACK
+        self.fallback_count += 1
+        self._collapsed_streak = 0
+        self._fallback_windows = 0
+        self._probe_streak = 0
+        self.trust = max(self.config.min_trust, self.trust * self.config.trust_decay)
+
+    @property
+    def suspended(self) -> bool:
+        """True while the RL agent must stay on the safe no-op policy."""
+        return self.state is not WatchdogState.NORMAL
+
+
+class Guardrails:
+    """Facade tying sanitization, watchdogs, and trust clamping together."""
+
+    def __init__(self, config: Optional[GuardrailConfig] = None):
+        self.config = config or GuardrailConfig()
+        self.event_log: list = []
+        self.watchdogs: dict = {}
+        self._last_good: dict = {}
+        self.sanitized_fields = 0
+        self.sanitized_windows = 0
+        self.clamped_actions = 0
+
+    def register(self, vssd_id: int, name: str) -> VssdWatchdog:
+        """Create (or return) the watchdog guarding one vSSD."""
+        if vssd_id not in self.watchdogs:
+            self.watchdogs[vssd_id] = VssdWatchdog(vssd_id, name, self.config)
+        return self.watchdogs[vssd_id]
+
+    def sanitize(self, vssd_id: int, stats: "WindowStats", now_s: float):
+        """Clean one window snapshot; remembers fully-finite snapshots."""
+        clean, replaced = sanitize_stats(stats, self._last_good.get(vssd_id))
+        if replaced:
+            self.sanitized_fields += replaced
+            self.sanitized_windows += 1
+            self._log(
+                now_s,
+                "sanitize",
+                "apply",
+                vssd_id,
+                f"fields={replaced}",
+            )
+        else:
+            self._last_good[vssd_id] = stats
+        return clean
+
+    def observe(self, vssd_id: int, stats: "WindowStats", now_s: float) -> Optional[str]:
+        """Feed a sanitized window to the vSSD's watchdog; log transitions."""
+        watchdog = self.watchdogs[vssd_id]
+        transition = watchdog.observe(stats)
+        if transition is not None:
+            self._log(
+                now_s,
+                "watchdog",
+                transition,
+                vssd_id,
+                f"trust={watchdog.trust:.2f}",
+            )
+        return transition
+
+    def suspended(self, vssd_id: int) -> bool:
+        """True while the vSSD's agent must not act."""
+        return self.watchdogs[vssd_id].suspended
+
+    def trust(self, vssd_id: int) -> float:
+        return self.watchdogs[vssd_id].trust
+
+    def clamp_action(
+        self, vssd_id: int, action_index: int, action_space: "ActionSpace"
+    ) -> int:
+        """Re-map an over-aggressive harvest to the trust-allowed level.
+
+        With full trust every action passes through.  With decayed trust
+        ``t`` the harvest level is capped at ``max(1, floor(t * L_max))``
+        where ``L_max`` is the largest harvest level.
+        """
+        watchdog = self.watchdogs[vssd_id]
+        if watchdog.trust >= 1.0:
+            return action_index
+        if action_space.kind(action_index) != "harvest":
+            return action_index
+        levels = [action_space.level(i) for i in action_space.indices_of("harvest")]
+        cap = max(1, int(watchdog.trust * max(levels)))
+        if action_space.level(action_index) <= cap:
+            return action_index
+        self.clamped_actions += 1
+        return action_space.index_of("harvest", cap)
+
+    def _log(self, now_s: float, kind: str, phase: str, vssd_id: int, detail: str) -> None:
+        watchdog = self.watchdogs.get(vssd_id)
+        name = watchdog.name if watchdog is not None else str(vssd_id)
+        self.event_log.append(
+            ControlEvent(
+                time_s=now_s,
+                source="guardrail",
+                kind=kind,
+                phase=phase,
+                target=f"vssd:{name}",
+                detail=detail,
+            )
+        )

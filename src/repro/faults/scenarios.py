@@ -1,0 +1,57 @@
+"""Canned fault scenarios shared by the CLI and the benchmarks.
+
+The reference scenario mirrors an operator's bad afternoon: the latency
+tenant's channels slow down mid-run (a flaky interconnect) while its
+telemetry pipeline simultaneously starts feeding the RL agent NaN
+garbage.  Raw FleetIO lets the NaN poison every agent's blended reward;
+with guardrails the observations are sanitized and the watchdog rides
+out the SLO collapse, recovering once the fault clears.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultSpec, agent_corruption, channel_slowdown
+
+
+def slowdown_corruption_scenario(
+    target_vssd: str,
+    channels: list,
+    slowdown_factor: float = 6.0,
+    fault_start_s: float = 8.0,
+    fault_duration_s: float = 6.0,
+    corruption_start_s: float = 9.0,
+    corruption_duration_s: float = 4.0,
+) -> list:
+    """Channel slowdown on ``channels`` plus NaN corruption of one agent.
+
+    Returns the :class:`FaultSpec` list to pass as ``Experiment(faults=...)``.
+    The corruption window sits inside the slowdown window by default so
+    the agent is blind exactly when it most needs to react.
+    """
+    specs: list = [
+        channel_slowdown(ch, slowdown_factor, fault_start_s, fault_duration_s)
+        for ch in channels
+    ]
+    specs.append(
+        agent_corruption(target_vssd, corruption_start_s, corruption_duration_s)
+    )
+    return specs
+
+
+def scenario_phases(
+    measure_start_s: float,
+    fault_start_s: float,
+    fault_end_s: float,
+    end_s: float,
+    settle_s: float = 2.0,
+) -> dict:
+    """Pre / during / post time windows for phase P99 analysis.
+
+    ``post`` starts ``settle_s`` after the fault clears so in-flight
+    backlog drains before recovery is judged.
+    """
+    return {
+        "pre": (measure_start_s, fault_start_s),
+        "during": (fault_start_s, fault_end_s),
+        "post": (min(fault_end_s + settle_s, end_s), end_s),
+    }

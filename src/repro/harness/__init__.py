@@ -9,7 +9,11 @@ from repro.harness.experiment import (
     run_policy_comparison,
 )
 from repro.harness.pretrained import get_pretrained_net, get_classifier
-from repro.harness.telemetry import controller_actions_to_csv, windows_to_csv
+from repro.harness.telemetry import (
+    controller_actions_to_csv,
+    events_to_csv,
+    windows_to_csv,
+)
 from repro.harness.report import (
     bar_chart,
     comparison_table,
@@ -38,4 +42,5 @@ __all__ = [
     "comparison_table",
     "windows_to_csv",
     "controller_actions_to_csv",
+    "events_to_csv",
 ]

@@ -23,6 +23,8 @@ import numpy as np
 from repro.config import RLConfig, SSDConfig
 from repro.core.controller import FleetIoController
 from repro.core.monitor import VssdMonitor
+from repro.faults.guardrails import GuardrailConfig, Guardrails
+from repro.faults.injector import FaultInjector
 from repro.baselines.adaptive import AdaptiveManager
 from repro.baselines.ssdkeeper import SsdKeeperAllocator
 from repro.harness.metrics import ExperimentResult, VssdResult, bandwidth_series
@@ -78,6 +80,8 @@ class Experiment:
         pretrained_net=None,
         classifier=None,
         fleetio_kwargs: Optional[dict] = None,
+        faults: Optional[list] = None,
+        guardrails=None,
     ):
         if not plans:
             raise ValueError("need at least one vSSD plan")
@@ -98,6 +102,18 @@ class Experiment:
         self.pretrained_net = pretrained_net
         self.classifier = classifier
         self.fleetio_kwargs = fleetio_kwargs or {}
+        #: Declarative fault specs (repro.faults) armed at build time.
+        self.faults = list(faults or [])
+        # ``guardrails`` accepts True (defaults), a GuardrailConfig, or a
+        # prebuilt Guardrails; only meaningful for fleetio policies.
+        if guardrails is True:
+            guardrails = Guardrails()
+        elif guardrails is False:
+            guardrails = None
+        elif isinstance(guardrails, GuardrailConfig):
+            guardrails = Guardrails(guardrails)
+        self.guardrails: Optional[Guardrails] = guardrails
+        self.injector: Optional[FaultInjector] = None
         self.virt: Optional[StorageVirtualizer] = None
         self.monitors: dict = {}
         self.drivers: dict = {}
@@ -155,8 +171,27 @@ class Experiment:
             for plan in self.plans:
                 vssd = self.virt.vssd_by_name(plan.name)
                 self.manager.register_vssd(vssd, self.monitors[plan.name])
+        if self.faults:
+            self.injector = FaultInjector(self.virt, monitors=self._fault_monitors())
+            self.injector.arm(self.faults)
         self._built = True
         return self
+
+    def _fault_monitors(self) -> dict:
+        """Name -> monitor map for monitor-targeted faults.
+
+        Under fleetio, monitor faults hit the *controller's* monitors —
+        the ones feeding RL observations — so corruption reaches the
+        agents while the harness metrics keep recording ground truth.
+        """
+        if self.controller is not None:
+            return {
+                plan.name: self.controller.monitors[
+                    self.virt.vssd_by_name(plan.name).vssd_id
+                ]
+                for plan in self.plans
+            }
+        return dict(self.monitors)
 
     def _plan_isolation(self, plan: VssdPlan) -> str:
         if self.policy == "software":
@@ -273,6 +308,7 @@ class Experiment:
             rl_config=self.rl_config,
             classifier=self.classifier,
             seed=self.seed,
+            guardrails=self.guardrails,
             **self.fleetio_kwargs,
         )
         for plan in self.plans:
@@ -376,6 +412,8 @@ class Experiment:
             total_bandwidth_mbps=self.virt_total_bandwidth_mbps(),
             admission_stats=self.virt.admission.stats,
             gsb_stats=self.virt.gsb_manager.stats,
+            fault_events=list(self.injector.event_log) if self.injector else [],
+            guardrail_events=list(self.guardrails.event_log) if self.guardrails else [],
         )
         all_times: list = []
         all_bytes: list = []

@@ -65,6 +65,10 @@ class ExperimentResult:
     total_bandwidth_mbps: float = 0.0
     admission_stats: Optional[object] = None
     gsb_stats: Optional[object] = None
+    #: ControlEvent rows from the fault injector (empty without faults).
+    fault_events: list = field(default_factory=list)
+    #: ControlEvent rows from the guardrail layer (empty when disabled).
+    guardrail_events: list = field(default_factory=list)
 
     @property
     def avg_utilization(self) -> float:
@@ -99,3 +103,21 @@ class ExperimentResult:
         """Mean P99 latency across a category's vSSDs (us)."""
         rows = self.by_category(category)
         return float(np.mean([r.p99_latency_us for r in rows])) if rows else 0.0
+
+    def admission_summary(self) -> str:
+        """One-line denied/submitted action summary (empty if no stats)."""
+        stats = self.admission_stats
+        if stats is None or stats.submitted == 0:
+            return ""
+        denied_pct = 100.0 * stats.denied / stats.submitted
+        line = (
+            f"actions: {stats.submitted} submitted, "
+            f"{stats.denied} denied ({denied_pct:.1f}%), "
+            f"{stats.executed_harvest} harvests, "
+            f"{stats.executed_make_harvestable} offers, "
+            f"{stats.priority_changes} priority changes"
+        )
+        degraded = getattr(stats, "denied_degraded", 0)
+        if degraded:
+            line += f", {degraded} denied-degraded"
+        return line

@@ -142,4 +142,12 @@ def comparison_table(results: Mapping[str, ExperimentResult]) -> str:
         for name in names:
             row += f"{result.vssd(name).p99_latency_us / 1000.0:18.2f}"
         lines.append(row)
+    admission_lines = [
+        f"{policy:>12s} {summary}"
+        for policy, result in results.items()
+        if (summary := result.admission_summary())
+    ]
+    if admission_lines:
+        lines.append("")
+        lines.extend(admission_lines)
     return "\n".join(lines)

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.core.monitor import WindowStats
+from repro.faults.events import EVENT_COLUMNS, ControlEvent
 
 WINDOW_COLUMNS = (
     "vssd",
@@ -28,6 +29,8 @@ WINDOW_COLUMNS = (
     "in_gc",
     "cur_priority",
     "completed",
+    "reads",
+    "writes",
 )
 
 
@@ -58,6 +61,8 @@ def windows_to_csv(histories: Mapping[str, Iterable[WindowStats]], path) -> int:
                         int(window.in_gc),
                         window.cur_priority,
                         window.completed,
+                        window.reads,
+                        window.writes,
                     ]
                 )
                 rows += 1
@@ -81,12 +86,18 @@ def controller_actions_to_csv(controller, path) -> int:
         for index, entry in enumerate(controller.window_log):
             for vssd_id, action_index in entry["actions"].items():
                 window = entry["stats"][vssd_id]
+                if action_index is None:
+                    # Guardrail fallback windows take the safe no-op.
+                    action, family = "Suspended(no-op)", "suspended"
+                else:
+                    action = controller.action_space.describe(action_index)
+                    family = controller.action_space.kind(action_index)
                 writer.writerow(
                     [
                         index,
                         vssd_id,
-                        controller.action_space.describe(action_index),
-                        controller.action_space.kind(action_index),
+                        action,
+                        family,
                         f"{window.avg_bw_mbps:.3f}",
                         f"{window.slo_violation_frac:.5f}",
                         f"{window.queue_delay_us:.1f}",
@@ -94,4 +105,23 @@ def controller_actions_to_csv(controller, path) -> int:
                     ]
                 )
                 rows += 1
+    return rows
+
+
+def events_to_csv(events: Iterable[ControlEvent], path) -> int:
+    """Export fault-injector and guardrail events, time-ordered.
+
+    Pass the concatenation of ``result.fault_events`` and
+    ``result.guardrail_events`` to see the full fault/reaction timeline
+    in one file; rows are sorted by timestamp.
+    """
+    path = Path(path)
+    rows = 0
+    ordered = sorted(events, key=lambda e: e.time_s)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(EVENT_COLUMNS)
+        for event in ordered:
+            writer.writerow(event.as_row())
+            rows += 1
     return rows

@@ -71,6 +71,54 @@ class Channel:
         self.in_gc = False
         self._gc_until = 0.0
         self.stats = ChannelStats()
+        # Fault-injection state (repro.faults): 1.0 / 0.0 / False means
+        # healthy, and the timing math below is then bit-identical to the
+        # fault-free code path.
+        self.fault_slowdown = 1.0
+        self.fault_extra_latency_us = 0.0
+        self.offline = False
+
+    # ------------------------------------------------------------------
+    # Fault state
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True while any injected fault affects this channel."""
+        return (
+            self.offline
+            or self.fault_slowdown != 1.0
+            or self.fault_extra_latency_us != 0.0
+        )
+
+    def set_fault(
+        self,
+        slowdown: Optional[float] = None,
+        extra_latency_us: Optional[float] = None,
+        offline: Optional[bool] = None,
+    ) -> None:
+        """Install fault timing; ``None`` leaves a dimension unchanged.
+
+        ``slowdown`` multiplies every chip operation and bus transfer;
+        ``extra_latency_us`` is added once per page operation (a
+        controller-side hiccup); ``offline`` stops the channel from
+        accepting new dispatch capacity (in-flight work still drains).
+        """
+        if slowdown is not None:
+            if slowdown <= 0:
+                raise ValueError("slowdown factor must be positive")
+            self.fault_slowdown = slowdown
+        if extra_latency_us is not None:
+            if extra_latency_us < 0:
+                raise ValueError("extra latency must be non-negative")
+            self.fault_extra_latency_us = extra_latency_us
+        if offline is not None:
+            self.offline = offline
+
+    def clear_fault(self) -> None:
+        """Restore healthy timing and capacity."""
+        self.fault_slowdown = 1.0
+        self.fault_extra_latency_us = 0.0
+        self.offline = False
 
     # ------------------------------------------------------------------
     # Capacity / admission
@@ -86,13 +134,18 @@ class Channel:
         The queue-depth limit is expressed as a busy horizon: a channel
         with ``max_queue_depth`` pages of bus work queued stops accepting
         new dispatches until the backlog drains, which is the backpressure
-        an NVMe submission queue of that depth provides.
+        an NVMe submission queue of that depth provides.  An offline
+        channel never advertises capacity.
         """
+        if self.offline:
+            return False
         horizon = self.config.max_queue_depth * self.config.bus_transfer_us
         return self.busy_horizon_us() < horizon
 
     def queue_headroom(self) -> int:
         """How many more pages fit under the busy-horizon queue bound."""
+        if self.offline:
+            return 0
         remaining = (
             self.config.max_queue_depth * self.config.bus_transfer_us
             - self.busy_horizon_us()
@@ -129,22 +182,25 @@ class Channel:
         """
         cfg = self.config
         now = self.sim.now
+        read_us = cfg.page_read_us * self.fault_slowdown
+        xfer_us = cfg.bus_transfer_us * self.fault_slowdown
+        extra_us = self.fault_extra_latency_us
         sense_start = max(now, self._chip_busy_until[chip_id])
-        sense_done = sense_start + cfg.page_read_us
+        sense_done = sense_start + read_us
         if front:
             # Head-of-queue insertion: wait for at most one in-progress
             # transfer instead of the whole backlog.
-            bus_available = min(self._bus_busy_until, now + cfg.bus_transfer_us)
+            bus_available = min(self._bus_busy_until, now + xfer_us)
             xfer_start = max(sense_done, bus_available)
-            done = xfer_start + cfg.bus_transfer_us
-            self._bus_busy_until = max(self._bus_busy_until, now) + cfg.bus_transfer_us
+            done = xfer_start + xfer_us + extra_us
+            self._bus_busy_until = max(self._bus_busy_until, now) + xfer_us + extra_us
         else:
             xfer_start = max(sense_done, self._bus_busy_until)
-            done = xfer_start + cfg.bus_transfer_us
+            done = xfer_start + xfer_us + extra_us
             self._bus_busy_until = done
         self._chip_busy_until[chip_id] = max(self._chip_busy_until[chip_id], done)
         self.stats.pages_read += 1
-        self.stats.busy_us += cfg.page_read_us + cfg.bus_transfer_us
+        self.stats.busy_us += read_us + xfer_us + extra_us
         return done
 
     def service_write(
@@ -160,7 +216,13 @@ class Channel:
         """
         cfg = self.config
         now = self.sim.now
-        xfer_time = cfg.bus_transfer_us * (cfg.gc_bus_share if background else 1.0)
+        xfer_time = (
+            cfg.bus_transfer_us
+            * (cfg.gc_bus_share if background else 1.0)
+            * self.fault_slowdown
+        )
+        write_us = cfg.page_write_us * self.fault_slowdown
+        extra_us = self.fault_extra_latency_us
         if front and not background:
             # Head-of-queue insertion (see service_read).
             bus_available = min(self._bus_busy_until, now + xfer_time)
@@ -171,10 +233,10 @@ class Channel:
             xfer_done = xfer_start + xfer_time
             self._bus_busy_until = xfer_done
         program_start = max(xfer_done, self._chip_busy_until[chip_id])
-        done = program_start + cfg.page_write_us
+        done = program_start + write_us + extra_us
         self._chip_busy_until[chip_id] = done
         self.stats.pages_written += 1
-        self.stats.busy_us += cfg.page_write_us + xfer_time
+        self.stats.busy_us += write_us + xfer_time + extra_us
         return done
 
     def occupy_for_gc(self, chip_id: int, migrate_reads: int, erases: int) -> float:
@@ -189,16 +251,19 @@ class Channel:
         GC on the channel completes.
         """
         cfg = self.config
+        erase_us = erases * cfg.block_erase_us * self.fault_slowdown
         erase_start = max(self.sim.now, self._chip_busy_until[chip_id])
-        erase_done = erase_start + erases * cfg.block_erase_us
+        erase_done = erase_start + erase_us
         self._chip_busy_until[chip_id] = erase_done
-        bus_time = migrate_reads * cfg.bus_transfer_us * cfg.gc_bus_share
+        bus_time = (
+            migrate_reads * cfg.bus_transfer_us * cfg.gc_bus_share * self.fault_slowdown
+        )
         self._bus_busy_until = max(self.sim.now, self._bus_busy_until) + bus_time
         done = max(erase_done, self._bus_busy_until)
         self.stats.gc_pages_migrated += migrate_reads
         self.stats.gc_erases += erases
-        self.stats.busy_us += erases * cfg.block_erase_us + bus_time
-        self.stats.gc_busy_us += erases * cfg.block_erase_us + bus_time
+        self.stats.busy_us += erase_us + bus_time
+        self.stats.gc_busy_us += erase_us + bus_time
         self.in_gc = True
         self._gc_until = max(self._gc_until, done)
         self.sim.schedule(done - self.sim.now, self._maybe_clear_gc)

@@ -159,3 +159,28 @@ class Ssd:
         if channel_ids is None:
             return any(channel.in_gc for channel in self.channels)
         return any(self.channels[c].in_gc for c in channel_ids)
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def set_channel_fault(
+        self,
+        channel_id: int,
+        slowdown: Optional[float] = None,
+        extra_latency_us: Optional[float] = None,
+        offline: Optional[bool] = None,
+    ) -> None:
+        """Degrade one channel's timing/capacity (see ``Channel.set_fault``)."""
+        self.channels[channel_id].set_fault(slowdown, extra_latency_us, offline)
+
+    def clear_channel_fault(self, channel_id: int) -> None:
+        """Restore one channel to healthy timing and capacity."""
+        self.channels[channel_id].clear_fault()
+
+    def is_degraded(self, channel_id: int) -> bool:
+        """True while an injected fault affects ``channel_id``."""
+        return self.channels[channel_id].degraded
+
+    def degraded_channels(self) -> list:
+        """Ids of all channels currently carrying an injected fault."""
+        return [c.channel_id for c in self.channels if c.degraded]

@@ -103,6 +103,11 @@ class WriteRegion:
         self._free: dict = {}   # channel -> deque[FlashBlock]
         self._open: dict = {}   # channel -> deque[FlashBlock] (rotated)
         self._channels: set = set()
+        #: Identity set of every block ever added and not yet routed away.
+        #: Needed to scope GC: two harvest regions of the same vSSD can
+        #: share a channel, and writer/HBT flags alone cannot tell their
+        #: blocks apart.
+        self._member_ids: set = set()
         self._free_pages = 0
         #: Bumped whenever the set of writable channels may have changed;
         #: the FTL uses it to invalidate its cached striping order.
@@ -120,6 +125,7 @@ class WriteRegion:
         # when blocks were adopted in chip-sorted batches.
         queue.append(block)
         self._channels.add(block.channel_id)
+        self._member_ids.add(id(block))
         self._free_pages += block.pages_per_block
         self.version += 1
 
@@ -162,6 +168,10 @@ class WriteRegion:
         queue = self._free.get(channel_id)
         return len(queue) if queue else 0
 
+    def contains(self, block: FlashBlock) -> bool:
+        """True while ``block`` belongs to this region (any state)."""
+        return id(block) in self._member_ids
+
     def take_free_blocks(self, channel_id: int, count: int) -> list:
         """Remove up to ``count`` FREE blocks on ``channel_id`` from the
         region (used when carving a gSB out of a vSSD's free space)."""
@@ -170,6 +180,7 @@ class WriteRegion:
         while queue and len(taken) < count:
             block = queue.pop()
             taken.append(block)
+            self._member_ids.discard(id(block))
             self._free_pages -= block.pages_per_block
         if taken:
             self.version += 1
@@ -218,6 +229,7 @@ class WriteRegion:
         if self.kind == "harvest" and not self.reclaiming:
             self.add_block(block)
         elif self.on_block_released is not None:
+            self._member_ids.discard(id(block))
             self.on_block_released(block)
 
     def _discard_open(self, block: FlashBlock) -> None:
@@ -245,6 +257,8 @@ class WriteRegion:
                 open_queue.remove(block)
                 block.writer = None
                 drained.append(block)
+        for block in drained:
+            self._member_ids.discard(id(block))
         self.version += 1
         return drained
 
@@ -659,11 +673,21 @@ class VssdFtl:
         return best
 
     def _harvest_region_blocks(self, region: WriteRegion) -> list:
-        """All OPEN/FULL blocks this FTL wrote inside a harvest region."""
+        """All OPEN/FULL blocks this FTL wrote inside a harvest region.
+
+        Membership must come from the region itself: two harvest regions
+        of the same vSSD can share a channel, and writer/HBT flags alone
+        would let one region's GC erase the other's blocks and re-add
+        them to the wrong free pool.
+        """
         blocks = []
         for channel_id in region.channels():
             for block in self.ssd.channels[channel_id].blocks:
-                if block.writer == self.vssd_id and block.harvested_flag:
+                if (
+                    block.writer == self.vssd_id
+                    and block.harvested_flag
+                    and region.contains(block)
+                ):
                     blocks.append(block)
         return blocks
 

@@ -47,6 +47,7 @@ class AdmissionStats:
     executed_harvest: int = 0
     failed_harvest: int = 0
     priority_changes: int = 0
+    denied_degraded: int = 0
 
 
 class AdmissionController:
@@ -102,6 +103,13 @@ class AdmissionController:
         vssd = self._vssds.get(action.vssd_id)
         if vssd is None:
             raise KeyError(f"vSSD {action.vssd_id} not registered for admission")
+        if vssd.degraded and not isinstance(action, SetPriorityAction):
+            # Graceful degradation (repro.faults.guardrails): the vSSD's
+            # agent is in fallback, so its harvesting actions are refused
+            # until the watchdog re-enables it.
+            self.stats.denied += 1
+            self.stats.denied_degraded += 1
+            return
         if not self._admissible(action, vssd):
             self.stats.denied += 1
             return
@@ -122,6 +130,8 @@ class AdmissionController:
     def _batch_tick(self) -> None:
         if not self._running:
             return
+        # Pull gSBs off channels that picked up a fault since last tick.
+        self.gsb_manager.reclaim_degraded()
         self.process_batch()
         self.sim.schedule(self.batch_interval_us, self._batch_tick)
 

@@ -90,14 +90,21 @@ class GsbPool:
         except (ValueError, KeyError):
             return False
 
-    def acquire(self, n_chls: int, exclude_home: Optional[int] = None) -> Optional[GhostSuperblock]:
+    def acquire(
+        self,
+        n_chls: int,
+        exclude_home: Optional[int] = None,
+        predicate=None,
+    ) -> Optional[GhostSuperblock]:
         """Best-fit acquire (Section 3.6.2).
 
         Look for an exact ``n_chls`` match first; if its list is empty,
         search lists with *smaller* channel counts (largest first), and
         only then lists with larger counts (smallest first).  gSBs whose
         home is ``exclude_home`` are skipped — a vSSD may not harvest its
-        own resources.
+        own resources.  When ``predicate`` is given, only gSBs for which
+        ``predicate(gsb)`` is true are eligible (e.g. skipping gSBs on
+        fault-degraded channels).
         """
         n_chls = max(1, min(n_chls, self.max_channels))
         order = (
@@ -109,6 +116,8 @@ class GsbPool:
             bucket = self._lists[size]
             for gsb in bucket:
                 if exclude_home is not None and gsb.home_vssd == exclude_home:
+                    continue
+                if predicate is not None and not predicate(gsb):
                     continue
                 bucket.remove(gsb)
                 return gsb

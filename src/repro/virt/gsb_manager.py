@@ -41,6 +41,8 @@ class GsbManagerStats:
     harvest_misses: int = 0
     blocks_offered: int = 0
     blocks_returned: int = 0
+    gsbs_reclaimed_degraded: int = 0
+    gsbs_released_by_watchdog: int = 0
 
 
 class GsbManager:
@@ -100,11 +102,17 @@ class GsbManager:
         return gsb
 
     def _pick_offer_channels(self, home: "Vssd", n_chls: int) -> list:
-        """Home channels above the 25% free floor, most free first."""
+        """Home channels above the 25% free floor, most free first.
+
+        Channels carrying an injected fault are never offered: a gSB on a
+        degraded channel would hand the harvester the fault's latency.
+        """
         floor = self.config.gsb_min_free_fraction
         min_blocks = self.config.min_superblock_blocks
         candidates = []
         for channel_id in home.channel_ids:
+            if self.ssd.channels[channel_id].degraded:
+                continue
             fraction = home.ftl.free_fraction(channel_id)
             free_count = home.ftl.own_region.free_block_count_on(channel_id)
             if fraction >= floor and free_count >= min_blocks:
@@ -130,7 +138,11 @@ class GsbManager:
         growing the harvester's usable space by the gSB's capacity).
         """
         n_chls = max(1, self.bandwidth_to_channels(gsb_bw_mbps))
-        gsb = self.pool.acquire(n_chls, exclude_home=harvester.vssd_id)
+        gsb = self.pool.acquire(
+            n_chls,
+            exclude_home=harvester.vssd_id,
+            predicate=self._healthy_gsb,
+        )
         if gsb is None:
             self.stats.harvest_misses += 1
             return None
@@ -153,6 +165,10 @@ class GsbManager:
     def register_vssd(self, vssd: "Vssd") -> None:
         """Let the manager resolve vssd ids during reclamation."""
         self._vssd_by_id[vssd.vssd_id] = vssd
+
+    def _healthy_gsb(self, gsb: GhostSuperblock) -> bool:
+        """True when none of the gSB's channels carry an injected fault."""
+        return not any(self.ssd.channels[c].degraded for c in gsb.channel_ids)
 
     # ------------------------------------------------------------------
     # Reclaim
@@ -249,6 +265,50 @@ class GsbManager:
             if pending:
                 collected += harvester.ftl.collect_blocks(pending, gsb.region)
         return collected
+
+    def reclaim_degraded(self) -> int:
+        """Pull gSBs off fault-degraded channels back to their homes.
+
+        Pooled gSBs touching a degraded channel are destroyed outright
+        (their blocks return to the home vSSD); in-use ones start lazy
+        reclamation so the harvester stops steering writes at the fault.
+        Returns the number of gSBs whose reclamation started.
+        """
+        degraded = self.ssd.degraded_channels()
+        if not degraded:
+            return 0
+        degraded_set = set(degraded)
+        reclaimed = 0
+        for gsb in self.pool.peek_all():
+            if degraded_set.intersection(gsb.channel_ids):
+                self._destroy_unused(self._vssd_of(gsb.home_vssd), gsb)
+                reclaimed += 1
+        for vssd in self._vssd_by_id.values():
+            for gsb in list(vssd.harvested_gsbs):
+                if gsb.reclaiming:
+                    continue
+                if degraded_set.intersection(gsb.channel_ids):
+                    self._start_lazy_reclaim(gsb)
+                    reclaimed += 1
+        self.stats.gsbs_reclaimed_degraded += reclaimed
+        return reclaimed
+
+    def release_harvested(self, harvester: "Vssd") -> int:
+        """Give back everything ``harvester`` has harvested (watchdog).
+
+        Called when the guardrail watchdog puts a vSSD's agent into
+        graceful degradation: all of its harvested gSBs start lazy
+        reclamation so the resources flow back to their home tenants.
+        Returns the number of gSBs whose reclamation started.
+        """
+        released = 0
+        for gsb in list(harvester.harvested_gsbs):
+            if gsb.reclaiming:
+                continue
+            self._start_lazy_reclaim(gsb)
+            released += 1
+        self.stats.gsbs_released_by_watchdog += released
+        return released
 
     def reclaiming_gsbs(self) -> list:
         """gSBs currently draining home through lazy reclamation."""

@@ -165,6 +165,20 @@ class StorageVirtualizer:
         if isinstance(self.policy, PriorityPolicy):
             self.policy.set_priority(vssd_id, level)
 
+    def set_priority(self, vssd_id: int, level: int) -> None:
+        """Set a vSSD's scheduling priority outside the admission path.
+
+        Used by the guardrail watchdog to reset a degraded tenant to a
+        neutral priority without submitting an RL action.
+        """
+        vssd = self.vssds.get(vssd_id)
+        if vssd is None and self._placeholder is not None and self._placeholder.vssd_id == vssd_id:
+            vssd = self._placeholder
+        if vssd is None:
+            raise KeyError(f"vSSD {vssd_id} not found")
+        vssd.priority = level
+        self._apply_priority(vssd_id, level)
+
     def vssd_by_name(self, name: str) -> Vssd:
         """Look up a live vSSD by its name."""
         for vssd in self.vssds.values():

@@ -48,6 +48,10 @@ class Vssd:
         #: "harvestable gSB list maintained in the home_vssd metadata".
         self.harvestable_gsbs: list = []
         self.deallocated = False
+        #: Set by the guardrail watchdog while the vSSD's agent is in
+        #: graceful degradation: admission control refuses its harvesting
+        #: actions until the watchdog re-enables the agent.
+        self.degraded = False
 
     @property
     def num_channels(self) -> int:

@@ -1,0 +1,236 @@
+"""Tests for observation sanitization, the watchdog, and trust clamping."""
+
+import math
+
+import pytest
+
+from repro.core.actionspace import ActionSpace
+from repro.core.monitor import WindowStats
+from repro.faults import (
+    GuardrailConfig,
+    Guardrails,
+    VssdWatchdog,
+    WatchdogState,
+    sanitize_stats,
+)
+
+
+def window(violation=0.0, completed=100, bw=50.0, **overrides):
+    base = dict(
+        vssd_id=0,
+        window_start_s=0.0,
+        window_end_s=1.0,
+        avg_bw_mbps=bw,
+        avg_iops=1000.0,
+        avg_latency_us=500.0,
+        slo_violation_frac=violation,
+        queue_delay_us=50.0,
+        rw_ratio=0.5,
+        avail_capacity_frac=0.8,
+        in_gc=False,
+        cur_priority=1,
+        completed=completed,
+        reads=completed // 2,
+        writes=completed - completed // 2,
+    )
+    base.update(overrides)
+    return WindowStats(**base)
+
+
+def corrupt_window(**overrides):
+    nan = float("nan")
+    return window(
+        violation=nan,
+        bw=nan,
+        avg_iops=nan,
+        avg_latency_us=nan,
+        queue_delay_us=nan,
+        rw_ratio=nan,
+        avail_capacity_frac=nan,
+        **overrides,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sanitization
+# ----------------------------------------------------------------------
+def test_sanitize_passes_clean_stats_through():
+    clean = window()
+    result, replaced = sanitize_stats(clean)
+    assert replaced == 0
+    assert result is clean
+
+
+def test_sanitize_uses_last_good_snapshot():
+    good = window(bw=123.0, violation=0.25)
+    result, replaced = sanitize_stats(corrupt_window(), good)
+    assert replaced == 7
+    assert result.avg_bw_mbps == 123.0
+    assert result.slo_violation_frac == 0.25
+    assert result.completed == 100  # int fields untouched
+
+
+def test_sanitize_without_history_falls_back_to_zero():
+    result, replaced = sanitize_stats(corrupt_window())
+    assert replaced == 7
+    assert result.avg_bw_mbps == 0.0
+    assert math.isfinite(result.slo_violation_frac)
+
+
+def test_sanitize_handles_inf():
+    result, replaced = sanitize_stats(window(bw=float("inf")), window(bw=7.0))
+    assert replaced == 1
+    assert result.avg_bw_mbps == 7.0
+
+
+# ----------------------------------------------------------------------
+# Watchdog state machine
+# ----------------------------------------------------------------------
+@pytest.fixture
+def config():
+    return GuardrailConfig(
+        collapse_violation_frac=0.5,
+        collapse_windows=3,
+        cooldown_windows=2,
+        probe_windows=2,
+        trust_decay=0.5,
+        trust_recovery=0.1,
+    )
+
+
+def test_fallback_after_k_collapsed_windows(config):
+    dog = VssdWatchdog(0, "a", config)
+    assert dog.observe(window(violation=0.9)) is None
+    assert dog.observe(window(violation=0.9)) is None
+    assert dog.observe(window(violation=0.9)) == "fallback"
+    assert dog.state is WatchdogState.FALLBACK
+    assert dog.suspended
+    assert dog.trust == 0.5
+
+
+def test_healthy_window_resets_collapse_streak(config):
+    dog = VssdWatchdog(0, "a", config)
+    dog.observe(window(violation=0.9))
+    dog.observe(window(violation=0.9))
+    dog.observe(window(violation=0.0))  # streak broken
+    assert dog.observe(window(violation=0.9)) is None
+    assert dog.state is WatchdogState.NORMAL
+
+
+def test_empty_windows_are_neutral(config):
+    dog = VssdWatchdog(0, "a", config)
+    dog.observe(window(violation=0.9))
+    dog.observe(window(violation=0.9))
+    assert dog.observe(window(completed=0)) is None
+    # The streak survives the empty window.
+    assert dog.observe(window(violation=0.9)) == "fallback"
+
+
+def test_recovery_path_probe_then_reenable(config):
+    dog = VssdWatchdog(0, "a", config)
+    for _ in range(3):
+        dog.observe(window(violation=0.9))
+    assert dog.state is WatchdogState.FALLBACK
+    # Cooldown: stays in fallback while still collapsed.
+    assert dog.observe(window(violation=0.9)) is None
+    assert dog.observe(window(violation=0.0)) == "probe"
+    assert dog.state is WatchdogState.PROBING
+    assert dog.observe(window(violation=0.0)) == "reenable"
+    assert dog.state is WatchdogState.NORMAL
+    assert not dog.suspended
+
+
+def test_probe_relapse_returns_to_fallback(config):
+    dog = VssdWatchdog(0, "a", config)
+    for _ in range(3):
+        dog.observe(window(violation=0.9))
+    dog.observe(window(violation=0.9))
+    dog.observe(window(violation=0.0))
+    assert dog.state is WatchdogState.PROBING
+    dog.observe(window(violation=0.9))
+    assert dog.state is WatchdogState.FALLBACK
+
+
+def test_trust_decays_per_fallback_and_recovers(config):
+    dog = VssdWatchdog(0, "a", config)
+    for _ in range(3):
+        dog.observe(window(violation=0.9))
+    assert dog.trust == 0.5
+    # Recover, then collapse again: trust halves once more.
+    dog.observe(window(violation=0.9))
+    dog.observe(window(violation=0.0))
+    dog.observe(window(violation=0.0))
+    assert dog.state is WatchdogState.NORMAL
+    for _ in range(3):
+        dog.observe(window(violation=0.9))
+    assert dog.trust == 0.25
+    assert dog.fallback_count == 2
+
+
+def test_trust_regained_by_healthy_normal_windows(config):
+    dog = VssdWatchdog(0, "a", config)
+    dog.trust = 0.5
+    for _ in range(5):
+        dog.observe(window(violation=0.0))
+    assert dog.trust == pytest.approx(1.0)
+
+
+def test_trust_floor(config):
+    dog = VssdWatchdog(0, "a", config)
+    dog.trust = 0.15
+    dog._enter_fallback()
+    assert dog.trust == config.min_trust
+
+
+# ----------------------------------------------------------------------
+# Facade: clamping and event logging
+# ----------------------------------------------------------------------
+def test_clamp_action_caps_harvest_level(config):
+    rails = Guardrails(config)
+    rails.register(0, "a")
+    space = ActionSpace(100.0)
+    rails.watchdogs[0].trust = 0.5
+    aggressive = space.index_of("harvest", 4)
+    clamped = rails.clamp_action(0, aggressive, space)
+    assert space.kind(clamped) == "harvest"
+    assert space.level(clamped) == 2  # floor(0.5 * 4)
+    assert rails.clamped_actions == 1
+
+
+def test_clamp_action_passes_mild_and_non_harvest(config):
+    rails = Guardrails(config)
+    rails.register(0, "a")
+    space = ActionSpace(100.0)
+    rails.watchdogs[0].trust = 0.5
+    mild = space.index_of("harvest", 1)
+    assert rails.clamp_action(0, mild, space) == mild
+    priority = space.indices_of("set_priority")[0]
+    assert rails.clamp_action(0, priority, space) == priority
+    rails.watchdogs[0].trust = 1.0
+    aggressive = space.index_of("harvest", 4)
+    assert rails.clamp_action(0, aggressive, space) == aggressive
+
+
+def test_facade_sanitize_logs_and_remembers(config):
+    rails = Guardrails(config)
+    rails.register(0, "a")
+    good = window(bw=42.0)
+    assert rails.sanitize(0, good, now_s=1.0) is good
+    cleaned = rails.sanitize(0, corrupt_window(), now_s=2.0)
+    assert cleaned.avg_bw_mbps == 42.0
+    assert rails.sanitized_windows == 1
+    assert rails.sanitized_fields == 7
+    [event] = rails.event_log
+    assert (event.kind, event.phase, event.target) == ("sanitize", "apply", "vssd:a")
+
+
+def test_facade_observe_logs_transitions(config):
+    rails = Guardrails(config)
+    rails.register(0, "a")
+    for _ in range(3):
+        transition = rails.observe(0, window(violation=0.9), now_s=3.0)
+    assert transition == "fallback"
+    assert rails.suspended(0)
+    [event] = rails.event_log
+    assert (event.source, event.kind, event.phase) == ("guardrail", "watchdog", "fallback")
+    assert "trust=0.50" in event.detail

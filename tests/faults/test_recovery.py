@@ -1,0 +1,219 @@
+"""End-to-end fault-recovery acceptance tests (the Figure 18 scenario).
+
+Two calibrated scenarios on a small device, each run with and without
+guardrails:
+
+* **Recovery** — the latency tenant's channels slow down 2x mid-run
+  while its telemetry simultaneously feeds the controller NaN garbage.
+  With guardrails the watchdog cycles fallback -> probe -> reenable and
+  the post-recovery P99 returns to within 15% of the pre-fault value;
+  without them the NaN observations poison every agent's Eq. 2 blended
+  reward.
+* **Harm** — NaN corruption alone, with the latency tenant's gSB
+  pre-seeded in the pool.  The poisoned PPO update turns the raw
+  bandwidth tenant's network weights to NaN, freezing its greedy policy
+  onto action 0 (argmax over NaN logits) = Harvest(1ch): it steals the
+  latency tenant's offered channels and measurably worsens the victim's
+  post-fault P99.  Guardrails sanitize the NaNs before they reach the
+  reward path, so the same run stays healthy.
+"""
+
+import math
+
+import pytest
+
+from repro.config import RLConfig, SSDConfig
+from repro.core.actionspace import ActionSpace
+from repro.faults import agent_corruption, scenario_phases, slowdown_corruption_scenario
+from repro.harness import Experiment, VssdPlan
+from repro.harness.telemetry import events_to_csv
+from repro.rl.nets import PolicyValueNet
+
+import numpy as np
+
+FAST = SSDConfig(
+    num_channels=4,
+    chips_per_channel=2,
+    blocks_per_chip=16,
+    pages_per_block=32,
+    min_superblock_blocks=4,
+)
+RL = RLConfig(decision_interval_s=0.5, batch_size=8)
+#: P99 of each workload alone under hardware isolation on FAST (seed 3);
+#: used as the SLO so violation fractions are meaningful.
+SLOS = {"ycsb": 13085.0, "terasort": 239516.0}
+
+
+def _plans():
+    return [
+        VssdPlan("ycsb", slo_latency_us=SLOS["ycsb"]),
+        VssdPlan("terasort", slo_latency_us=SLOS["terasort"]),
+    ]
+
+
+def _net(seed: int = 0) -> PolicyValueNet:
+    space = ActionSpace(FAST.channel_write_bandwidth_mbps)
+    return PolicyValueNet(
+        RL.state_dim, space.num_actions, (8, 8), rng=np.random.default_rng(seed)
+    )
+
+
+def _nan_rewards(exp: Experiment) -> int:
+    return sum(
+        1
+        for agent in exp.controller.agents.values()
+        for reward in agent.rewards_seen
+        if math.isnan(reward)
+    )
+
+
+def _run_recovery(guardrails: bool):
+    """Slowdown + corruption on the latency tenant; 20 s run."""
+    faults = slowdown_corruption_scenario(
+        "ycsb",
+        [0, 1],
+        slowdown_factor=2.0,
+        fault_start_s=6.0,
+        fault_duration_s=4.0,
+        corruption_start_s=6.5,
+        corruption_duration_s=3.0,
+    )
+    exp = Experiment(
+        _plans(),
+        "fleetio",
+        ssd_config=FAST,
+        rl_config=RL,
+        seed=3,
+        pretrained_net=_net(),
+        fleetio_kwargs={"unified_alpha_only": True},
+        faults=faults,
+        guardrails=guardrails,
+    )
+    result = exp.run(20.0, 2.0)
+    monitor = exp.monitors["ycsb"]
+    phases = scenario_phases(2.0, 6.0, 10.0, 20.0)
+    p99 = {
+        name: monitor.latency_percentile_between(start, end, 99)
+        for name, (start, end) in phases.items()
+    }
+    return exp, result, p99
+
+
+def _run_harm(guardrails: bool):
+    """Corruption only, latency tenant's gSB pre-seeded in the pool."""
+    exp = Experiment(
+        _plans(),
+        "fleetio",
+        ssd_config=FAST,
+        rl_config=RL,
+        seed=3,
+        pretrained_net=_net(seed=4),
+        fleetio_kwargs={"unified_alpha_only": True},
+        faults=[agent_corruption("terasort", 4.0, 1.5)],
+        guardrails=guardrails,
+    )
+    exp.build()
+    home = exp.virt.vssd_by_name("ycsb")
+    seeded = exp.virt.gsb_manager.make_harvestable(
+        home, FAST.channel_write_bandwidth_mbps + 1.0
+    )
+    assert seeded is not None
+    exp.run(16.0, 2.0)
+    monitor = exp.monitors["ycsb"]
+    return exp, {
+        "pre": monitor.latency_percentile_between(2.0, 4.0, 99),
+        "post": monitor.latency_percentile_between(6.0, 16.0, 99),
+    }
+
+
+@pytest.fixture(scope="module")
+def recovery_guarded():
+    return _run_recovery(True)
+
+
+@pytest.fixture(scope="module")
+def recovery_raw():
+    return _run_recovery(False)
+
+
+@pytest.fixture(scope="module")
+def harm_guarded():
+    return _run_harm(True)
+
+
+@pytest.fixture(scope="module")
+def harm_raw():
+    return _run_harm(False)
+
+
+# ----------------------------------------------------------------------
+# Recovery scenario
+# ----------------------------------------------------------------------
+def test_guarded_run_completes_without_nan_rewards(recovery_guarded):
+    exp, _result, _p99 = recovery_guarded
+    assert _nan_rewards(exp) == 0
+    assert exp.guardrails.sanitized_windows > 0
+
+
+def test_guarded_watchdog_full_cycle(recovery_guarded):
+    _exp, result, _p99 = recovery_guarded
+    transitions = [e.phase for e in result.guardrail_events if e.kind == "watchdog"]
+    assert transitions == ["fallback", "probe", "reenable"]
+    targets = {e.target for e in result.guardrail_events if e.kind == "watchdog"}
+    assert targets == {"vssd:ycsb"}
+
+
+def test_guarded_post_recovery_p99_within_15_percent(recovery_guarded):
+    _exp, _result, p99 = recovery_guarded
+    assert p99["during"] > 2.0 * p99["pre"]  # the fault actually hurt
+    assert p99["post"] <= 1.15 * p99["pre"]
+
+
+def test_fault_events_recorded(recovery_guarded):
+    _exp, result, _p99 = recovery_guarded
+    phases = [(e.kind, e.phase) for e in result.fault_events]
+    assert phases.count(("channel_slowdown", "start")) == 2
+    assert phases.count(("channel_slowdown", "end")) == 2
+    assert ("agent_corruption", "start") in phases
+    assert ("agent_corruption", "end") in phases
+
+
+def test_event_export_includes_watchdog_transitions(recovery_guarded, tmp_path):
+    _exp, result, _p99 = recovery_guarded
+    path = tmp_path / "events.csv"
+    events_to_csv(result.fault_events + result.guardrail_events, path)
+    text = path.read_text()
+    for phase in ("fallback", "probe", "reenable"):
+        assert f"watchdog,{phase}" in text
+    assert "channel_slowdown,start" in text
+
+
+def test_raw_run_rewards_poisoned(recovery_raw):
+    exp, result, _p99 = recovery_raw
+    assert _nan_rewards(exp) > 0
+    assert result.guardrail_events == []
+
+
+# ----------------------------------------------------------------------
+# Harm scenario: raw control measurably hurts the victim tenant
+# ----------------------------------------------------------------------
+def test_raw_policy_freezes_onto_harvest(harm_raw):
+    exp, _p99 = harm_raw
+    bandwidth_vssd = exp.virt.vssd_by_name("terasort")
+    agent = exp.controller.agents[bandwidth_vssd.vssd_id]
+    assert _nan_rewards(exp) > 0
+    frozen_tail = agent.actions_taken[12:]
+    assert len(frozen_tail) >= 10
+    assert set(frozen_tail) == {0}
+    assert exp.controller.action_space.kind(0) == "harvest"
+    assert exp.virt.gsb_manager.stats.gsbs_harvested > 0
+
+
+def test_raw_post_fault_p99_measurably_worse(harm_raw, harm_guarded):
+    _raw_exp, raw_p99 = harm_raw
+    guarded_exp, guarded_p99 = harm_guarded
+    assert _nan_rewards(guarded_exp) == 0
+    # Same fault, same seed: guardrails keep the victim healthy...
+    assert guarded_p99["post"] <= 1.15 * guarded_p99["pre"]
+    # ...while the raw frozen harvester measurably hurts it.
+    assert raw_p99["post"] > 1.5 * guarded_p99["post"]

@@ -55,6 +55,23 @@ def test_windows_to_csv(run, tmp_path):
         )
 
 
+def test_window_csv_reads_writes_roundtrip(run, tmp_path):
+    virt, controller, a, _b = run
+    history = controller.monitors[a.vssd_id].window_history
+    path = tmp_path / "windows.csv"
+    windows_to_csv({"a": history}, path)
+    with path.open() as handle:
+        parsed = list(csv.DictReader(handle))
+    assert len(parsed) == len(history)
+    for row, window in zip(parsed, history):
+        assert int(row["reads"]) == window.reads
+        assert int(row["writes"]) == window.writes
+        assert int(row["reads"]) + int(row["writes"]) == int(row["completed"])
+    # The fixture submits writes only; they must survive the round trip.
+    assert sum(int(row["writes"]) for row in parsed) > 0
+    assert sum(int(row["reads"]) for row in parsed) == 0
+
+
 def test_controller_actions_to_csv(run, tmp_path):
     virt, controller, _a, _b = run
     path = tmp_path / "actions.csv"

@@ -126,3 +126,47 @@ def test_pending_events_ignores_cancelled(sim):
     drop = sim.schedule(2.0, lambda: None)
     drop.cancel()
     assert sim.pending_events == 1
+
+
+def test_cancel_after_fire_is_harmless(sim):
+    fired = []
+    event = sim.schedule(5.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    event.cancel()  # must not raise or corrupt the heap
+    sim.schedule(1.0, fired.append, "y")
+    sim.run()
+    assert fired == ["x", "y"]
+
+
+def test_run_until_at_current_time_is_noop(sim):
+    sim.run_until(10.0)
+    assert sim.run_until(10.0) == 0
+    assert sim.now == 10.0
+
+
+def test_run_until_at_current_time_fires_zero_delay_events(sim):
+    sim.run_until(10.0)
+    fired = []
+    sim.schedule(0.0, fired.append, "now")
+    assert sim.run_until(10.0) == 1
+    assert fired == ["now"]
+    assert sim.now == 10.0
+
+
+def test_equal_timestamp_ordering_mixed_schedule_calls(sim):
+    fired = []
+    sim.schedule_at(20.0, fired.append, "first")
+    sim.schedule(20.0, fired.append, "second")
+    sim.schedule_at(20.0, fired.append, "third")
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_equal_timestamp_ordering_survives_earlier_event(sim):
+    fired = []
+    sim.schedule(10.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.schedule(5.0, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "a", "b"]

@@ -146,6 +146,58 @@ def test_writes_flow_into_harvest_region(ftl, ssd):
     assert used and all(b.writer == ftl.vssd_id for b in used)
 
 
+def test_harvest_gc_scoped_to_region_membership(ftl, ssd, hbt):
+    """Two harvest regions sharing a channel must not swap blocks via GC.
+
+    Regression: ``_harvest_region_blocks`` used to select every block the
+    vSSD wrote with the HBT flag set on the region's channels, so one
+    region's recycle could erase the *other* region's block and re-add it
+    to the wrong free pool.
+    """
+    blocks = ssd.allocate_channels(9, [3])
+    r1 = WriteRegion("gsb:1", kind="harvest")
+    r1.add_blocks(blocks[:2])
+    r2 = WriteRegion("gsb:2", kind="harvest")
+    r2.add_blocks(blocks[2:4])
+    for block in blocks[:4]:
+        hbt.mark_harvested(block)
+    ftl.add_harvest_region(r1)
+    ftl.add_harvest_region(r2)
+    for region in (r1, r2):
+        for lpn in range(4):
+            region.frontier_block(3, writer=ftl.vssd_id).program(lpn)
+    got1 = {id(b) for b in ftl._harvest_region_blocks(r1)}
+    got2 = {id(b) for b in ftl._harvest_region_blocks(r2)}
+    assert got1 and got1 <= {id(b) for b in blocks[:2]}
+    assert got2 and got2 <= {id(b) for b in blocks[2:4]}
+
+
+def test_recycle_returns_blocks_to_their_own_region(ftl, ssd, hbt):
+    """Recycling one harvest region leaves a co-channel sibling intact."""
+    blocks = ssd.allocate_channels(9, [3])
+    r1 = WriteRegion("gsb:1", kind="harvest")
+    r1.add_blocks(blocks[:2])
+    r2 = WriteRegion("gsb:2", kind="harvest")
+    r2.add_blocks(blocks[2:4])
+    for block in blocks[:4]:
+        hbt.mark_harvested(block)
+    ftl.add_harvest_region(r1)
+    ftl.add_harvest_region(r2)
+    # Exhaust r1 on the shared channel, then invalidate everything so its
+    # blocks become zero-cost GC victims.
+    while True:
+        block = r1.frontier_block(3, writer=ftl.vssd_id)
+        if block is None:
+            break
+        block.invalidate(block.program(0))
+    erased = ftl.recycle_region(r1, 3)
+    assert erased > 0
+    assert r1.free_block_count_on(3) == erased
+    assert r2.free_block_count_on(3) == 2  # sibling untouched
+    assert all(r1.contains(b) for b in blocks[:2])
+    assert all(r2.contains(b) for b in blocks[2:4])
+
+
 def test_reclaiming_region_not_written(ftl, ssd):
     blocks = ssd.allocate_channels(9, [3])
     region = WriteRegion("gsb:test", kind="harvest")
@@ -214,6 +266,14 @@ class TestWriteRegion:
         assert len(drained) == 4
         assert region.free_block_count() == 0
         assert region.free_pages() == 0
+
+    def test_membership_tracking(self, ssd):
+        region, blocks = self._region_with_blocks(ssd, n=4)
+        assert all(region.contains(b) for b in blocks)
+        taken = region.take_free_blocks(0, 2)
+        assert not any(region.contains(b) for b in taken)
+        drained = region.drain_free_blocks()
+        assert not any(region.contains(b) for b in drained)
 
     def test_release_erased_recycles_live_harvest(self, ssd):
         blocks = [b for b in ssd.channels[0].blocks[:2]]

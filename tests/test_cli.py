@@ -60,10 +60,41 @@ def test_duplicate_workload_names_disambiguated(capsys):
     assert "ycsb-1" in out and "ycsb-2" in out
 
 
+def test_faults_command_smoke(capsys, monkeypatch, tmp_path):
+    """The faults command runs the scenario end to end on a tiny device."""
+    from repro.config import RLConfig
+    from repro.core.actionspace import ActionSpace
+    from repro.config import SSDConfig
+    from repro.rl import PolicyValueNet
+    import repro.harness.pretrained as pretrained
+
+    space = ActionSpace(SSDConfig().channel_write_bandwidth_mbps)
+    net = PolicyValueNet(RLConfig().state_dim, space.num_actions, (8, 8))
+    monkeypatch.setattr(pretrained, "get_pretrained_net", lambda *a, **k: net)
+    monkeypatch.setattr(pretrained, "get_classifier", lambda *a, **k: None)
+    csv_path = tmp_path / "events.csv"
+    code = main([
+        "faults", "ycsb", "batchanalytics",
+        "--channels", "4", "--duration", "4", "--warmup", "1",
+        "--fault-start", "1.5", "--fault-duration", "1.5", "--factor", "2",
+        "--events-csv", str(csv_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleetio+guardrails" in out
+    assert "P99 latency by phase" in out
+    assert "channel_slowdown:start" in out
+    assert "agent_corruption:start" in out
+    assert csv_path.exists()
+    assert "time_s,source,kind" in csv_path.read_text().splitlines()[0]
+
+
 def test_parser_covers_all_commands():
     parser = build_parser()
     sub = next(
         a for a in parser._actions if isinstance(a, type(parser._actions[-1]))
     )
     names = set(sub.choices)
-    assert {"run", "compare", "workloads", "classify", "pretrain", "overheads"} <= names
+    assert {
+        "run", "compare", "faults", "workloads", "classify", "pretrain", "overheads"
+    } <= names
