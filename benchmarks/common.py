@@ -12,9 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import SSDConfig
-from repro.harness import POLICIES, Experiment, VssdPlan, run_policy_comparison
-from repro.harness.pretrained import get_classifier, get_pretrained_net
+from repro.harness import POLICIES, VssdPlan, run_policy_comparison
 
 #: The six standard collocations of Section 4.2 (latency, bandwidth).
 STANDARD_PAIRS = (

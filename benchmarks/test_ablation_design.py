@@ -11,7 +11,6 @@ the paper leaves open:
   with it disabled, the latency tenant's tail under harvesting degrades.
 """
 
-import dataclasses
 
 import pytest
 

@@ -11,7 +11,6 @@ from benchmarks.common import (
     STANDARD_PAIRS,
     bandwidth_name,
     latency_name,
-    pair_label,
     pair_results,
     print_expectation,
     print_header,

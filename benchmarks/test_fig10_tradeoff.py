@@ -14,7 +14,6 @@ from benchmarks.common import (
     STANDARD_PAIRS,
     geomean,
     latency_name,
-    pair_label,
     pair_results,
     print_expectation,
     print_header,

@@ -13,7 +13,6 @@ from benchmarks.common import (
     DURATION_S,
     MEASURE_AFTER_S,
     SEED,
-    STANDARD_PAIRS,
     geomean,
     latency_name,
     pair_label,
@@ -21,7 +20,7 @@ from benchmarks.common import (
     print_expectation,
     print_header,
 )
-from repro.harness import Experiment, VssdPlan, plans_for_pair
+from repro.harness import Experiment, plans_for_pair
 
 #: A subset of pairs keeps the ablation affordable; both latency
 #: workloads are represented (the paper's inconsistency shows per pair).

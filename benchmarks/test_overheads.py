@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.config import RLConfig, SSDConfig
-from repro.core.actionspace import ActionSpace
 from repro.harness.pretrained import get_pretrained_net
 from repro.rl import CategoricalPolicy, PpoTrainer, RolloutBuffer
 from repro.virt import StorageVirtualizer

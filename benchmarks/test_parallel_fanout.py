@@ -1,0 +1,107 @@
+"""Parallel fan-out benchmark: speedup, determinism, and hot-path profile.
+
+Runs one experiment matrix (2 policies x 2 seeds over the ycsb+terasort
+collocation) serially and with 4 workers, asserts the merged telemetry
+is byte-identical, and writes ``BENCH_parallel.json`` with the measured
+speedup and the per-subsystem wall-clock profile.
+
+The >=2x speedup assertion is gated on the host actually having >= 4
+CPU cores: on a 1-core CI box fan-out cannot beat serial (process
+startup is pure overhead), and pretending otherwise would make the
+benchmark flaky rather than informative.  The byte-equality assertion is
+unconditional — determinism must hold on any hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import print_expectation, print_header
+from repro.parallel import (
+    ExperimentMatrix,
+    ParallelRunner,
+    run_serial,
+    warm_policy_cache,
+)
+from repro.profiling import format_profile
+
+MATRIX = ExperimentMatrix.from_workloads(
+    ["ycsb", "terasort"],
+    ["hardware", "software"],
+    seeds=(0, 1),
+    duration_s=3.0,
+    measure_after_s=1.0,
+)
+WORKERS = 4
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    cells = MATRIX.cells()
+    warm_policy_cache(cells)
+    serial = run_serial(cells)
+    parallel = ParallelRunner(workers=WORKERS).run(cells)
+    return serial, parallel
+
+
+def test_parallel_matches_serial_byte_for_byte(benchmark, sweeps):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    serial, parallel = sweeps
+    assert serial.ok, [f.describe() for f in serial.failures]
+    assert parallel.ok, [f.describe() for f in parallel.failures]
+    assert len(parallel.succeeded) == len(MATRIX)
+    assert serial.telemetry == parallel.telemetry
+    assert len(parallel.telemetry) > 0
+
+
+def test_parallel_speedup_and_bench_json(benchmark, sweeps):
+    serial, parallel = sweeps
+
+    def regenerate():
+        cores = os.cpu_count() or 1
+        speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+        profile = parallel.profile
+        print_header(
+            "Parallel fan-out", f"{len(MATRIX)} cells, {WORKERS} workers, {cores} cores"
+        )
+        print(f"  serial:   {serial.wall_s:6.1f}s")
+        print(f"  parallel: {parallel.wall_s:6.1f}s  ({parallel.mode})")
+        print(f"  speedup:  {speedup:6.2f}x")
+        print()
+        print(format_profile(profile, total_label="sim.event_loop"))
+        payload = {
+            "cells": [cell.cell_id for cell in MATRIX.cells()],
+            "workers": WORKERS,
+            "cpu_count": cores,
+            "start_method": parallel.mode,
+            "serial_wall_s": round(serial.wall_s, 3),
+            "parallel_wall_s": round(parallel.wall_s, 3),
+            "speedup": round(speedup, 3),
+            "telemetry_bytes": len(parallel.telemetry),
+            "telemetry_sha256": parallel.telemetry_digest,
+            "telemetry_byte_equal": serial.telemetry == parallel.telemetry,
+            "profile": profile,
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {BENCH_PATH.name}")
+        return payload
+
+    payload = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_expectation(
+        "4-worker sweep >= 2x faster than serial (on >= 4 cores)",
+        f"{payload['speedup']:.2f}x on {payload['cpu_count']} cores",
+    )
+    assert payload["telemetry_byte_equal"]
+    assert payload["profile"]["timers"]["sim.event_loop"]["calls"] == len(MATRIX)
+    if payload["cpu_count"] >= 4:
+        assert payload["speedup"] >= 2.0
+    else:
+        print(
+            f"  ({payload['cpu_count']} cores: speedup gate skipped — "
+            "fan-out cannot beat serial without parallel hardware)"
+        )

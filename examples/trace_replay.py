@@ -13,7 +13,6 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.harness import comparison_table
 from repro.virt import StorageVirtualizer
 from repro.workloads import (
     TraceReplayDriver,

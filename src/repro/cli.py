@@ -8,6 +8,8 @@ Commands:
 * ``classify`` — synthesize a trace for a workload and classify its type.
 * ``pretrain`` — (re)build the cached pre-trained policy.
 * ``overheads`` — print the Section 4.7 overhead microbenchmarks.
+* ``profile`` — run one policy with per-subsystem wall-clock profiling.
+* ``sweep`` — fan a policies × seeds matrix across worker processes.
 """
 
 from __future__ import annotations
@@ -17,7 +19,8 @@ import sys
 import time
 
 from repro.config import RLConfig, SSDConfig
-from repro.harness import POLICIES, Experiment, VssdPlan, run_policy_comparison
+from repro.harness import POLICIES, Experiment, run_policy_comparison
+from repro.parallel.matrix import plans_for
 from repro.workloads import WORKLOAD_CATALOG, get_spec
 
 
@@ -45,14 +48,7 @@ def _config_from(args) -> SSDConfig:
 
 
 def _plans_from(names) -> list:
-    plans = []
-    seen: dict = {}
-    for name in names:
-        get_spec(name)  # validate early
-        seen[name] = seen.get(name, 0) + 1
-        label = f"{name}-{seen[name]}" if names.count(name) > 1 else name
-        plans.append(VssdPlan(name, name=label))
-    return plans
+    return plans_for(names)
 
 
 def _print_result(policy: str, result) -> None:
@@ -139,7 +135,8 @@ def cmd_faults(args) -> int:
         monitor = experiment.monitors[plan.name]
         row = f"{plan.name:>14s}"
         for start_s, end_s in phases.values():
-            row += f" {monitor.latency_percentile_between(start_s, end_s, 99) / 1000.0:9.2f}"
+            p99 = monitor.latency_percentile_between(start_s, end_s, 99)
+            row += "       n/a" if p99 is None else f" {p99 / 1000.0:9.2f}"
         print(row)
 
     events = sorted(
@@ -240,6 +237,110 @@ def cmd_overheads(_args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run one policy with per-subsystem wall-clock profiling."""
+    import json
+
+    from repro.profiling import PROFILER, format_profile
+
+    experiment = Experiment(
+        _plans_from(args.workloads),
+        args.policy,
+        ssd_config=_config_from(args),
+        seed=args.seed,
+    )
+    started = time.time()
+    PROFILER.reset()
+    with PROFILER.enabled_scope():
+        result = experiment.run(args.duration, args.warmup)
+    wall_s = time.time() - started
+    snapshot = PROFILER.snapshot()
+    _print_result(args.policy, result)
+    print()
+    print(format_profile(snapshot, total_label="sim.event_loop"))
+    print(f"\n({args.duration:.0f} simulated seconds in {wall_s:.1f} wall seconds)")
+    if args.json:
+        payload = {
+            "workloads": list(args.workloads),
+            "policy": args.policy,
+            "seed": args.seed,
+            "duration_s": args.duration,
+            "wall_s": wall_s,
+            "profile": snapshot,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote profile to {args.json}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Fan a policies × seeds matrix across worker processes."""
+    from repro.parallel import (
+        ExperimentMatrix,
+        ParallelRunner,
+        run_serial,
+        warm_policy_cache,
+    )
+    from repro.profiling import format_profile
+
+    policies = tuple(args.policies.split(",")) if args.policies else POLICIES
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    matrix = ExperimentMatrix.from_workloads(
+        args.workloads,
+        policies,
+        seeds=seeds,
+        duration_s=args.duration,
+        measure_after_s=args.warmup,
+        num_channels=args.channels,
+    )
+    cells = matrix.cells()
+    warmed = warm_policy_cache(cells)
+    if warmed:
+        print(f"policy cache ready ({len(warmed)} artifacts)")
+    runner = ParallelRunner(workers=args.workers)
+    print(
+        f"sweep: {len(cells)} cells "
+        f"({len(policies)} policies x {len(seeds)} seeds), "
+        f"{runner.workers} workers [{runner.start_method}]"
+    )
+    sweep = runner.run(cells)
+    print(f"\n{'cell':>32s} {'status':>8s} {'wall(s)':>8s} {'util':>7s}")
+    for outcome in sweep.outcomes:
+        if hasattr(outcome, "ok") and outcome.ok:
+            print(
+                f"{outcome.cell.cell_id:>32s} {'ok':>8s} "
+                f"{outcome.wall_s:8.1f} "
+                f"{outcome.result.avg_utilization:7.1%}"
+            )
+        else:
+            print(f"{outcome.cell.cell_id:>32s} {'FAILED':>8s}")
+    for failure in sweep.failures:
+        print(f"  {failure.describe()}")
+    print(f"\nparallel wall: {sweep.wall_s:.1f}s  "
+          f"telemetry: {len(sweep.telemetry)} bytes "
+          f"(sha256 {sweep.telemetry_digest[:16]})")
+    if args.show_profile:
+        print()
+        print(format_profile(sweep.profile, total_label="sim.event_loop"))
+    if args.telemetry_out:
+        with open(args.telemetry_out, "wb") as handle:
+            handle.write(sweep.telemetry)
+        print(f"wrote merged telemetry to {args.telemetry_out}")
+    if args.verify_serial:
+        serial = run_serial(cells)
+        match = serial.telemetry == sweep.telemetry
+        speedup = serial.wall_s / sweep.wall_s if sweep.wall_s else 0.0
+        print(
+            f"serial wall: {serial.wall_s:.1f}s  speedup: {speedup:.2f}x  "
+            f"telemetry byte-equal: {match}"
+        )
+        if not match:
+            print("error: serial and parallel telemetry diverge", file=sys.stderr)
+            return 1
+    return 0 if sweep.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -318,6 +419,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     overheads = sub.add_parser("overheads", help="overhead microbenchmarks (S 4.7)")
     overheads.set_defaults(func=cmd_overheads)
+
+    profile = sub.add_parser(
+        "profile", help="run one policy with per-subsystem profiling"
+    )
+    _add_common_run_args(profile)
+    profile.add_argument(
+        "--policy", default="fleetio",
+        choices=list(POLICIES) + ["mixed", "fleetio-mixed"],
+    )
+    profile.add_argument("--json", default=None, help="also write the profile as JSON")
+    profile.set_defaults(func=cmd_profile)
+
+    sweep = sub.add_parser(
+        "sweep", help="fan a policies x seeds matrix across worker processes"
+    )
+    _add_common_run_args(sweep)
+    sweep.add_argument(
+        "--policies", default=None,
+        help="comma-separated subset (default: all five)",
+    )
+    sweep.add_argument(
+        "--seeds", default="0",
+        help="comma-separated seeds, one cell per (policy, seed)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: cores - 1)",
+    )
+    sweep.add_argument(
+        "--verify-serial", action="store_true",
+        help="re-run serially and assert byte-identical merged telemetry",
+    )
+    sweep.add_argument(
+        "--telemetry-out", default=None, help="write merged telemetry bytes here"
+    )
+    sweep.add_argument(
+        "--show-profile", action="store_true",
+        help="print the merged per-subsystem profile",
+    )
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

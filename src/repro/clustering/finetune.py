@@ -101,7 +101,7 @@ def make_fast_env_evaluator(
             if env.action_space.describe(i) == "Harvest(4ch)"
         )
         violations, bandwidth = [], []
-        states = env._states(env._simulate_window())
+        env._states(env._simulate_window())  # warm one window before measuring
         for _ in range(windows):
             _states, _rewards, _done, info = env.step({0: offer, 1: take})
             violations.append(info["stats"][0].slo_violation_frac)

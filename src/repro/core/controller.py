@@ -31,6 +31,7 @@ from repro.core.agent import FleetIoAgent
 from repro.core.monitor import VssdMonitor
 from repro.core.reward import multi_agent_rewards, single_agent_reward
 from repro.clustering.features import extract_features
+from repro.profiling import PROFILER
 from repro.sched.request import Priority
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -131,6 +132,14 @@ class FleetIoController:
 
     def run_window(self) -> dict:
         """Execute one decision window; returns per-vSSD window stats."""
+        token = PROFILER.begin()
+        try:
+            return self._run_window_inner()
+        finally:
+            PROFILER.end("rl.decision_window", token)
+            PROFILER.count("rl.decision_windows")
+
+    def _run_window_inner(self) -> dict:
         now_s = self.virt.sim.now_seconds
         stats = {
             vssd_id: monitor.snapshot_window(now_s)

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.profiling import PROFILER
 from repro.sched.request import IoRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -122,6 +123,13 @@ class VssdMonitor:
     # ------------------------------------------------------------------
     def snapshot_window(self, now_s: float) -> WindowStats:
         """Summarize the window ending now, then reset window counters."""
+        token = PROFILER.begin()
+        try:
+            return self._snapshot_window_inner(now_s)
+        finally:
+            PROFILER.end("monitor.window", token)
+
+    def _snapshot_window_inner(self, now_s: float) -> WindowStats:
         duration = max(now_s - self._window_start_s, 1e-9)
         completed = self._completed
         ftl = self.vssd.ftl
@@ -176,20 +184,36 @@ class VssdMonitor:
     # ------------------------------------------------------------------
     # Run-level metrics
     # ------------------------------------------------------------------
-    def latency_percentile(self, percentile: float, reads_only: bool = False) -> float:
-        """Percentile over all recorded (post-warm-up) latencies, in us."""
+    def latency_percentile(
+        self,
+        percentile: float,
+        reads_only: bool = False,
+        default: Optional[float] = None,
+    ) -> Optional[float]:
+        """Percentile over all recorded (post-warm-up) latencies, in us.
+
+        An empty series has no percentile: the result is ``default``
+        (``None`` unless overridden), never a silent 0.0 that could read
+        as a perfect latency.
+        """
         data = self.all_read_latencies if reads_only else self.all_latencies
         if not data:
-            return 0.0
+            return default
         return float(np.percentile(np.asarray(data), percentile))
 
     def latency_percentile_between(
-        self, start_s: float, end_s: float, percentile: float
-    ) -> float:
+        self,
+        start_s: float,
+        end_s: float,
+        percentile: float,
+        default: Optional[float] = None,
+    ) -> Optional[float]:
         """Percentile over latencies completing in ``[start_s, end_s)``.
 
         Used for phase analysis around injected faults: pre-fault,
         during-fault, and post-recovery tail latencies of the same run.
+        Returns ``default`` (``None`` unless overridden) when no request
+        completed inside the window.
         """
         data = [
             latency
@@ -197,7 +221,7 @@ class VssdMonitor:
             if start_s <= t < end_s
         ]
         if not data:
-            return 0.0
+            return default
         return float(np.percentile(np.asarray(data), percentile))
 
     def bandwidth_between(self, start_s: float, end_s: float) -> float:

@@ -10,7 +10,7 @@ out the SLO collapse, recovering once the fault clears.
 
 from __future__ import annotations
 
-from repro.faults.injector import FaultSpec, agent_corruption, channel_slowdown
+from repro.faults.injector import agent_corruption, channel_slowdown
 
 
 def slowdown_corruption_scenario(

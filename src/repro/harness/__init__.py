@@ -12,6 +12,7 @@ from repro.harness.pretrained import get_pretrained_net, get_classifier
 from repro.harness.telemetry import (
     controller_actions_to_csv,
     events_to_csv,
+    windows_csv_bytes,
     windows_to_csv,
 )
 from repro.harness.report import (
@@ -19,6 +20,7 @@ from repro.harness.report import (
     comparison_table,
     load_results_csv,
     p99_chart,
+    results_csv_bytes,
     results_to_csv,
     utilization_chart,
 )
@@ -35,12 +37,14 @@ __all__ = [
     "get_pretrained_net",
     "get_classifier",
     "results_to_csv",
+    "results_csv_bytes",
     "load_results_csv",
     "bar_chart",
     "utilization_chart",
     "p99_chart",
     "comparison_table",
     "windows_to_csv",
+    "windows_csv_bytes",
     "controller_actions_to_csv",
     "events_to_csv",
 ]

@@ -28,6 +28,7 @@ from repro.faults.injector import FaultInjector
 from repro.baselines.adaptive import AdaptiveManager
 from repro.baselines.ssdkeeper import SsdKeeperAllocator
 from repro.harness.metrics import ExperimentResult, VssdResult, bandwidth_series
+from repro.profiling import PROFILER
 from repro.sched.policies import PriorityPolicy, TokenBucketStridePolicy
 from repro.sim.random import RandomStreams
 from repro.virt.manager import StorageVirtualizer
@@ -129,6 +130,11 @@ class Experiment:
         """Construct the virtualizer, tenants, drivers, and manager."""
         if self._built:
             return self
+        with PROFILER.timer("harness.build"):
+            self._build_inner()
+        return self
+
+    def _build_inner(self) -> None:
         uses_fleetio = self.policy.startswith("fleetio")
         sched_policy = (
             TokenBucketStridePolicy(
@@ -175,7 +181,6 @@ class Experiment:
             self.injector = FaultInjector(self.virt, monitors=self._fault_monitors())
             self.injector.arm(self.faults)
         self._built = True
-        return self
 
     def _fault_monitors(self) -> dict:
         """Name -> monitor map for monitor-targeted faults.
@@ -235,7 +240,6 @@ class Experiment:
         remainder."""
         total = self.config.num_channels
         hw_plans = [p for p in self.plans if p.isolation == "hardware"]
-        sw_plans = [p for p in self.plans if p.isolation == "software"]
         hw_total = sum(p.n_channels or 0 for p in hw_plans)
         if any((p.n_channels or 0) <= 0 for p in hw_plans):
             raise ValueError("mixed isolation requires explicit n_channels for hardware plans")
@@ -281,15 +285,16 @@ class Experiment:
 
     def _warm(self, plan: VssdPlan, vssd) -> None:
         """Consume >=50% of the vSSD's blocks before measurement."""
-        spec = get_spec(plan.workload)
-        working_set = self._working_set_pages(spec, vssd)
-        owned_pages = (
-            sum(vssd.ftl._own_blocks_per_channel.values())
-            * self.config.pages_per_block
-        )
-        target_writes = int(owned_pages * WARM_FRACTION)
-        lpns = (lpn % working_set for lpn in range(target_writes))
-        vssd.ftl.warm_fill(lpns)
+        with PROFILER.timer("harness.warm"):
+            spec = get_spec(plan.workload)
+            working_set = self._working_set_pages(spec, vssd)
+            owned_pages = (
+                sum(vssd.ftl._own_blocks_per_channel.values())
+                * self.config.pages_per_block
+            )
+            target_writes = int(owned_pages * WARM_FRACTION)
+            lpns = (lpn % working_set for lpn in range(target_writes))
+            vssd.ftl.warm_fill(lpns)
 
     def _build_fleetio(self) -> None:
         if self.pretrained_net is None:
@@ -313,9 +318,9 @@ class Experiment:
         )
         for plan in self.plans:
             vssd = self.virt.vssd_by_name(plan.name)
-            agent = self.controller.register_vssd(vssd)
             # The controller's own monitor drives RL state; the harness
             # monitor (already registered) keeps result metrics separate.
+            self.controller.register_vssd(vssd)
 
     def _device_bw_bytes_per_us(self) -> float:
         mbps = self.virt_total_bandwidth_mbps()
@@ -404,6 +409,10 @@ class Experiment:
     # Collection
     # ------------------------------------------------------------------
     def _collect(self, end_s: float) -> ExperimentResult:
+        with PROFILER.timer("harness.collect"):
+            return self._collect_inner(end_s)
+
+    def _collect_inner(self, end_s: float) -> ExperimentResult:
         elapsed = max(end_s - self._measure_start_s, 1e-9)
         result = ExperimentResult(
             policy=self.policy,

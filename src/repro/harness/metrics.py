@@ -36,9 +36,12 @@ class VssdResult:
     completed: int
     mean_bw_mbps: float
     mean_latency_us: float
-    p95_latency_us: float
-    p99_latency_us: float
-    p999_latency_us: float
+    #: Percentile fields are ``None`` when the run recorded no requests —
+    #: an empty series has no percentile, and 0.0 would read as a
+    #: perfect latency.
+    p95_latency_us: Optional[float]
+    p99_latency_us: Optional[float]
+    p999_latency_us: Optional[float]
     slo_latency_us: Optional[float]
     slo_violation_frac: float
     write_amplification: float
@@ -46,9 +49,13 @@ class VssdResult:
 
     def summary_row(self) -> str:
         """One-line human-readable summary of the vSSD's results."""
+        p99 = (
+            "   n/a" if self.p99_latency_us is None
+            else f"{self.p99_latency_us / 1000.0:6.2f}"
+        )
         return (
             f"{self.name:>14s}  bw={self.mean_bw_mbps:7.1f} MB/s  "
-            f"p99={self.p99_latency_us / 1000.0:6.2f} ms  "
+            f"p99={p99} ms  "
             f"slo_vio={100 * self.slo_violation_frac:5.2f}%"
         )
 
@@ -99,10 +106,33 @@ class ExperimentResult:
         rows = self.by_category(category)
         return float(np.mean([r.mean_bw_mbps for r in rows])) if rows else 0.0
 
-    def mean_p99_of(self, category: str) -> float:
-        """Mean P99 latency across a category's vSSDs (us)."""
-        rows = self.by_category(category)
-        return float(np.mean([r.p99_latency_us for r in rows])) if rows else 0.0
+    def mean_of_p99s(self, category: str) -> Optional[float]:
+        """Mean of the per-vSSD P99 latencies in a category (us).
+
+        This is an average of tail latencies, **not** a P99 of the pooled
+        category — computing a true category P99 would need the raw
+        latency series.  Label it accordingly in reports.  Returns
+        ``None`` when the category is empty or recorded no requests.
+        """
+        values = [
+            r.p99_latency_us
+            for r in self.by_category(category)
+            if r.p99_latency_us is not None
+        ]
+        return float(np.mean(values)) if values else None
+
+    def mean_p99_of(self, category: str) -> Optional[float]:
+        """Deprecated alias of :meth:`mean_of_p99s` (misleading name: the
+        value is a mean of p99s, not a p99)."""
+        import warnings
+
+        warnings.warn(
+            "mean_p99_of is deprecated: the value is a mean of per-vSSD "
+            "p99s, not a p99; use mean_of_p99s",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.mean_of_p99s(category)
 
     def admission_summary(self) -> str:
         """One-line denied/submitted action summary (empty if no stats)."""

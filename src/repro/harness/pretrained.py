@@ -1,16 +1,26 @@
 """Cached access to the pre-trained policy and workload classifier.
 
 Pre-training (Section 3.8) happens offline; benchmarks and examples reuse
-one pre-trained network.  The network is cached on disk (keyed by
-iteration count and seed) so separate pytest/benchmark processes do not
-retrain.
+one pre-trained network.  The network is cached on disk so separate
+pytest/benchmark/worker processes do not retrain.  Cache files are keyed
+by a hash of everything that shapes the artifact — iteration count,
+seed, reward variant, and the :class:`~repro.config.RLConfig` defaults —
+so a config change invalidates stale caches instead of silently reusing
+them.  Writes are atomic (temp file + ``os.replace``) so concurrent
+workers racing on a cold cache can never observe a half-written file.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import pickle
+from dataclasses import asdict
 from pathlib import Path
+
 from repro.clustering.classifier import WorkloadTypeClassifier, fit_default_classifier
+from repro.config import RLConfig
 from repro.core.pretrain import pretrain_best
 from repro.rl.nets import PolicyValueNet
 
@@ -31,6 +41,22 @@ def _cache_dir() -> Path:
     return path
 
 
+def _config_hash(payload: dict) -> str:
+    """A short stable hash over a JSON-serializable config payload."""
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def _atomic_replace(write, final_path: Path) -> None:
+    """Write via ``write(tmp_path)`` then atomically rename into place."""
+    tmp = final_path.with_name(f".{final_path.name}.{os.getpid()}.tmp{final_path.suffix}")
+    try:
+        write(tmp)
+        os.replace(tmp, final_path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 #: Reward-ablation variants (Figure 15).  ``custom-local`` keeps the
 #: per-cluster alphas but trains selfish agents (beta = 1);
 #: ``unified-global`` keeps the beta blend but trains with one unified
@@ -40,6 +66,23 @@ VARIANT_KWARGS = {
     "custom-local": {"beta": 1.0},
     "unified-global": {"alpha_override": 0.01},
 }
+
+
+def pretrained_cache_path(
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = DEFAULT_SEED,
+    variant: str = "default",
+) -> Path:
+    """Where the pre-trained net for this configuration lives on disk."""
+    digest = _config_hash(
+        {
+            "iterations": iterations,
+            "seed": seed,
+            "variant": variant,
+            "rl_config": asdict(RLConfig()),
+        }
+    )
+    return _cache_dir() / f"pretrained_{digest}.npz"
 
 
 def get_pretrained_net(
@@ -54,8 +97,7 @@ def get_pretrained_net(
     key = (iterations, seed, variant)
     if key in _net_cache:
         return _net_cache[key]
-    suffix = "" if variant == "default" else f"_{variant}"
-    cache_file = _cache_dir() / f"pretrained_i{iterations}_s{seed}{suffix}.npz"
+    cache_file = pretrained_cache_path(iterations, seed, variant)
     if use_disk_cache and cache_file.exists():
         net = PolicyValueNet.load(str(cache_file))
     else:
@@ -65,15 +107,34 @@ def get_pretrained_net(
             **VARIANT_KWARGS[variant],
         ).net
         if use_disk_cache:
-            net.save(str(cache_file))
+            _atomic_replace(lambda tmp: net.save(str(tmp)), cache_file)
     _net_cache[key] = net
     return net
 
 
-def get_classifier(seed: int = 0) -> WorkloadTypeClassifier:
-    """The fitted workload-type classifier (memo-cached)."""
-    if seed not in _classifier_cache:
-        _classifier_cache[seed] = fit_default_classifier(
+def classifier_cache_path(seed: int = 0) -> Path:
+    """Where the fitted workload classifier for this seed lives on disk."""
+    digest = _config_hash(
+        {"seed": seed, "windows_per_workload": 4, "requests_per_window": 2000}
+    )
+    return _cache_dir() / f"classifier_{digest}.pkl"
+
+
+def get_classifier(seed: int = 0, use_disk_cache: bool = True) -> WorkloadTypeClassifier:
+    """The fitted workload-type classifier (memo- and disk-cached)."""
+    if seed in _classifier_cache:
+        return _classifier_cache[seed]
+    cache_file = classifier_cache_path(seed)
+    if use_disk_cache and cache_file.exists():
+        with cache_file.open("rb") as handle:
+            classifier = pickle.load(handle)
+    else:
+        classifier = fit_default_classifier(
             seed=seed, windows_per_workload=4, requests_per_window=2000
         )
-    return _classifier_cache[seed]
+        if use_disk_cache:
+            _atomic_replace(
+                lambda tmp: tmp.write_bytes(pickle.dumps(classifier)), cache_file
+            )
+    _classifier_cache[seed] = classifier
+    return classifier

@@ -8,6 +8,7 @@ visual form (ASCII bar charts) without a plotting dependency.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import Mapping, Optional
 
@@ -34,37 +35,56 @@ CSV_COLUMNS = (
 )
 
 
+def _fmt_us(value: Optional[float]) -> str:
+    """CSV cell for a microsecond metric; empty when unmeasured."""
+    return "" if value is None else f"{value:.1f}"
+
+
+def _write_result_rows(writer, results: Mapping[str, ExperimentResult]) -> int:
+    writer.writerow(CSV_COLUMNS)
+    rows = 0
+    for policy, result in results.items():
+        for vssd in result.vssds.values():
+            writer.writerow(
+                [
+                    policy,
+                    vssd.name,
+                    vssd.workload,
+                    vssd.category,
+                    vssd.completed,
+                    f"{vssd.mean_bw_mbps:.3f}",
+                    f"{vssd.mean_latency_us:.1f}",
+                    _fmt_us(vssd.p95_latency_us),
+                    _fmt_us(vssd.p99_latency_us),
+                    _fmt_us(vssd.p999_latency_us),
+                    "" if vssd.slo_latency_us is None else f"{vssd.slo_latency_us:.1f}",
+                    f"{vssd.slo_violation_frac:.5f}",
+                    f"{vssd.write_amplification:.4f}",
+                    vssd.gc_runs,
+                    f"{result.avg_utilization:.5f}",
+                    f"{result.p95_utilization:.5f}",
+                ]
+            )
+            rows += 1
+    return rows
+
+
 def results_to_csv(results: Mapping[str, ExperimentResult], path) -> int:
     """Write one row per (policy, vSSD); returns the row count."""
     path = Path(path)
-    rows = 0
     with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(CSV_COLUMNS)
-        for policy, result in results.items():
-            for vssd in result.vssds.values():
-                writer.writerow(
-                    [
-                        policy,
-                        vssd.name,
-                        vssd.workload,
-                        vssd.category,
-                        vssd.completed,
-                        f"{vssd.mean_bw_mbps:.3f}",
-                        f"{vssd.mean_latency_us:.1f}",
-                        f"{vssd.p95_latency_us:.1f}",
-                        f"{vssd.p99_latency_us:.1f}",
-                        f"{vssd.p999_latency_us:.1f}",
-                        "" if vssd.slo_latency_us is None else f"{vssd.slo_latency_us:.1f}",
-                        f"{vssd.slo_violation_frac:.5f}",
-                        f"{vssd.write_amplification:.4f}",
-                        vssd.gc_runs,
-                        f"{result.avg_utilization:.5f}",
-                        f"{result.p95_utilization:.5f}",
-                    ]
-                )
-                rows += 1
-    return rows
+        return _write_result_rows(csv.writer(handle), results)
+
+
+def results_csv_bytes(results: Mapping[str, ExperimentResult]) -> bytes:
+    """The same CSV as :func:`results_to_csv`, as bytes.
+
+    Used by the parallel runner for cross-process result shipping and
+    serial-vs-parallel byte-equality checks.
+    """
+    buffer = io.StringIO(newline="")
+    _write_result_rows(csv.writer(buffer), results)
+    return buffer.getvalue().encode("utf-8")
 
 
 def load_results_csv(path) -> list:
@@ -120,6 +140,7 @@ def p99_chart(
         {
             policy: result.vssd(vssd_name).p99_latency_us / 1000.0
             for policy, result in results.items()
+            if result.vssd(vssd_name).p99_latency_us is not None
         },
         title=kwargs.pop("title", f"P99 latency of {vssd_name} (ms)"),
         unit="ms",
@@ -140,7 +161,8 @@ def comparison_table(results: Mapping[str, ExperimentResult]) -> str:
             lines.append(header)
         row = f"{policy:>12s} {result.avg_utilization:8.2%}"
         for name in names:
-            row += f"{result.vssd(name).p99_latency_us / 1000.0:18.2f}"
+            p99 = result.vssd(name).p99_latency_us
+            row += f"{'n/a':>18s}" if p99 is None else f"{p99 / 1000.0:18.2f}"
         lines.append(row)
     admission_lines = [
         f"{policy:>12s} {summary}"

@@ -9,6 +9,7 @@ bandwidth arrive — without attaching a debugger to the simulator.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -34,39 +35,55 @@ WINDOW_COLUMNS = (
 )
 
 
+def _write_window_rows(
+    writer, histories: Mapping[str, Iterable[WindowStats]]
+) -> int:
+    writer.writerow(WINDOW_COLUMNS)
+    rows = 0
+    for label, history in histories.items():
+        for window in history:
+            writer.writerow(
+                [
+                    label,
+                    f"{window.window_start_s:.3f}",
+                    f"{window.window_end_s:.3f}",
+                    f"{window.avg_bw_mbps:.3f}",
+                    f"{window.avg_iops:.1f}",
+                    f"{window.avg_latency_us:.1f}",
+                    f"{window.slo_violation_frac:.5f}",
+                    f"{window.queue_delay_us:.1f}",
+                    f"{window.rw_ratio:.4f}",
+                    f"{window.avail_capacity_frac:.4f}",
+                    int(window.in_gc),
+                    window.cur_priority,
+                    window.completed,
+                    window.reads,
+                    window.writes,
+                ]
+            )
+            rows += 1
+    return rows
+
+
 def windows_to_csv(histories: Mapping[str, Iterable[WindowStats]], path) -> int:
     """Write per-window rows for several vSSDs; returns the row count.
 
     ``histories`` maps a vSSD label to its monitor's ``window_history``.
     """
     path = Path(path)
-    rows = 0
     with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(WINDOW_COLUMNS)
-        for label, history in histories.items():
-            for window in history:
-                writer.writerow(
-                    [
-                        label,
-                        f"{window.window_start_s:.3f}",
-                        f"{window.window_end_s:.3f}",
-                        f"{window.avg_bw_mbps:.3f}",
-                        f"{window.avg_iops:.1f}",
-                        f"{window.avg_latency_us:.1f}",
-                        f"{window.slo_violation_frac:.5f}",
-                        f"{window.queue_delay_us:.1f}",
-                        f"{window.rw_ratio:.4f}",
-                        f"{window.avail_capacity_frac:.4f}",
-                        int(window.in_gc),
-                        window.cur_priority,
-                        window.completed,
-                        window.reads,
-                        window.writes,
-                    ]
-                )
-                rows += 1
-    return rows
+        return _write_window_rows(csv.writer(handle), histories)
+
+
+def windows_csv_bytes(histories: Mapping[str, Iterable[WindowStats]]) -> bytes:
+    """The same CSV as :func:`windows_to_csv`, as bytes.
+
+    The parallel runner uses this to ship per-cell telemetry across the
+    process boundary and to assert serial-vs-parallel byte equality.
+    """
+    buffer = io.StringIO(newline="")
+    _write_window_rows(csv.writer(buffer), histories)
+    return buffer.getvalue().encode("utf-8")
 
 
 def controller_actions_to_csv(controller, path) -> int:

@@ -1,0 +1,34 @@
+"""Parallel experiment fan-out with deterministic merged results.
+
+One sweep = one :class:`ExperimentMatrix` (scenarios × policies × seeds)
+flattened into :class:`ExperimentCell` rows and fanned across worker
+processes by :class:`ParallelRunner`.  A dead worker becomes a
+:class:`CellFailure` instead of killing the sweep, and the merged
+telemetry is byte-identical to a serial run of the same matrix
+(:func:`run_serial`).
+"""
+
+from repro.parallel.matrix import ExperimentCell, ExperimentMatrix, plans_for
+from repro.parallel.policy_cache import cells_need_policy, warm_policy_cache
+from repro.parallel.runner import (
+    CellFailure,
+    ParallelRunner,
+    SweepResult,
+    run_serial,
+)
+from repro.parallel.worker import RUNNERS, CellOutcome, run_cell
+
+__all__ = [
+    "ExperimentCell",
+    "ExperimentMatrix",
+    "plans_for",
+    "CellOutcome",
+    "CellFailure",
+    "SweepResult",
+    "ParallelRunner",
+    "run_serial",
+    "run_cell",
+    "RUNNERS",
+    "warm_policy_cache",
+    "cells_need_policy",
+]

@@ -1,0 +1,116 @@
+"""Experiment matrices: the unit of work for the parallel runner.
+
+A sweep is a cross product — scenarios (workload collocations) ×
+policies × seeds — flattened into an ordered list of
+:class:`ExperimentCell` rows.  The order is deterministic (scenario,
+then policy, then seed) and every cell carries everything a worker
+process needs to run it, so results merge back in matrix order no
+matter which worker finished first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.harness.experiment import VssdPlan
+from repro.workloads.catalog import get_spec
+
+
+def plans_for(workloads: Sequence[str]) -> list:
+    """Build vSSD plans from workload names, disambiguating duplicates.
+
+    Mirrors the CLI's labelling: a workload collocated with itself gets
+    ``name-1``, ``name-2``, ... labels.
+    """
+    names = list(workloads)
+    plans = []
+    seen: dict = {}
+    for name in names:
+        get_spec(name)  # validate early
+        seen[name] = seen.get(name, 0) + 1
+        label = f"{name}-{seen[name]}" if names.count(name) > 1 else name
+        plans.append(VssdPlan(name, name=label))
+    return plans
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (scenario, policy, seed) run — the sweep's atom of work."""
+
+    scenario: str
+    workloads: Tuple[str, ...]
+    policy: str
+    seed: int
+    duration_s: float = 4.0
+    measure_after_s: float = 1.0
+    num_channels: Optional[int] = None
+    #: Name of the registered cell runner (``repro.parallel.worker``).
+    runner: str = "experiment"
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identity, e.g. ``ycsb+terasort/fleetio/s3``."""
+        return f"{self.scenario}/{self.policy}/s{self.seed}"
+
+    def plans(self) -> list:
+        """The cell's vSSD plans (built fresh — plans are mutable)."""
+        return plans_for(self.workloads)
+
+
+@dataclass(frozen=True)
+class ExperimentMatrix:
+    """A sweep definition: scenarios × policies × seeds.
+
+    ``scenarios`` is a tuple of ``(label, workload-names)`` pairs; pass
+    ``label=None`` (via :meth:`from_workloads`) to label a scenario by
+    joining its workload names with ``+``.
+    """
+
+    scenarios: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    policies: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (0,)
+    duration_s: float = 4.0
+    measure_after_s: float = 1.0
+    num_channels: Optional[int] = None
+    runner: str = field(default="experiment")
+
+    @classmethod
+    def from_workloads(
+        cls,
+        workloads: Sequence[str],
+        policies: Sequence[str],
+        seeds: Sequence[int] = (0,),
+        **kwargs,
+    ) -> "ExperimentMatrix":
+        """A single-scenario matrix over one workload collocation."""
+        label = "+".join(workloads)
+        return cls(
+            scenarios=((label, tuple(workloads)),),
+            policies=tuple(policies),
+            seeds=tuple(seeds),
+            **kwargs,
+        )
+
+    def cells(self) -> list:
+        """Flatten into cells, ordered scenario → policy → seed."""
+        out = []
+        for label, workloads in self.scenarios:
+            for policy in self.policies:
+                for seed in self.seeds:
+                    out.append(
+                        ExperimentCell(
+                            scenario=label,
+                            workloads=tuple(workloads),
+                            policy=policy,
+                            seed=seed,
+                            duration_s=self.duration_s,
+                            measure_after_s=self.measure_after_s,
+                            num_channels=self.num_channels,
+                            runner=self.runner,
+                        )
+                    )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.scenarios) * len(self.policies) * len(self.seeds)

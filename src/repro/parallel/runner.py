@@ -1,0 +1,222 @@
+"""The parallel sweep runner: fan an experiment matrix across processes.
+
+Design notes:
+
+* **One process per cell.**  A worker process runs exactly one cell and
+  exits.  A cell that segfaults, OOMs, or calls ``os._exit`` kills only
+  its own process; the sweep records a structured :class:`CellFailure`
+  and keeps going.  (A shared pool would poison every queued cell —
+  ``concurrent.futures`` raises ``BrokenProcessPool`` for the lot.)
+* **Bounded concurrency.**  At most ``workers`` processes run at once;
+  cells launch in matrix order as slots free up.
+* **Results over pipes.**  Each child sends one pickled
+  :class:`~repro.parallel.worker.CellOutcome` through its own pipe.  The
+  parent waits on pipes *and* process sentinels simultaneously, so large
+  payloads stream while other children keep running, and a child that
+  dies before sending is detected by its sentinel.
+* **Fork start method.**  When available (Linux), ``fork`` shares the
+  parent's warmed pre-train/classifier caches copy-on-write, so workers
+  never redundantly pre-train.  Other platforms fall back to ``spawn``,
+  where the disk cache (warmed by :func:`warm_policy_cache`) serves the
+  same purpose.
+* **Determinism.**  Cells are seeded by their matrix coordinates alone,
+  and merging happens in matrix order — so a sweep's merged telemetry is
+  byte-identical no matter how many workers ran it or which finished
+  first.  ``run_serial`` runs the same :func:`run_cell` code in-process;
+  :meth:`SweepResult.telemetry` equality between the two is asserted in
+  the test suite and checkable via ``repro sweep --verify-serial``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Optional, Sequence
+
+from repro.parallel.matrix import ExperimentCell
+from repro.parallel.worker import CellOutcome, run_cell
+from repro.profiling import merge_profiles
+
+
+@dataclass
+class CellFailure:
+    """A cell whose worker died or whose runner raised."""
+
+    cell: ExperimentCell
+    #: Process exit code (None when the runner raised in-process).
+    exitcode: Optional[int] = None
+    #: ``{"type", "message", "traceback"}`` when the runner raised.
+    error: Optional[dict] = None
+
+    def describe(self) -> str:
+        """One line: what failed and how."""
+        if self.error is not None:
+            return (
+                f"{self.cell.cell_id}: {self.error['type']}: "
+                f"{self.error['message']}"
+            )
+        return f"{self.cell.cell_id}: worker died (exitcode={self.exitcode})"
+
+
+@dataclass
+class SweepResult:
+    """Merged outcome of one sweep, in matrix order."""
+
+    #: One entry per cell, matrix order: CellOutcome or CellFailure.
+    outcomes: list = field(default_factory=list)
+    wall_s: float = 0.0
+    workers: int = 1
+    mode: str = "serial"
+
+    @property
+    def succeeded(self) -> list:
+        """Successful outcomes, matrix order."""
+        return [o for o in self.outcomes if isinstance(o, CellOutcome) and o.ok]
+
+    @property
+    def failures(self) -> list:
+        """Failures (worker deaths and runner exceptions), matrix order."""
+        return [o for o in self.outcomes if not isinstance(o, CellOutcome) or not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def telemetry(self) -> bytes:
+        """Merged telemetry: successful cells' bytes, matrix order."""
+        return b"".join(o.telemetry for o in self.succeeded)
+
+    @property
+    def telemetry_digest(self) -> str:
+        """SHA-256 of the merged telemetry (the determinism fingerprint)."""
+        return hashlib.sha256(self.telemetry).hexdigest()
+
+    @property
+    def profile(self) -> dict:
+        """Per-subsystem timings/counters merged across all cells."""
+        return merge_profiles(o.profile for o in self.succeeded)
+
+    def results(self) -> dict:
+        """``cell_id -> ExperimentResult`` for the successful cells."""
+        return {o.cell.cell_id: o.result for o in self.succeeded}
+
+
+def _child_main(cell: ExperimentCell, profile: bool, conn) -> None:
+    """Worker process body: run one cell, ship the outcome, exit."""
+    outcome = run_cell(cell, profile=profile)
+    # Results can hold numpy arrays and megabytes of telemetry; if the
+    # pipe buffer fills, send() blocks until the parent drains it (the
+    # parent reads concurrently — see ParallelRunner._drain).
+    conn.send(outcome)
+    conn.close()
+
+
+def run_serial(
+    cells: Sequence[ExperimentCell], profile: bool = True
+) -> SweepResult:
+    """Run every cell in-process, matrix order — the reference output."""
+    started = time.perf_counter()
+    outcomes: list = []
+    for cell in cells:
+        outcome = run_cell(cell, profile=profile)
+        if outcome.ok:
+            outcomes.append(outcome)
+        else:
+            outcomes.append(CellFailure(cell=cell, error=outcome.error))
+    return SweepResult(
+        outcomes=outcomes,
+        wall_s=time.perf_counter() - started,
+        workers=1,
+        mode="serial",
+    )
+
+
+class ParallelRunner:
+    """Fans cells across worker processes with crash isolation."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        profile: bool = True,
+        start_method: Optional[str] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or max(multiprocessing.cpu_count() - 1, 1)
+        self.profile = profile
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+
+    def run(self, cells: Sequence[ExperimentCell]) -> SweepResult:
+        """Run the cells; returns merged results in matrix order."""
+        started = time.perf_counter()
+        slots: dict = {}  # index -> (cell, process, conn, outcome-or-None)
+        outcomes: dict = {}  # index -> CellOutcome | CellFailure
+        next_cell = 0
+        cells = list(cells)
+        while next_cell < len(cells) or slots:
+            while next_cell < len(cells) and len(slots) < self.workers:
+                index = next_cell
+                next_cell += 1
+                cell = cells[index]
+                parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(
+                    target=_child_main,
+                    args=(cell, self.profile, child_conn),
+                    name=f"repro-cell-{cell.cell_id}",
+                )
+                proc.start()
+                child_conn.close()
+                slots[index] = [cell, proc, parent_conn, None]
+            self._drain(slots, outcomes)
+        return SweepResult(
+            outcomes=[outcomes[i] for i in range(len(cells))],
+            wall_s=time.perf_counter() - started,
+            workers=self.workers,
+            mode=f"parallel/{self.start_method}",
+        )
+
+    def _drain(self, slots: dict, outcomes: dict) -> None:
+        """Wait for at least one child event; collect whatever is ready."""
+        handles = []
+        for cell, proc, conn, payload in slots.values():
+            if payload is None:
+                handles.append(conn)
+            handles.append(proc.sentinel)
+        ready = set(connection.wait(handles))
+        finished = []
+        for index, slot in slots.items():
+            cell, proc, conn, payload = slot
+            if payload is None and conn in ready:
+                try:
+                    slot[3] = conn.recv()
+                except EOFError:
+                    # Child closed the pipe without sending — it is dead
+                    # or dying; the sentinel path below classifies it.
+                    pass
+            if proc.sentinel in ready:
+                finished.append(index)
+        for index in finished:
+            cell, proc, conn, payload = slots.pop(index)
+            # The child may have exited between wait() and recv(); pull
+            # any payload that is already buffered in the pipe.
+            if payload is None and conn.poll():
+                try:
+                    payload = conn.recv()
+                except EOFError:
+                    payload = None
+            proc.join()
+            conn.close()
+            if payload is None:
+                outcomes[index] = CellFailure(cell=cell, exitcode=proc.exitcode)
+            elif payload.ok:
+                outcomes[index] = payload
+            else:
+                outcomes[index] = CellFailure(cell=cell, error=payload.error)

@@ -1,0 +1,125 @@
+"""Cell execution: what runs inside each worker process.
+
+:func:`run_cell` is the single entry point for both the serial and the
+parallel paths — the parallel runner forks a process that calls exactly
+the code the serial loop calls, which is what makes the serial-vs-
+parallel byte-equality guarantee checkable rather than aspirational.
+
+A cell's outcome carries its telemetry as *bytes* (results CSV + window
+CSV) so equality is a trivial comparison, plus a profiler snapshot so
+per-subsystem timings aggregate across workers.  ``run_cell`` never
+raises: a failing experiment becomes ``ok=False`` with a structured
+error.  Hard process deaths (signal, ``os._exit``) are the runner's
+job to detect.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.config import SSDConfig
+from repro.harness.experiment import Experiment
+from repro.harness.metrics import ExperimentResult
+from repro.harness.report import results_csv_bytes
+from repro.harness.telemetry import windows_csv_bytes
+from repro.parallel.matrix import ExperimentCell
+from repro.profiling import PROFILER
+
+
+@dataclass
+class CellOutcome:
+    """What one cell sends back to the sweep."""
+
+    cell: ExperimentCell
+    ok: bool
+    result: Optional[ExperimentResult] = None
+    #: Results CSV + per-window telemetry CSV, concatenated.
+    telemetry: bytes = b""
+    #: Profiler snapshot (:meth:`repro.profiling.Profiler.snapshot`).
+    profile: dict = field(default_factory=dict)
+    #: ``{"type", "message", "traceback"}`` when ``ok`` is False.
+    error: Optional[dict] = None
+    wall_s: float = 0.0
+    pid: int = 0
+
+
+def _run_experiment_cell(cell: ExperimentCell) -> CellOutcome:
+    """The default runner: build and run one harness experiment."""
+    config = (
+        SSDConfig(num_channels=cell.num_channels)
+        if cell.num_channels is not None
+        else SSDConfig()
+    )
+    experiment = Experiment(
+        cell.plans(), cell.policy, ssd_config=config, seed=cell.seed
+    )
+    result = experiment.run(cell.duration_s, cell.measure_after_s)
+    telemetry = results_csv_bytes({cell.policy: result}) + windows_csv_bytes(
+        {name: monitor.window_history for name, monitor in experiment.monitors.items()}
+    )
+    return CellOutcome(cell=cell, ok=True, result=result, telemetry=telemetry)
+
+
+def _crash_cell(cell: ExperimentCell) -> CellOutcome:  # pragma: no cover
+    """Test-only runner: die without reporting (simulates a hard crash)."""
+    os._exit(13)
+
+
+#: Registered cell runners, selected by ``ExperimentCell.runner``.
+RUNNERS: Dict[str, Callable[[ExperimentCell], CellOutcome]] = {
+    "experiment": _run_experiment_cell,
+    "crash": _crash_cell,
+}
+
+
+def _profile_delta(before: dict, after: dict) -> dict:
+    """The profiler activity between two snapshots of one process.
+
+    Serial sweeps run many cells against the same process-global
+    profiler; diffing isolates each cell's share so serial and parallel
+    sweeps merge to the same per-subsystem totals.
+    """
+    timers = {}
+    for name, entry in after.get("timers", {}).items():
+        prior = before.get("timers", {}).get(name, {"calls": 0, "total_ns": 0})
+        calls = entry["calls"] - prior["calls"]
+        total_ns = entry["total_ns"] - prior["total_ns"]
+        if calls or total_ns:
+            timers[name] = {"calls": calls, "total_ns": total_ns}
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0)
+        if delta:
+            counters[name] = delta
+    return {"timers": timers, "counters": counters}
+
+
+def run_cell(cell: ExperimentCell, profile: bool = True) -> CellOutcome:
+    """Run one cell; exceptions become a structured failure outcome."""
+    runner = RUNNERS[cell.runner]
+    started = time.perf_counter()
+    try:
+        if profile:
+            before = PROFILER.snapshot()
+            with PROFILER.enabled_scope():
+                outcome = runner(cell)
+            outcome.profile = _profile_delta(before, PROFILER.snapshot())
+        else:
+            outcome = runner(cell)
+    except Exception as exc:
+        outcome = CellOutcome(
+            cell=cell,
+            ok=False,
+            error={
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        )
+    outcome.wall_s = time.perf_counter() - started
+    outcome.pid = os.getpid()
+    return outcome

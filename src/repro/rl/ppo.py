@@ -13,10 +13,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import RLConfig
+from repro.profiling import PROFILER
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.nets import PolicyValueNet
 from repro.rl.optim import Adam
-from repro.rl.policy import log_softmax, softmax
+from repro.rl.policy import log_softmax
 
 
 @dataclass
@@ -49,6 +50,14 @@ class PpoTrainer:
         Epochs stop early when the policy drifts too far (mean KL above
         :data:`KL_STOP`), which keeps the clipped objective honest.
         """
+        token = PROFILER.begin()
+        try:
+            return self._update_inner(buffer)
+        finally:
+            PROFILER.end("rl.ppo_update", token)
+            PROFILER.count("rl.ppo_updates")
+
+    def _update_inner(self, buffer: RolloutBuffer) -> PpoUpdateStats:
         data = buffer.get()
         n = len(data["actions"])
         if n == 0:

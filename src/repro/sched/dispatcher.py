@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.profiling import PROFILER
 from repro.sched.policies import SchedulingPolicy
 from repro.sched.request import IoRequest
 from repro.ssd.ftl import OutOfSpaceError
@@ -140,10 +141,17 @@ class IoDispatcher:
         config = self.ssd.config
         bound = config.max_queue_depth * config.bus_transfer_us
         soonest = None
+        # Inlined busy_horizon_us(): this scan visits every channel on
+        # every pump (each submit and each completion), so the method
+        # call per channel was measurable.  A channel is over its bound
+        # iff bus_busy_until - now >= bound (bound > 0 makes the
+        # max(0, .) in busy_horizon_us irrelevant); headroom returns at
+        # bus_busy_until - bound + one transfer slot.
+        threshold = self.sim.now + bound
         for channel in self.ssd.channels:
-            over = channel.busy_horizon_us() - bound
-            if over >= 0:
-                when = self.sim.now + over + config.bus_transfer_us
+            busy_until = channel.bus_busy_until
+            if busy_until >= threshold:
+                when = busy_until - bound + config.bus_transfer_us
                 if soonest is None or when < soonest:
                     soonest = when
         if soonest is None and not any(self._inflight_pages.values()):
@@ -153,6 +161,14 @@ class IoDispatcher:
         return soonest
 
     def _dispatch(self, request: IoRequest) -> None:
+        token = PROFILER.begin()
+        try:
+            self._dispatch_inner(request)
+        finally:
+            PROFILER.end("ftl.io", token)
+            PROFILER.count("ftl.io_requests")
+
+    def _dispatch_inner(self, request: IoRequest) -> None:
         request.dispatch_time = self.sim.now
         ftl = self.ftls[request.vssd_id]
         front = self._is_high_priority(request.vssd_id)

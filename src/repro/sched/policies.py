@@ -185,7 +185,9 @@ class TokenBucketStridePolicy(SchedulingPolicy):
             if bucket is None:
                 continue
             wait = bucket.time_until_available(queue[0].size_bytes, now)
-            if wait > 0:
+            # An infinite wait (request larger than the burst ceiling)
+            # must not poison the retry schedule.
+            if wait > 0 and wait != float("inf"):
                 when = now + wait
                 if soonest is None or when < soonest:
                     soonest = when

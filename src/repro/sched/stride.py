@@ -42,9 +42,18 @@ class StrideScheduler:
         self._pass.pop(client, None)
 
     def set_tickets(self, client: Hashable, tickets: int) -> None:
-        """Change a client's ticket count (its stride updates)."""
+        """Change a registered client's ticket count (its stride updates).
+
+        Raises :class:`KeyError` for unregistered clients: silently
+        creating ticket/stride entries without a pass value would corrupt
+        ``pick`` and ``add_client``'s min-pass bookkeeping.
+        """
         if tickets <= 0:
             raise ValueError("tickets must be positive")
+        if client not in self._tickets:
+            raise KeyError(
+                f"client {client!r} not registered; call add_client first"
+            )
         self._tickets[client] = tickets
         self._stride[client] = STRIDE1 / tickets
 

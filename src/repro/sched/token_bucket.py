@@ -7,6 +7,8 @@ may only dispatch once the bucket holds enough tokens for their size.
 
 from __future__ import annotations
 
+import math
+
 
 class TokenBucket:
     """A lazily refilled token bucket.
@@ -48,7 +50,15 @@ class TokenBucket:
         return False
 
     def time_until_available(self, amount: float, now: float) -> float:
-        """Microseconds until ``amount`` tokens will be available."""
+        """Microseconds until ``amount`` tokens will be available.
+
+        An ``amount`` above ``burst_bytes`` can never be satisfied — the
+        bucket caps at the burst — so the wait is ``math.inf``, not the
+        finite refill time a naive deficit/rate division would suggest.
+        Callers scheduling retries must skip infinite waits.
+        """
+        if amount > self.burst:
+            return math.inf
         self._refill(now)
         deficit = amount - self._tokens
         if deficit <= 0:

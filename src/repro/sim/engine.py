@@ -4,6 +4,15 @@ The engine keeps a priority queue of timestamped events.  Time is a float
 measured in microseconds (the natural unit for NAND timing).  Events that
 share a timestamp fire in the order they were scheduled, which keeps runs
 reproducible regardless of heap internals.
+
+Cancellation is lazy — a cancelled event stays in the heap and is skipped
+when popped — but the engine tracks how many cancelled entries the heap
+holds and compacts it (filter + re-heapify) once they outnumber the live
+ones.  Long runs that cancel aggressively (the dispatcher's retry events,
+fault-injection timers) therefore keep the heap bounded by the live event
+count instead of growing without limit.  Compaction preserves the
+``(time, seq)`` total order, so firing order — and thus every simulation
+result — is unchanged.
 """
 
 from __future__ import annotations
@@ -11,6 +20,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, Optional
+
+from repro.profiling import PROFILER
 
 
 class Event:
@@ -20,7 +31,7 @@ class Event:
     by the event loop without invoking its callback.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -28,10 +39,18 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Back-reference used for live-count accounting; cleared when the
+        #: event leaves the heap so late cancels cannot corrupt the count.
+        self.sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,11 +74,17 @@ class Simulator:
     ['b', 'a']
     """
 
+    #: Skip compaction below this heap size; filtering a handful of
+    #: entries saves nothing.
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -78,14 +103,25 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Heap entries including lazily-cancelled ones (diagnostics)."""
+        return len(self._heap)
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the heap was compacted to shed cancelled entries."""
+        return self._compactions
 
     def schedule(self, delay_us: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay_us`` from now."""
         if delay_us < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_us})")
         event = Event(self._now + delay_us, next(self._seq), callback, args)
+        event.sim = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -93,17 +129,45 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute time ``time_us``."""
         return self.schedule(time_us - self._now, callback, *args)
 
-    def step(self) -> bool:
-        """Fire the next pending event.  Returns False if none remain."""
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_HEAP
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        for event in self._heap:
+            if event.cancelled:
+                event.sim = None
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+        PROFILER.count("sim.heap_compactions")
+
+    def _pop(self) -> Optional[Event]:
+        """Pop the next live event, discarding cancelled ones."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.sim = None
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
-        return False
+            return event
+        return None
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        event = self._pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains (or ``max_events`` fire)."""
@@ -124,17 +188,23 @@ class Simulator:
             raise ValueError(
                 f"run_until({time_us}) is before current time {self._now}"
             )
+        token = PROFILER.begin()
         fired = 0
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                head.sim = None
+                self._cancelled_in_heap -= 1
                 continue
             if head.time > time_us:
                 break
             self.step()
             fired += 1
         self._now = time_us
+        if token:
+            PROFILER.end("sim.event_loop", token)
+            PROFILER.count("sim.events", fired)
         return fired
 
     def run_until_seconds(self, time_s: float) -> int:

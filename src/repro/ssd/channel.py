@@ -127,6 +127,17 @@ class Channel:
         """Queued bus work ahead of a newly dispatched page (us)."""
         return max(0.0, self._bus_busy_until - self.sim.now)
 
+    @property
+    def bus_busy_until(self) -> float:
+        """Absolute sim time (us) until which queued bus work extends.
+
+        Exposed for hot-path capacity scans: callers comparing many
+        channels against a horizon bound read this once and do the
+        arithmetic inline instead of paying a method call per channel
+        (see ``IoDispatcher._next_capacity_time`` / ``VssdFtl._pick_frontier``).
+        """
+        return self._bus_busy_until
+
     def has_capacity(self) -> bool:
         """True if the channel can absorb another page within its queue
         depth.

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import SSDConfig
 from repro.core.monitor import VssdMonitor
 from repro.baselines import AdaptiveManager
 from repro.sched import IoRequest

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import RLConfig, SSDConfig
 from repro.core.actionspace import ActionSpace
 from repro.core.controller import FleetIoController
 from repro.rl import PolicyValueNet

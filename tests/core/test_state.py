@@ -1,6 +1,5 @@
 """Tests for RL state featurization."""
 
-import numpy as np
 import pytest
 
 from repro.config import RLConfig
@@ -64,8 +63,8 @@ def test_cold_start_zero_padded():
 
 def test_history_rolls():
     featurizer = StateFeaturizer(RLConfig())
-    a = featurizer.push(_stats(avg_bw_mbps=100.0), [], guaranteed_bw_mbps=100.0)
-    b = featurizer.push(_stats(avg_bw_mbps=200.0), [], guaranteed_bw_mbps=100.0)
+    featurizer.push(_stats(avg_bw_mbps=100.0), [], guaranteed_bw_mbps=100.0)
+    featurizer.push(_stats(avg_bw_mbps=200.0), [], guaranteed_bw_mbps=100.0)
     c = featurizer.push(_stats(avg_bw_mbps=300.0), [], guaranteed_bw_mbps=100.0)
     # Oldest window first: 1.0, 2.0, 3.0 in the bw slots.
     assert c[0] == pytest.approx(1.0)

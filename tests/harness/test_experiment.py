@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import RLConfig, SSDConfig
+from repro.config import SSDConfig
 from repro.harness import Experiment, VssdPlan, plans_for_pair
 
 

@@ -67,10 +67,34 @@ def test_by_category_and_means():
     result.vssds["bw2"] = _vssd_result("bw2", "bandwidth", bw=300.0)
     assert len(result.by_category("bandwidth")) == 2
     assert result.mean_bw_of("bandwidth") == pytest.approx(250.0)
-    assert result.mean_p99_of("latency") == pytest.approx(800.0)
+    assert result.mean_of_p99s("latency") == pytest.approx(800.0)
     assert result.mean_bw_of("gpu") == 0.0
+
+
+def test_mean_of_p99s_empty_category_is_none():
+    """An empty series has no percentile — None, not a silent 0.0."""
+    result = ExperimentResult(
+        policy="x", duration_s=1.0, measure_start_s=0.0, total_bandwidth_mbps=1.0
+    )
+    assert result.mean_of_p99s("latency") is None
+    result.vssds["lat"] = _vssd_result("lat", "latency", p99=None)
+    assert result.mean_of_p99s("latency") is None
+
+
+def test_mean_p99_of_alias_deprecated():
+    result = ExperimentResult(
+        policy="x", duration_s=1.0, measure_start_s=0.0, total_bandwidth_mbps=1.0
+    )
+    result.vssds["lat"] = _vssd_result("lat", "latency", p99=800.0)
+    with pytest.warns(DeprecationWarning):
+        assert result.mean_p99_of("latency") == pytest.approx(800.0)
 
 
 def test_summary_row_format():
     row = _vssd_result().summary_row()
     assert "bw=" in row and "p99=" in row and "slo_vio=" in row
+
+
+def test_summary_row_handles_missing_percentiles():
+    row = _vssd_result(p99=None).summary_row()
+    assert "n/a" in row

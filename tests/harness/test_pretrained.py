@@ -3,6 +3,10 @@
 import numpy as np
 
 from repro.harness import get_classifier, get_pretrained_net
+from repro.harness.pretrained import (
+    classifier_cache_path,
+    pretrained_cache_path,
+)
 
 
 def test_disk_cache_roundtrip(tmp_path, monkeypatch):
@@ -11,10 +15,24 @@ def test_disk_cache_roundtrip(tmp_path, monkeypatch):
 
     module._net_cache.clear()
     net = get_pretrained_net(iterations=2, seed=1)
-    assert (tmp_path / "pretrained_i2_s1.npz").exists()
+    cache_file = pretrained_cache_path(iterations=2, seed=1)
+    assert cache_file.parent == tmp_path
+    assert cache_file.exists()
+    # No temp-file litter: the write is atomic (temp + os.replace).
+    assert [p.name for p in tmp_path.glob("*.tmp*")] == []
     module._net_cache.clear()
     again = get_pretrained_net(iterations=2, seed=1)
     assert np.allclose(net.get_flat_params(), again.get_flat_params())
+
+
+def test_cache_path_keyed_by_config(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    a = pretrained_cache_path(iterations=2, seed=1)
+    b = pretrained_cache_path(iterations=3, seed=1)
+    c = pretrained_cache_path(iterations=2, seed=2)
+    d = pretrained_cache_path(iterations=2, seed=1, variant="custom-local")
+    assert len({a, b, c, d}) == 4
+    assert a == pretrained_cache_path(iterations=2, seed=1)
 
 
 def test_memo_cache_returns_same_object(tmp_path, monkeypatch):
@@ -26,3 +44,17 @@ def test_memo_cache_returns_same_object(tmp_path, monkeypatch):
 
 def test_classifier_memoized():
     assert get_classifier(seed=0) is get_classifier(seed=0)
+
+
+def test_classifier_disk_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    import repro.harness.pretrained as module
+
+    module._classifier_cache.clear()
+    first = get_classifier(seed=0)
+    assert classifier_cache_path(seed=0).exists()
+    module._classifier_cache.clear()
+    second = get_classifier(seed=0)
+    assert first is not second
+    features = np.zeros((1, 4))
+    assert first.predict_label(features) == second.predict_label(features)

@@ -4,7 +4,6 @@ import csv
 
 import pytest
 
-from repro.config import RLConfig, SSDConfig
 from repro.core.actionspace import ActionSpace
 from repro.core.controller import FleetIoController
 from repro.harness.telemetry import controller_actions_to_csv, windows_to_csv

@@ -1,14 +1,10 @@
 """Cross-module invariants under randomized traffic (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import SSDConfig
-from repro.sched import FifoPolicy, IoDispatcher, IoRequest
-from repro.sim import Simulator
-from repro.ssd import Ssd, VssdFtl
-from repro.ssd.geometry import BlockState
+from repro.sched import IoRequest
 from repro.virt import StorageVirtualizer
 from repro.virt.actions import HarvestAction, MakeHarvestableAction
 

@@ -1,0 +1,50 @@
+"""Tests for experiment matrices and cell construction."""
+
+import pytest
+
+from repro.parallel import ExperimentCell, ExperimentMatrix, plans_for
+
+
+def test_plans_for_labels_duplicates():
+    plans = plans_for(["ycsb", "ycsb", "terasort"])
+    assert [p.name for p in plans] == ["ycsb-1", "ycsb-2", "terasort"]
+    assert [p.workload for p in plans] == ["ycsb", "ycsb", "terasort"]
+
+
+def test_plans_for_rejects_unknown_workload():
+    with pytest.raises(KeyError):
+        plans_for(["no-such-workload"])
+
+
+def test_matrix_cells_deterministic_order():
+    matrix = ExperimentMatrix(
+        scenarios=(("s1", ("ycsb", "terasort")), ("s2", ("tpce", "pagerank"))),
+        policies=("hardware", "software"),
+        seeds=(0, 1),
+    )
+    ids = [cell.cell_id for cell in matrix.cells()]
+    assert ids == [
+        "s1/hardware/s0", "s1/hardware/s1",
+        "s1/software/s0", "s1/software/s1",
+        "s2/hardware/s0", "s2/hardware/s1",
+        "s2/software/s0", "s2/software/s1",
+    ]
+    assert len(matrix) == 8
+    # Rebuilding yields identical cells (frozen, value-equal).
+    assert matrix.cells() == matrix.cells()
+
+
+def test_from_workloads_single_scenario():
+    matrix = ExperimentMatrix.from_workloads(
+        ["ycsb", "terasort"], ["hardware"], seeds=(3,), duration_s=2.0
+    )
+    (cell,) = matrix.cells()
+    assert cell.scenario == "ycsb+terasort"
+    assert cell.workloads == ("ycsb", "terasort")
+    assert cell.seed == 3
+    assert cell.duration_s == 2.0
+
+
+def test_cell_plans_fresh_each_call():
+    cell = ExperimentCell("s", ("ycsb",), "hardware", 0)
+    assert cell.plans() is not cell.plans()

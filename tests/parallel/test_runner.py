@@ -1,0 +1,135 @@
+"""Tests for the parallel sweep runner.
+
+The heavy guarantee — merged serial-vs-parallel telemetry is
+byte-identical — is asserted here on a small matrix; the benchmark suite
+repeats it at full scale.
+"""
+
+import pytest
+
+from repro.parallel import (
+    CellFailure,
+    CellOutcome,
+    ExperimentCell,
+    ExperimentMatrix,
+    ParallelRunner,
+    run_cell,
+    run_serial,
+)
+
+#: A small but non-trivial matrix: two policies x two seeds, short runs.
+MATRIX = ExperimentMatrix.from_workloads(
+    ["ycsb", "terasort"],
+    ["hardware", "software"],
+    seeds=(0, 1),
+    duration_s=1.0,
+    measure_after_s=0.25,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_serial(MATRIX.cells())
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    return ParallelRunner(workers=2).run(MATRIX.cells())
+
+
+def test_run_cell_returns_result_and_telemetry():
+    cell = ExperimentCell(
+        "s", ("ycsb",), "hardware", 0, duration_s=0.5, measure_after_s=0.1
+    )
+    outcome = run_cell(cell)
+    assert outcome.ok
+    assert outcome.result is not None
+    assert outcome.result.policy == "hardware"
+    assert outcome.telemetry.startswith(b"policy,")
+    assert outcome.profile["timers"]["sim.event_loop"]["calls"] == 1
+    assert outcome.wall_s > 0
+
+
+def test_run_cell_catches_exceptions():
+    cell = ExperimentCell("s", ("no-such-workload",), "hardware", 0)
+    outcome = run_cell(cell)
+    assert not outcome.ok
+    assert outcome.error["type"] == "KeyError"
+    assert "no-such-workload" in outcome.error["message"]
+
+
+def test_serial_and_parallel_telemetry_byte_equal(serial_result, parallel_result):
+    assert serial_result.ok and parallel_result.ok
+    assert len(serial_result.succeeded) == len(MATRIX)
+    assert serial_result.telemetry == parallel_result.telemetry
+    assert serial_result.telemetry_digest == parallel_result.telemetry_digest
+    assert len(parallel_result.telemetry) > 0
+
+
+def test_parallel_outcomes_in_matrix_order(parallel_result):
+    ids = [o.cell.cell_id for o in parallel_result.outcomes]
+    assert ids == [c.cell_id for c in MATRIX.cells()]
+
+
+def test_profiles_merge_across_workers(parallel_result):
+    profile = parallel_result.profile
+    assert profile["timers"]["sim.event_loop"]["calls"] == len(MATRIX)
+    assert profile["counters"]["sim.events"] > 0
+
+
+def test_serial_parallel_profile_call_counts_match(serial_result, parallel_result):
+    serial_timers = serial_result.profile["timers"]
+    parallel_timers = parallel_result.profile["timers"]
+    assert set(serial_timers) == set(parallel_timers)
+    for name, entry in serial_timers.items():
+        assert entry["calls"] == parallel_timers[name]["calls"], name
+
+
+def test_results_keyed_by_cell_id(parallel_result):
+    results = parallel_result.results()
+    assert set(results) == {c.cell_id for c in MATRIX.cells()}
+
+
+def test_dead_worker_is_isolated():
+    cells = [
+        ExperimentCell(
+            "good", ("ycsb",), "hardware", 0, duration_s=0.5, measure_after_s=0.1
+        ),
+        ExperimentCell("boom", ("ycsb",), "hardware", 0, runner="crash"),
+        ExperimentCell(
+            "also-good", ("ycsb",), "hardware", 1, duration_s=0.5, measure_after_s=0.1
+        ),
+    ]
+    result = ParallelRunner(workers=2).run(cells)
+    assert not result.ok
+    assert len(result.succeeded) == 2
+    (failure,) = result.failures
+    assert isinstance(failure, CellFailure)
+    assert failure.exitcode == 13
+    assert "worker died" in failure.describe()
+
+
+def test_runner_exception_recorded_as_failure():
+    cells = [ExperimentCell("bad", ("no-such-workload",), "hardware", 0)]
+    result = ParallelRunner(workers=1).run(cells)
+    (failure,) = result.failures
+    assert failure.error["type"] == "KeyError"
+    assert failure.exitcode is None
+    assert "KeyError" in failure.describe()
+
+
+def test_serial_records_failures_too():
+    cells = [ExperimentCell("bad", ("no-such-workload",), "hardware", 0)]
+    result = run_serial(cells)
+    assert not result.ok
+    (failure,) = result.failures
+    assert failure.error["type"] == "KeyError"
+
+
+def test_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ParallelRunner(workers=0)
+
+
+def test_outcome_types(parallel_result):
+    assert all(isinstance(o, CellOutcome) for o in parallel_result.outcomes)

@@ -1,0 +1,92 @@
+"""Tests for the profiling layer."""
+
+import pickle
+
+from repro.profiling import Profiler, format_profile, merge_profiles
+
+
+def test_disabled_profiler_records_nothing():
+    profiler = Profiler()
+    token = profiler.begin()
+    assert token == 0
+    profiler.end("x", token)
+    profiler.count("hits")
+    assert profiler.timers() == {}
+    assert profiler.counters() == {}
+
+
+def test_enabled_scope_records_and_restores():
+    profiler = Profiler()
+    with profiler.enabled_scope():
+        assert profiler.enabled
+        with profiler.timer("section"):
+            pass
+        profiler.count("hits", 3)
+    assert not profiler.enabled
+    assert profiler.timers()["section"].calls == 1
+    assert profiler.timers()["section"].total_ns >= 0
+    assert profiler.counters()["hits"] == 3
+
+
+def test_enabled_scope_restores_prior_enabled_state():
+    profiler = Profiler()
+    profiler.enable()
+    with profiler.enabled_scope():
+        pass
+    assert profiler.enabled
+
+
+def test_begin_end_accumulates_calls():
+    profiler = Profiler()
+    profiler.enable()
+    for _ in range(5):
+        token = profiler.begin()
+        profiler.end("hot", token)
+    assert profiler.timers()["hot"].calls == 5
+
+
+def test_reset_clears_data():
+    profiler = Profiler()
+    profiler.enable()
+    profiler.count("c")
+    with profiler.timer("t"):
+        pass
+    profiler.reset()
+    assert profiler.snapshot() == {"timers": {}, "counters": {}}
+
+
+def test_snapshot_is_picklable():
+    profiler = Profiler()
+    profiler.enable()
+    with profiler.timer("t"):
+        pass
+    profiler.count("c", 2)
+    snap = pickle.loads(pickle.dumps(profiler.snapshot()))
+    assert snap["timers"]["t"]["calls"] == 1
+    assert snap["counters"]["c"] == 2
+
+
+def test_merge_profiles_sums():
+    a = {"timers": {"t": {"calls": 2, "total_ns": 100}}, "counters": {"c": 1}}
+    b = {"timers": {"t": {"calls": 3, "total_ns": 50},
+                    "u": {"calls": 1, "total_ns": 7}},
+         "counters": {"c": 4, "d": 2}}
+    merged = merge_profiles([a, b, {}, None])
+    assert merged["timers"]["t"] == {"calls": 5, "total_ns": 150}
+    assert merged["timers"]["u"] == {"calls": 1, "total_ns": 7}
+    assert merged["counters"] == {"c": 5, "d": 2}
+
+
+def test_format_profile_renders_sections_and_counters():
+    snap = {
+        "timers": {"loop": {"calls": 2, "total_ns": 2_000_000}},
+        "counters": {"events": 9},
+    }
+    text = format_profile(snap, total_label="loop")
+    assert "loop" in text
+    assert "events" in text
+    assert "100.0%" in text
+
+
+def test_format_profile_empty():
+    assert format_profile({}) == "(no profile data)"

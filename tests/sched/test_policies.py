@@ -105,12 +105,22 @@ class TestTokenBucketStride:
         assert policy.select(0.0, queues, ALLOW) is None
 
     def test_next_eligible_time_reports_refill(self):
+        policy = TokenBucketStridePolicy(rate_bytes_per_us=1.0, burst_bytes=65536.0)
+        policy.register_vssd(0)
+        queues = {0: deque([_req(0, pages=4), _req(0, pages=4)])}
+        assert policy.select(0.0, queues, ALLOW) == 0  # drains the bucket
+        queues[0].popleft()
+        when = policy.next_eligible_time(0.0, queues)
+        assert when == pytest.approx(4 * 16384)
+
+    def test_next_eligible_time_skips_unsatisfiable_head(self):
+        # A head above the burst ceiling can never fit; it must not
+        # produce a (bogus) finite retry time.
         policy = TokenBucketStridePolicy(rate_bytes_per_us=1.0, burst_bytes=16384.0)
         policy.register_vssd(0)
         queues = {0: deque([_req(0, pages=4)])}
-        policy.select(0.0, queues, ALLOW)
-        when = policy.next_eligible_time(0.0, queues)
-        assert when == pytest.approx(4 * 16384 - 16384)
+        assert policy.select(0.0, queues, ALLOW) is None
+        assert policy.next_eligible_time(0.0, queues) is None
 
     def test_tokens_consumed_on_select(self):
         policy = TokenBucketStridePolicy(rate_bytes_per_us=1.0, burst_bytes=32768.0)

@@ -97,3 +97,27 @@ def test_shares_converge_to_ticket_ratio(tickets, rounds):
     for i, t in enumerate(tickets):
         expected = rounds * t / total_tickets
         assert abs(counts[i] - expected) <= max(3.0, 0.15 * rounds)
+
+
+def test_set_tickets_unregistered_raises():
+    """Regression: set_tickets on an unknown client used to create
+    tickets/stride entries without a pass value, corrupting pick()."""
+    sched = StrideScheduler()
+    sched.add_client("a", 100)
+    with pytest.raises(KeyError):
+        sched.set_tickets("ghost", 200)
+    # The failed call must not leave partial state behind.
+    assert sched.clients() == ["a"]
+    assert sched.pick() == "a"
+    # add_client for the same id still works normally afterwards.
+    sched.add_client("ghost", 200)
+    assert "ghost" in sched.clients()
+    picks = [sched.pick() for _ in range(30)]
+    assert picks.count("ghost") > 0
+
+
+def test_set_tickets_invalid_count_still_rejected():
+    sched = StrideScheduler()
+    sched.add_client("a", 100)
+    with pytest.raises(ValueError):
+        sched.set_tickets("a", 0)

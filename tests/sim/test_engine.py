@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import Simulator
 
 
 def test_clock_starts_at_zero(sim):
@@ -122,7 +121,7 @@ def test_step_returns_false_when_empty(sim):
 
 
 def test_pending_events_ignores_cancelled(sim):
-    keep = sim.schedule(1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
     drop = sim.schedule(2.0, lambda: None)
     drop.cancel()
     assert sim.pending_events == 1
@@ -170,3 +169,65 @@ def test_equal_timestamp_ordering_survives_earlier_event(sim):
     sim.schedule(5.0, fired.append, "early")
     sim.run()
     assert fired == ["early", "a", "b"]
+
+
+def test_cancelled_events_compact_heap(sim):
+    """Cancelled entries outnumbering live ones trigger compaction."""
+    keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+    doomed = [sim.schedule(2000.0 + i, lambda: None) for i in range(500)]
+    for event in doomed:
+        event.cancel()
+    assert sim.pending_events == 10
+    # The heap must not retain the 500 cancelled entries: below the
+    # compaction floor, or at most half-cancelled above it.
+    assert sim.heap_size <= 64
+    assert sim.heap_compactions >= 1
+    assert all(not e.cancelled for e in keep)
+
+
+def test_compaction_preserves_fire_order(sim):
+    """Compaction (filter + heapify) must not change firing order."""
+    fired = []
+    survivors = []
+    for i in range(200):
+        event = sim.schedule(float(100 + i), fired.append, i)
+        if i % 3 == 0:
+            event.cancel()
+        else:
+            survivors.append(i)
+    sim.run()
+    assert fired == survivors
+
+
+def test_pending_events_is_live_count_after_cancels(sim):
+    events = [sim.schedule(10.0 + i, lambda: None) for i in range(30)]
+    for event in events[:12]:
+        event.cancel()
+    assert sim.pending_events == 18
+    # Double-cancel must not decrement twice.
+    events[0].cancel()
+    assert sim.pending_events == 18
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 18
+
+
+def test_long_cancel_churn_keeps_heap_bounded(sim):
+    """The dispatcher's cancel/reschedule pattern must not grow the heap."""
+    for round_ in range(50):
+        batch = [sim.schedule(1e6 + round_ * 100 + i, lambda: None) for i in range(10)]
+        for event in batch:
+            event.cancel()
+    assert sim.pending_events == 0
+    assert sim.heap_size <= 64
+    assert sim.heap_compactions >= 1
+
+
+def test_cancelled_head_discarded_by_run_until(sim):
+    fired = []
+    head = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "live")
+    head.cancel()
+    sim.run_until(5.0)
+    assert fired == ["live"]
+    assert sim.pending_events == 0

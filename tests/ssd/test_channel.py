@@ -41,7 +41,7 @@ def test_chip_serializes_programs(channel, cfg):
 
 
 def test_different_chips_overlap_programs(channel, cfg):
-    first = channel.service_write(0)
+    channel.service_write(0)
     second = channel.service_write(1)
     third_same_chip = Channel(0, cfg, Simulator())
     third_same_chip.service_write(0)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ssd.device import Ssd
 
 
 def test_allocate_channels_grants_all_blocks(ssd, small_config):

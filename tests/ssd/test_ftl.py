@@ -7,7 +7,6 @@ from repro.config import SSDConfig
 from repro.sim import Simulator
 from repro.ssd import Ssd, VssdFtl
 from repro.ssd.ftl import OutOfSpaceError, WriteRegion
-from repro.ssd.geometry import BlockState
 
 
 def test_write_then_read_same_page(ftl):

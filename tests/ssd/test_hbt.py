@@ -1,7 +1,6 @@
 """Tests for the Harvested Block Table."""
 
 from repro.ssd.geometry import FlashBlock
-from repro.ssd.hbt import HarvestedBlockTable
 
 
 def _block(index=0):

@@ -1,6 +1,5 @@
 """Tests for wear tracking and wear-aware block selection."""
 
-import pytest
 
 from repro.config import SSDConfig
 from repro.sim import Simulator

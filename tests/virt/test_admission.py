@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import SSDConfig
 from repro.sched.request import Priority
 from repro.virt import (
     HarvestAction,
@@ -85,7 +84,6 @@ def test_policy_vetoes_action(virt):
 
 def test_spot_tenant_policy_example(virt, small_config):
     """Cloud providers may bar spot tenants from harvesting (S 3.5)."""
-    spot = virt.create_vssd("spot", [], isolation="hardware") if False else None
     bw = virt.vssd_by_name("bw")
     bw.tenant_class = "spot"
 

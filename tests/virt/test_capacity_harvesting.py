@@ -82,7 +82,6 @@ def test_capacity_region_compacts_in_place(world):
     per = config.channel_write_bandwidth_mbps
     manager.make_harvestable(home, per + 1)
     gsb = manager.harvest(harvester, per + 1, purpose="capacity")
-    region = gsb.region
     capacity = config.min_superblock_blocks * config.pages_per_block
     # Repeatedly overwrite a small set that maps into the region.
     lpns = list(range(90_000, 90_000 + capacity // 2))
@@ -106,7 +105,6 @@ def test_capacity_exhaustion_raises(world):
     per = config.channel_write_bandwidth_mbps
     manager.make_harvestable(home, per + 1)
     manager.harvest(harvester, per + 1, purpose="capacity")
-    total = harvester.usable_capacity_pages()
     raw_total = (
         2 * config.blocks_per_channel
         + config.min_superblock_blocks

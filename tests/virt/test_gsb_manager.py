@@ -123,7 +123,7 @@ def test_make_harvestable_smaller_target_reclaims(world):
     manager.make_harvestable(home, 2 * per + 1)
     # Lowering the target to one channel reclaims the 2-channel gSB and
     # offers a fresh 1-channel one.
-    gsb = manager.make_harvestable(home, per + 1)
+    manager.make_harvestable(home, per + 1)
     assert home.offered_channel_count() == 1
     assert manager.stats.gsbs_destroyed_unused == 1
 
@@ -160,7 +160,7 @@ def test_lazy_reclaim_preserves_harvester_data(world):
     config, _sim, _ssd, manager, home, harvester = world
     per = config.channel_write_bandwidth_mbps
     manager.make_harvestable(home, per + 1)
-    gsb = manager.harvest(harvester, per + 1)
+    manager.harvest(harvester, per + 1)
     lpns = list(range(80_000, 80_000 + 3 * config.pages_per_block))
     for lpn in lpns:
         harvester.ftl.write_page(lpn)

@@ -1,6 +1,5 @@
 """Stress/property tests for the gSB pool under random operations."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ssd.geometry import FlashBlock

@@ -1,6 +1,5 @@
 """Property tests: the zone state machine under random command traces."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ssd.geometry import FlashBlock
