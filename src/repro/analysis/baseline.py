@@ -1,0 +1,77 @@
+"""Committed baseline: known findings that don't fail the build (yet).
+
+The baseline is a JSON file mapping finding fingerprints to a snapshot of
+the finding.  Fingerprints hash (path, rule, source text) rather than
+line numbers, so edits elsewhere in a file don't invalidate entries.
+
+Policy: the deterministic core must carry **zero** baseline entries —
+core findings are fixed or inline-suppressed with a reason.  The baseline
+exists for host-facing packages and for staging a new rule against an
+existing codebase.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.analysis.context import DETERMINISTIC_CORE, module_package
+from repro.analysis.findings import Finding
+
+#: Format version written into the file; bump on incompatible changes.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        """Baseline accepting exactly ``findings``."""
+        return cls(entries={f.fingerprint(): f.to_json() for f in findings})
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        payload = json.loads(file_path.read_text())
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} in {path}"
+            )
+        return cls(entries={e["fingerprint"]: e for e in payload.get("findings", [])})
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        findings = sorted(
+            self.entries.values(),
+            key=lambda e: (e["path"], e["rule"], e["line"], e["col"]),
+        )
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, finding: Finding) -> bool:
+        """Whether ``finding`` is accepted by this baseline."""
+        return finding.fingerprint() in self.entries
+
+    def core_entries(self) -> List[Dict[str, Any]]:
+        """Baseline entries pointing into the deterministic core.
+
+        These violate the zero-core-baseline policy and are reported by
+        the engine even when the underlying finding is baselined.
+        """
+        return [
+            entry
+            for entry in self.entries.values()
+            if module_package(entry.get("path", "")) in DETERMINISTIC_CORE
+        ]

@@ -1,0 +1,61 @@
+"""mutable-default-arg: default values shared across calls corrupt state.
+
+A ``def f(x, acc=[])`` default is evaluated once and shared by every
+call — in a simulator that reuses components across experiment cells,
+that is cross-run state leakage.  Flagged in every package, not just the
+core: the harness and CLI construct experiments too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Constructor calls whose results are mutable.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultArgRule(Rule):
+    name = "mutable-default-arg"
+    description = "no mutable default argument values (list/dict/set literals or calls)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self,
+        module: ModuleContext,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> Iterator[Finding]:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _is_mutable_literal(default):
+                yield self.finding(
+                    module,
+                    default.lineno,
+                    default.col_offset + 1,
+                    f"mutable default argument in {node.name}(); the value is "
+                    "shared across calls — default to None and create inside",
+                )

@@ -1,0 +1,142 @@
+"""unseeded-rng: all randomness in the core flows from explicit seeds.
+
+Three sub-checks, one rule:
+
+1. any call into the stdlib ``random`` module (its global generator is
+   process-shared, unseeded state);
+2. legacy ``np.random.*`` draws (``np.random.rand``, ``np.random.seed``,
+   ...) which also go through numpy's hidden global generator — the
+   allowed surface is ``default_rng`` / ``SeedSequence`` / the
+   ``Generator`` type itself;
+3. ad-hoc seed derivation: ``default_rng(seed + k)`` style arithmetic.
+   Nearby integer seeds produce correlated PCG streams; derived seeds
+   must come from ``np.random.SeedSequence``/``.spawn()`` or from the
+   ``sim.random`` named streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+#: ``np.random`` attributes that are part of the explicit-seeding API and
+#: therefore allowed; everything else on ``np.random`` is a global-state
+#: draw.
+_NUMPY_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Seed-constructing calls whose arguments we scan for seed arithmetic.
+_SEED_SINKS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _mentions_seed(node: ast.AST) -> bool:
+    """Whether any identifier under ``node`` contains 'seed'."""
+    for sub in ast.walk(node):
+        name = _terminal_name(sub)
+        if name is not None and "seed" in name.lower():
+            return True
+    return False
+
+
+def _is_seed_arithmetic(node: ast.AST) -> bool:
+    """True for ``seed + k`` / ``seed * k`` style derivations.
+
+    ``SeedSequence([seed, tag])`` list-composition and plain ``seed``
+    pass-through are fine; binary arithmetic on something named *seed*
+    is the anti-pattern.
+    """
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult, ast.LShift, ast.BitXor)
+    ):
+        return _mentions_seed(node)
+    return False
+
+
+@register
+class UnseededRngRule(Rule):
+    name = "unseeded-rng"
+    description = (
+        "no global-state RNG draws in the core; derive seeds via SeedSequence "
+        "or sim.random named streams, never seed+k arithmetic"
+    )
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.is_core:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.resolve(node.func)
+            if target is None:
+                continue
+            finding = self._check_call(module, node, target)
+            if finding is not None:
+                yield finding
+
+    def _check_call(
+        self, module: ModuleContext, node: ast.Call, target: str
+    ) -> Optional[Finding]:
+        line, col = node.lineno, node.col_offset + 1
+        if target == "random" or target.startswith("random."):
+            return self.finding(
+                module,
+                line,
+                col,
+                f"{target}() uses the process-global stdlib generator; take a "
+                "seeded np.random.Generator parameter or a sim.random stream",
+            )
+        if target.startswith("numpy.random."):
+            attr = target.split(".", 2)[2].split(".")[0]
+            if attr not in _NUMPY_ALLOWED:
+                return self.finding(
+                    module,
+                    line,
+                    col,
+                    f"{target}() draws from numpy's hidden global generator; "
+                    "use an explicit np.random.Generator",
+                )
+        if target in _SEED_SINKS:
+            for arg in node.args:
+                if _is_seed_arithmetic(arg):
+                    return self.finding(
+                        module,
+                        line,
+                        col,
+                        "seed derived by arithmetic; nearby integers seed "
+                        "correlated streams — use np.random.SeedSequence.spawn() "
+                        "or a sim.random named stream",
+                    )
+        return None

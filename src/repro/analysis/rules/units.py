@@ -1,0 +1,132 @@
+"""unit-mixing: suffix-declared units must agree across +, -, and compares.
+
+The codebase encodes units in identifier suffixes: ``_bytes``, ``_pages``,
+``_blocks`` for sizes; ``_us``, ``_ms``, ``_s`` for times; ``_mbps`` for
+rates.  Adding, subtracting, or comparing two identifiers with different
+suffixes (``deadline_us > window_s``, ``used_pages + quota_bytes``) is a
+unit bug the type system cannot see.  Multiplication and division are
+exempt — they legitimately convert between units.
+
+The rule also flags *unsuffixed* size/time parameters (``duration``,
+``timeout``, ``size``...) in public functions of the deterministic core:
+a bare name forces every caller to guess the unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+#: Recognized unit suffixes.  Longest-match wins (``_mbps`` before ``_s``).
+_UNIT_SUFFIXES = ("_bytes", "_pages", "_blocks", "_mbps", "_us", "_ms", "_ns", "_s")
+
+#: Parameter names that denote a size or time but carry no unit.
+_BARE_QUANTITY_PARAMS = frozenset(
+    {
+        "size",
+        "duration",
+        "latency",
+        "timeout",
+        "interval",
+        "delay",
+        "elapsed",
+        "deadline",
+        "bandwidth",
+        "period",
+    }
+)
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """The unit suffix of an identifier, or None."""
+    for suffix in _UNIT_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return suffix
+    return None
+
+
+def unit_of_expr(node: ast.AST) -> Optional[str]:
+    """The statically inferable unit of an expression.
+
+    Conservative on purpose: a unit propagates through unary ops,
+    parentheses, and same-unit +/-; any multiplication, division, call,
+    or subscript makes the unit unknown (None), which never triggers a
+    finding.
+    """
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return unit_of_expr(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left, right = unit_of_expr(node.left), unit_of_expr(node.right)
+        if left is not None and left == right:
+            return left
+    return None
+
+
+@register
+class UnitMixingRule(Rule):
+    name = "unit-mixing"
+    description = (
+        "no +/-/comparison between identifiers with conflicting unit suffixes; "
+        "no unsuffixed size/time parameters in public core signatures"
+    )
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.is_core:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(module, node, node.left, node.right, "+/-")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(module, node, left, right, "comparison")
+            elif isinstance(node, ast.FunctionDef):
+                yield from self._check_signature(module, node)
+
+    def _check_pair(
+        self,
+        module: ModuleContext,
+        site: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        kind: str,
+    ) -> Iterator[Finding]:
+        lhs, rhs = unit_of_expr(left), unit_of_expr(right)
+        if lhs is not None and rhs is not None and lhs != rhs:
+            yield self.finding(
+                module,
+                site.lineno,
+                site.col_offset + 1,
+                f"{kind} between {lhs} and {rhs} quantities; convert "
+                "explicitly before combining",
+            )
+
+    def _check_signature(
+        self, module: ModuleContext, node: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        if node.name.startswith("_"):
+            return
+        for arg in [*node.args.args, *node.args.kwonlyargs]:
+            if arg.arg in _BARE_QUANTITY_PARAMS:
+                yield Finding(
+                    rule=self.name,
+                    severity=Severity.WARNING,
+                    path=module.path,
+                    line=arg.lineno,
+                    col=arg.col_offset + 1,
+                    message=(
+                        f"public core parameter '{arg.arg}' is a size/time with "
+                        "no unit suffix; rename (e.g. "
+                        f"'{arg.arg}_s', '{arg.arg}_us', '{arg.arg}_bytes')"
+                    ),
+                    source_line=module.line_text(arg.lineno),
+                )

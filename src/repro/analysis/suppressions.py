@@ -1,0 +1,136 @@
+"""Inline suppressions: ``# fleetlint: disable=<rule>[,<rule>...]  reason``.
+
+A suppression silences matching findings on its own line only, and the
+trailing reason is mandatory — a suppression without one is itself
+reported under the ``bad-suppression`` meta-rule, so "why is this OK?"
+is always answered in the source.
+
+Markers are recognized in real comment tokens only (via ``tokenize``),
+so prose or string literals that merely mention the marker syntax are
+never misparsed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding, Severity
+
+#: A comment that is trying to be a fleetlint marker.
+_MARKER_RE = re.compile(r"#\s*fleetlint\s*:")
+
+#: A well-formed marker: comma-separated rule list (no spaces), then the
+#: reason after whitespace.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*fleetlint\s*:\s*disable=(?P<rules>[A-Za-z0-9_,\-]+)\s*(?P<reason>.*)"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline suppression comment.
+
+    A marker trailing a statement covers that line; a marker on a line
+    of its own covers the next line (the statement it annotates).
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    standalone: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this suppression silences ``rule`` on ``line``."""
+        target = self.line + 1 if self.standalone else self.line
+        return line == target and (rule in self.rules or "all" in self.rules)
+
+
+@dataclass
+class SuppressionSet:
+    """All suppressions in one module, plus malformed-marker findings."""
+
+    suppressions: List[Suppression] = field(default_factory=list)
+    problems: List[Finding] = field(default_factory=list)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether any suppression covers ``finding``."""
+        return any(s.covers(finding.rule, finding.line) for s in self.suppressions)
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """(line, col, text) for every comment token in ``source``.
+
+    Tokenization errors (which only happen on files the AST parser would
+    reject anyway) yield no comments rather than raising.
+    """
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return comments
+    return comments
+
+
+def parse_suppressions(path: str, lines: List[str]) -> SuppressionSet:
+    """Scan a module's source for suppression markers.
+
+    ``lines`` is the module's source split into lines (as held by
+    :class:`~repro.analysis.context.ModuleContext`).  Markers with an
+    empty reason or naming an unknown rule yield ``bad-suppression``
+    findings instead of silently (not) applying.
+    """
+    from repro.analysis.registry import is_known_rule
+
+    result = SuppressionSet()
+    for lineno, col, text in _comment_tokens("\n".join(lines)):
+        if not _MARKER_RE.search(text):
+            continue
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            result.problems.append(
+                _problem(path, lineno, col, text, "unparsable fleetlint marker")
+            )
+            continue
+        rules = tuple(r.strip() for r in match.group("rules").split(",") if r.strip())
+        reason = match.group("reason").strip()
+        unknown = [r for r in rules if r != "all" and not is_known_rule(r)]
+        if unknown:
+            result.problems.append(
+                _problem(
+                    path, lineno, col, text, f"unknown rule(s): {', '.join(unknown)}"
+                )
+            )
+            continue
+        if not reason:
+            result.problems.append(
+                _problem(
+                    path,
+                    lineno,
+                    col,
+                    text,
+                    "suppression has no reason; write "
+                    "'# fleetlint: disable=<rule>  <why this is safe>'",
+                )
+            )
+            continue
+        standalone = 1 <= lineno <= len(lines) and lines[lineno - 1].lstrip().startswith("#")
+        result.suppressions.append(Suppression(lineno, rules, reason, standalone))
+    return result
+
+
+def _problem(path: str, lineno: int, col: int, text: str, message: str) -> Finding:
+    return Finding(
+        rule="bad-suppression",
+        severity=Severity.ERROR,
+        path=path,
+        line=lineno,
+        col=col + 1,
+        message=message,
+        source_line=text,
+    )

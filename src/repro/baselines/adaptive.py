@@ -27,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class AdaptiveManager:
     """Proportional-utilization channel manager."""
 
-    def __init__(self, virtualizer: "StorageVirtualizer", window_s: float = 2.0):
+    def __init__(self, virtualizer: "StorageVirtualizer", window_s: float = 2.0) -> None:
         self.virt = virtualizer
         self.window_s = window_s
         self.monitors: dict = {}

@@ -30,7 +30,7 @@ from repro.workloads.spec import WorkloadSpec
 class MlpRegressor:
     """One-hidden-layer tanh MLP trained with Adam on MSE."""
 
-    def __init__(self, input_dim: int, hidden: int = 16, seed: int = 0):
+    def __init__(self, input_dim: int, hidden: int = 16, seed: int = 0) -> None:
         rng = np.random.default_rng(seed)
         scale = 1.0 / np.sqrt(input_dim)
         self.w1 = rng.uniform(-scale, scale, (input_dim, hidden))
@@ -130,7 +130,7 @@ def nominal_demand_channels(spec: WorkloadSpec, config: SSDConfig) -> float:
 class SsdKeeperAllocator:
     """Predicts channel demand and statically partitions the SSD."""
 
-    def __init__(self, config: Optional[SSDConfig] = None, seed: int = 0):
+    def __init__(self, config: Optional[SSDConfig] = None, seed: int = 0) -> None:
         self.config = config or SSDConfig()
         self.model = MlpRegressor(input_dim=4, seed=seed)
         self.seed = seed
@@ -175,7 +175,10 @@ class SsdKeeperAllocator:
         """
         if total_channels is None:
             total_channels = self.config.num_channels
-        rng = np.random.default_rng(self.seed + 1)
+        # Profiling traces use a SeedSequence child so the stream is
+        # decorrelated from the training stream (``seed + 1`` seeds a
+        # correlated PCG neighbour).
+        rng = np.random.default_rng(np.random.SeedSequence(self.seed).spawn(1)[0])
         demands = []
         for name in workload_names:
             spec = get_spec(name)

@@ -10,6 +10,7 @@ Commands:
 * ``overheads`` — print the Section 4.7 overhead microbenchmarks.
 * ``profile`` — run one policy with per-subsystem wall-clock profiling.
 * ``sweep`` — fan a policies × seeds matrix across worker processes.
+* ``lint`` — fleetlint determinism & unit-safety static analysis.
 """
 
 from __future__ import annotations
@@ -17,11 +18,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.config import RLConfig, SSDConfig
 from repro.harness import POLICIES, Experiment, run_policy_comparison
 from repro.parallel.matrix import plans_for
 from repro.workloads import WORKLOAD_CATALOG, get_spec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.metrics import ExperimentResult
 
 
 def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
@@ -41,17 +46,17 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _config_from(args) -> SSDConfig:
+def _config_from(args: argparse.Namespace) -> SSDConfig:
     if args.channels is None:
         return SSDConfig()
     return SSDConfig(num_channels=args.channels)
 
 
-def _plans_from(names) -> list:
+def _plans_from(names: Sequence[str]) -> list:
     return plans_for(names)
 
 
-def _print_result(policy: str, result) -> None:
+def _print_result(policy: str, result: "ExperimentResult") -> None:
     print(f"\n== {policy}: SSD utilization {result.avg_utilization:.2%} "
           f"(P95 {result.p95_utilization:.2%})")
     for vssd in result.vssds.values():
@@ -61,7 +66,7 @@ def _print_result(policy: str, result) -> None:
         print("  " + summary)
 
 
-def cmd_run(args) -> int:
+def cmd_run(args: argparse.Namespace) -> int:
     """Run one policy over one collocation."""
     experiment = Experiment(
         _plans_from(args.workloads),
@@ -76,7 +81,7 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
+def cmd_compare(args: argparse.Namespace) -> int:
     """Run several policies over one collocation."""
     policies = tuple(args.policies.split(",")) if args.policies else POLICIES
     results = run_policy_comparison(
@@ -92,7 +97,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_faults(args) -> int:
+def cmd_faults(args: argparse.Namespace) -> int:
     """Run the scripted fault scenario and report per-phase recovery."""
     from repro.faults import scenario_phases, slowdown_corruption_scenario
     from repro.harness import events_to_csv
@@ -154,7 +159,7 @@ def cmd_faults(args) -> int:
     return 0
 
 
-def cmd_workloads(_args) -> int:
+def cmd_workloads(_args: argparse.Namespace) -> int:
     """List the workload catalog."""
     print(f"{'name':>15s} {'category':>10s} {'mode':>7s} {'reads':>6s} {'mean IO':>8s}")
     for name in sorted(WORKLOAD_CATALOG):
@@ -166,19 +171,20 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
-def cmd_classify(args) -> int:
+def cmd_classify(args: argparse.Namespace) -> int:
     """Classify a workload's synthesized trace (Section 3.4)."""
-    import numpy as np
-
     from repro.clustering import trace_feature_windows
     from repro.config import CLUSTER_ALPHAS
     from repro.harness import get_classifier
+    from repro.sim.random import RandomStreams
     from repro.workloads import synthesize_trace
 
     classifier = get_classifier()
-    trace = synthesize_trace(
-        get_spec(args.workload), np.random.default_rng(args.seed), 5000
-    )
+    # Derive the trace RNG through the same named-stream machinery the
+    # harness uses (``workload:<name>``), so `repro classify` and an
+    # experiment at the same seed sample identical traces.
+    rng = RandomStreams(args.seed).get(f"workload:{args.workload}")
+    trace = synthesize_trace(get_spec(args.workload), rng, 5000)
     features = trace_feature_windows(trace, 5000)[0]
     label = classifier.predict_label(features[None, :])
     alpha = CLUSTER_ALPHAS.get(label, RLConfig().unified_alpha)
@@ -190,7 +196,7 @@ def cmd_classify(args) -> int:
     return 0
 
 
-def cmd_pretrain(args) -> int:
+def cmd_pretrain(args: argparse.Namespace) -> int:
     """(Re)build the cached pre-trained policy."""
     from repro.harness import get_pretrained_net
 
@@ -203,7 +209,7 @@ def cmd_pretrain(args) -> int:
     return 0
 
 
-def cmd_overheads(_args) -> int:
+def cmd_overheads(_args: argparse.Namespace) -> int:
     """Print Section 4.7-style overhead microbenchmarks."""
     import numpy as np
 
@@ -237,7 +243,7 @@ def cmd_overheads(_args) -> int:
     return 0
 
 
-def cmd_profile(args) -> int:
+def cmd_profile(args: argparse.Namespace) -> int:
     """Run one policy with per-subsystem wall-clock profiling."""
     import json
 
@@ -274,7 +280,7 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def cmd_sweep(args: argparse.Namespace) -> int:
     """Fan a policies × seeds matrix across worker processes."""
     from repro.parallel import (
         ExperimentMatrix,
@@ -339,6 +345,27 @@ def cmd_sweep(args) -> int:
             print("error: serial and parallel telemetry diverge", file=sys.stderr)
             return 1
     return 0 if sweep.ok else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run fleetlint over the repo (or the given paths)."""
+    from repro.analysis import run_lint
+
+    if args.list_rules:
+        from repro.analysis.registry import all_rules
+
+        for rule in all_rules():
+            print(f"{rule.name:>22s}  [{rule.severity}]  {rule.description}")
+        return 0
+    return run_lint(
+        args.paths,
+        baseline_path=args.baseline,
+        write_baseline=args.write_baseline,
+        output_format=args.format,
+        strict=args.strict,
+        rules=args.rules.split(",") if args.rules else None,
+        verbose=args.verbose,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -459,10 +486,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the merged per-subsystem profile",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint", help="fleetlint determinism & unit-safety static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--baseline", default=".fleetlint-baseline.json",
+        help="baseline file of accepted findings",
+    )
+    lint.add_argument(
+        "--no-baseline", dest="baseline", action="store_const", const=None,
+        help="ignore the baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="warnings also fail the build (what CI runs)",
+    )
+    lint.add_argument(
+        "--rules", default=None, help="comma-separated subset of rules to run"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    lint.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also show suppressed and baselined findings",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -48,7 +48,7 @@ class WorkloadTypeClassifier:
     #: Feature columns that get log1p-compressed (read BW, write BW, size).
     LOG_COLUMNS = (0, 1, 3)
 
-    def __init__(self, n_clusters: int = 3, seed: int = 0, outlier_factor: float = 2.5):
+    def __init__(self, n_clusters: int = 3, seed: int = 0, outlier_factor: float = 2.5) -> None:
         self.kmeans = KMeans(n_clusters=n_clusters, seed=seed)
         self.outlier_factor = outlier_factor
         self.cluster_labels: dict = {}

@@ -59,7 +59,7 @@ def make_fast_env_evaluator(
     partner_name: str = "batchanalytics",
     windows: int = 30,
     seed: int = 0,
-):
+) -> Callable[[float], tuple]:
     """Build an ``evaluate(alpha)`` callable backed by the fast env.
 
     This is the offline-tuning path of Section 3.4: the workload closest

@@ -18,7 +18,7 @@ class KMeans:
         seed: int = 0,
         standardize: bool = True,
         n_init: int = 10,
-    ):
+    ) -> None:
         if n_clusters <= 0:
             raise ValueError("n_clusters must be positive")
         if n_init <= 0:

@@ -10,7 +10,7 @@ import numpy as np
 class Pca:
     """Centered PCA with optional standardization."""
 
-    def __init__(self, n_components: int = 2, standardize: bool = True):
+    def __init__(self, n_components: int = 2, standardize: bool = True) -> None:
         if n_components <= 0:
             raise ValueError("n_components must be positive")
         self.n_components = n_components

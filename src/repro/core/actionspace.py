@@ -32,7 +32,7 @@ PRIORITY_LEVELS = (Priority.LOW, Priority.MEDIUM, Priority.HIGH)
 class ActionSpace:
     """Maps discrete action indices to executable RL action commands."""
 
-    def __init__(self, channel_bandwidth_mbps: float):
+    def __init__(self, channel_bandwidth_mbps: float) -> None:
         if channel_bandwidth_mbps <= 0:
             raise ValueError("channel bandwidth must be positive")
         self.channel_bandwidth_mbps = channel_bandwidth_mbps

@@ -39,7 +39,7 @@ class FleetIoAgent:
         explore: bool = True,
         finetune: bool = True,
         finetune_interval: int = 10,
-    ):
+    ) -> None:
         self.vssd = vssd
         self.net = net
         self.action_space = action_space

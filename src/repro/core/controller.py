@@ -60,7 +60,7 @@ class FleetIoController:
         unified_alpha_only: bool = False,
         seed: int = 0,
         guardrails: Optional["Guardrails"] = None,
-    ):
+    ) -> None:
         self.virt = virtualizer
         self.rl_config = rl_config or RLConfig()
         self.classifier = classifier

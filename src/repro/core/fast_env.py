@@ -88,7 +88,7 @@ class FastFleetEnv:
         rng: Optional[np.random.Generator] = None,
         episode_windows: int = 40,
         interference_coef: float = 7.0,
-    ):
+    ) -> None:
         if not vssd_specs:
             raise ValueError("need at least one vSSD spec")
         self.specs = list(vssd_specs)

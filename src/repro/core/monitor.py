@@ -52,7 +52,7 @@ class VssdMonitor:
     #: Recent requests retained for workload-type classification.
     TRACE_SAMPLE_SIZE = 10_000
 
-    def __init__(self, vssd: "Vssd", slo_latency_us: Optional[float] = None):
+    def __init__(self, vssd: "Vssd", slo_latency_us: Optional[float] = None) -> None:
         self.vssd = vssd
         self.slo_latency_us = (
             slo_latency_us if slo_latency_us is not None else vssd.slo_latency_us

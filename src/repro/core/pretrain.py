@@ -68,7 +68,7 @@ def _sample_collocation(rng: np.random.Generator, ssd_config: SSDConfig) -> list
     return specs
 
 
-def apply_reward_ablation(specs: list, alpha_override) -> list:
+def apply_reward_ablation(specs: list, alpha_override: Optional[float]) -> list:
     """Install a single unified alpha on every spec (Fig. 15's
     FleetIO-Unified-Global trains without per-cluster fine-tuning)."""
     if alpha_override is None:
@@ -87,8 +87,8 @@ def pretrain(
     rollout_batch: int = 512,
     learning_rate: float = 5e-4,
     interference_schedule: tuple = ((0.5, 3.0), (1.0, 7.0)),
-    beta: float = None,
-    alpha_override: float = None,
+    beta: Optional[float] = None,
+    alpha_override: Optional[float] = None,
     verbose: bool = False,
 ) -> PretrainResult:
     """Pre-train a shared policy on the fast environment.
@@ -220,7 +220,9 @@ _EVAL_SCENARIOS = (
 )
 
 
-def _evaluate_greedy(policy, rl_config: RLConfig, ssd_config: SSDConfig) -> float:
+def _evaluate_greedy(
+    policy: CategoricalPolicy, rl_config: RLConfig, ssd_config: SSDConfig
+) -> float:
     """Mean blended reward of the greedy policy on fixed scenarios."""
     totals = []
     for index, names in enumerate(_EVAL_SCENARIOS):

@@ -65,7 +65,7 @@ class StateFeaturizer:
     states." (Section 3.3.1)
     """
 
-    def __init__(self, config: RLConfig = None):
+    def __init__(self, config: RLConfig = None) -> None:
         self.config = config or RLConfig()
         self._history: deque = deque(maxlen=self.config.history_windows)
 

@@ -95,7 +95,7 @@ def sanitize_stats(
 class VssdWatchdog:
     """SLO-collapse detector and recovery prober for one vSSD."""
 
-    def __init__(self, vssd_id: int, name: str, config: GuardrailConfig):
+    def __init__(self, vssd_id: int, name: str, config: GuardrailConfig) -> None:
         self.vssd_id = vssd_id
         self.name = name
         self.config = config
@@ -173,7 +173,7 @@ class VssdWatchdog:
 class Guardrails:
     """Facade tying sanitization, watchdogs, and trust clamping together."""
 
-    def __init__(self, config: Optional[GuardrailConfig] = None):
+    def __init__(self, config: Optional[GuardrailConfig] = None) -> None:
         self.config = config or GuardrailConfig()
         self.event_log: list = []
         self.watchdogs: dict = {}
@@ -188,7 +188,7 @@ class Guardrails:
             self.watchdogs[vssd_id] = VssdWatchdog(vssd_id, name, self.config)
         return self.watchdogs[vssd_id]
 
-    def sanitize(self, vssd_id: int, stats: "WindowStats", now_s: float):
+    def sanitize(self, vssd_id: int, stats: "WindowStats", now_s: float) -> "WindowStats":
         """Clean one window snapshot; remembers fully-finite snapshots."""
         clean, replaced = sanitize_stats(stats, self._last_good.get(vssd_id))
         if replaced:

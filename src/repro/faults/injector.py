@@ -52,7 +52,7 @@ class FaultSpec:
     extra_latency_us: float = 0.0
     gc_threshold: float = 0.95
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in CHANNEL_KINDS + VSSD_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.start_s < 0 or self.duration_s <= 0:
@@ -142,7 +142,7 @@ class FaultInjector:
         self,
         virt: "StorageVirtualizer",
         monitors: Optional[dict] = None,
-    ):
+    ) -> None:
         self.virt = virt
         #: vSSD name -> :class:`VssdMonitor` for monitor-targeted faults.
         self.monitors: dict = dict(monitors or {})

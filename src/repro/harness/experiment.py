@@ -16,7 +16,7 @@ The five systems of Section 4.1 are expressed as policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -35,6 +35,15 @@ from repro.virt.manager import StorageVirtualizer
 from repro.workloads.catalog import get_spec
 from repro.workloads.drivers import make_driver
 from repro.workloads.model import WorkloadModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.clustering.classifier import WorkloadTypeClassifier
+    from repro.faults.injector import FaultSpec
+    from repro.rl.nets import PolicyValueNet
+    from repro.sched.request import IoRequest
+    from repro.virt.vssd import Vssd
+    from repro.workloads.drivers import _DriverBase
+    from repro.workloads.spec import WorkloadSpec
 
 POLICIES = ("hardware", "ssdkeeper", "adaptive", "software", "fleetio")
 
@@ -78,12 +87,12 @@ class Experiment:
         ssd_config: Optional[SSDConfig] = None,
         rl_config: Optional[RLConfig] = None,
         seed: int = 0,
-        pretrained_net=None,
-        classifier=None,
+        pretrained_net: Optional["PolicyValueNet"] = None,
+        classifier: Optional["WorkloadTypeClassifier"] = None,
         fleetio_kwargs: Optional[dict] = None,
-        faults: Optional[list] = None,
-        guardrails=None,
-    ):
+        faults: Optional["list[FaultSpec]"] = None,
+        guardrails: Union[bool, GuardrailConfig, Guardrails, None] = None,
+    ) -> None:
         if not plans:
             raise ValueError("need at least one vSSD plan")
         known = set(POLICIES) | {"mixed", "fleetio-mixed"}
@@ -254,7 +263,7 @@ class Experiment:
                 allocation.append(shared)
         return allocation
 
-    def _attach_driver(self, plan: VssdPlan, vssd) -> None:
+    def _attach_driver(self, plan: VssdPlan, vssd: "Vssd") -> None:
         spec = get_spec(plan.workload)
         working_set = self._working_set_pages(spec, vssd)
         rng = self.streams.get(f"workload:{plan.name}")
@@ -268,14 +277,18 @@ class Experiment:
         )
         self.drivers[plan.name] = driver
 
-        def route_completion(request, driver=driver, vssd_id=vssd.vssd_id):
+        def route_completion(
+            request: "IoRequest",
+            driver: "_DriverBase" = driver,
+            vssd_id: int = vssd.vssd_id,
+        ) -> None:
             """Forward this vSSD's completions to its workload driver."""
             if request.vssd_id == vssd_id:
                 driver.on_complete(request)
 
         self.virt.dispatcher.add_completion_callback(route_completion)
 
-    def _working_set_pages(self, spec, vssd) -> int:
+    def _working_set_pages(self, spec: "WorkloadSpec", vssd: "Vssd") -> int:
         owned_pages = (
             sum(vssd.ftl._own_blocks_per_channel.values())
             * self.config.pages_per_block
@@ -283,7 +296,7 @@ class Experiment:
         logical = int(owned_pages * (1.0 - self.config.overprovision_ratio))
         return max(int(logical * spec.working_set_fraction), 1024)
 
-    def _warm(self, plan: VssdPlan, vssd) -> None:
+    def _warm(self, plan: VssdPlan, vssd: "Vssd") -> None:
         """Consume >=50% of the vSSD's blocks before measurement."""
         with PROFILER.timer("harness.warm"):
             spec = get_spec(plan.workload)
@@ -377,7 +390,11 @@ class Experiment:
             )
             self.drivers[plan_name] = driver
 
-            def route_completion(request, driver=driver, vssd_id=vssd.vssd_id):
+            def route_completion(
+                request: "IoRequest",
+                driver: "_DriverBase" = driver,
+                vssd_id: int = vssd.vssd_id,
+            ) -> None:
                 """Forward this vSSD's completions to its workload driver."""
                 if request.vssd_id == vssd_id:
                     driver.on_complete(request)

@@ -16,6 +16,7 @@ import hashlib
 import json
 import os
 import pickle
+from typing import Callable
 from dataclasses import asdict
 from pathlib import Path
 
@@ -47,7 +48,7 @@ def _config_hash(payload: dict) -> str:
     return hashlib.sha256(blob).hexdigest()[:12]
 
 
-def _atomic_replace(write, final_path: Path) -> None:
+def _atomic_replace(write: Callable[[Path], None], final_path: Path) -> None:
     """Write via ``write(tmp_path)`` then atomically rename into place."""
     tmp = final_path.with_name(f".{final_path.name}.{os.getpid()}.tmp{final_path.suffix}")
     try:

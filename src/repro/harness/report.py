@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.harness.metrics import ExperimentResult
 
@@ -40,7 +40,7 @@ def _fmt_us(value: Optional[float]) -> str:
     return "" if value is None else f"{value:.1f}"
 
 
-def _write_result_rows(writer, results: Mapping[str, ExperimentResult]) -> int:
+def _write_result_rows(writer: Any, results: Mapping[str, ExperimentResult]) -> int:
     writer.writerow(CSV_COLUMNS)
     rows = 0
     for policy, result in results.items():
@@ -69,7 +69,9 @@ def _write_result_rows(writer, results: Mapping[str, ExperimentResult]) -> int:
     return rows
 
 
-def results_to_csv(results: Mapping[str, ExperimentResult], path) -> int:
+def results_to_csv(
+    results: Mapping[str, ExperimentResult], path: Union[str, Path]
+) -> int:
     """Write one row per (policy, vSSD); returns the row count."""
     path = Path(path)
     with path.open("w", newline="") as handle:
@@ -87,7 +89,7 @@ def results_csv_bytes(results: Mapping[str, ExperimentResult]) -> bytes:
     return buffer.getvalue().encode("utf-8")
 
 
-def load_results_csv(path) -> list:
+def load_results_csv(path: Union[str, Path]) -> List[Dict[str, str]]:
     """Read rows written by :func:`results_to_csv` as dictionaries."""
     path = Path(path)
     with path.open(newline="") as handle:

@@ -11,7 +11,10 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import FleetIoController
 
 from repro.core.monitor import WindowStats
 from repro.faults.events import EVENT_COLUMNS, ControlEvent
@@ -36,7 +39,7 @@ WINDOW_COLUMNS = (
 
 
 def _write_window_rows(
-    writer, histories: Mapping[str, Iterable[WindowStats]]
+    writer: Any, histories: Mapping[str, Iterable[WindowStats]]
 ) -> int:
     writer.writerow(WINDOW_COLUMNS)
     rows = 0
@@ -65,7 +68,9 @@ def _write_window_rows(
     return rows
 
 
-def windows_to_csv(histories: Mapping[str, Iterable[WindowStats]], path) -> int:
+def windows_to_csv(
+    histories: Mapping[str, Iterable[WindowStats]], path: Union[str, Path]
+) -> int:
     """Write per-window rows for several vSSDs; returns the row count.
 
     ``histories`` maps a vSSD label to its monitor's ``window_history``.
@@ -86,7 +91,9 @@ def windows_csv_bytes(histories: Mapping[str, Iterable[WindowStats]]) -> bytes:
     return buffer.getvalue().encode("utf-8")
 
 
-def controller_actions_to_csv(controller, path) -> int:
+def controller_actions_to_csv(
+    controller: "FleetIoController", path: Union[str, Path]
+) -> int:
     """Export a FleetIO controller's per-window action log.
 
     One row per (window, vSSD): the chosen action, its family, and the
@@ -125,7 +132,7 @@ def controller_actions_to_csv(controller, path) -> int:
     return rows
 
 
-def events_to_csv(events: Iterable[ControlEvent], path) -> int:
+def events_to_csv(events: Iterable[ControlEvent], path: Union[str, Path]) -> int:
     """Export fault-injector and guardrail events, time-ordered.
 
     Pass the concatenation of ``result.fault_events`` and

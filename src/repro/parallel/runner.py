@@ -105,7 +105,9 @@ class SweepResult:
         return {o.cell.cell_id: o.result for o in self.succeeded}
 
 
-def _child_main(cell: ExperimentCell, profile: bool, conn) -> None:
+def _child_main(
+    cell: ExperimentCell, profile: bool, conn: connection.Connection
+) -> None:
     """Worker process body: run one cell, ship the outcome, exit."""
     outcome = run_cell(cell, profile=profile)
     # Results can hold numpy arrays and megabytes of telemetry; if the
@@ -143,7 +145,7 @@ class ParallelRunner:
         workers: Optional[int] = None,
         profile: bool = True,
         start_method: Optional[str] = None,
-    ):
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers or max(multiprocessing.cpu_count() - 1, 1)

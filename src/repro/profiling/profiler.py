@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 
 class SectionStats:
@@ -20,7 +20,7 @@ class SectionStats:
 
     __slots__ = ("calls", "total_ns")
 
-    def __init__(self, calls: int = 0, total_ns: int = 0):
+    def __init__(self, calls: int = 0, total_ns: int = 0) -> None:
         self.calls = calls
         self.total_ns = total_ns
 
@@ -70,7 +70,7 @@ class Profiler:
         self._counters.clear()
 
     @contextmanager
-    def enabled_scope(self):
+    def enabled_scope(self) -> "Iterator[Profiler]":
         """Enable within a ``with`` block, restoring the prior state."""
         prior = self.enabled
         self.enabled = True
@@ -98,7 +98,7 @@ class Profiler:
         section.total_ns += elapsed
 
     @contextmanager
-    def timer(self, name: str):
+    def timer(self, name: str) -> "Iterator[None]":
         """Context-manager timing for coarse (non-hot-path) sections."""
         token = self.begin()
         try:

@@ -13,7 +13,7 @@ class RolloutBuffer:
     the advantage estimates for that segment.
     """
 
-    def __init__(self, discount: float = 0.9, gae_lambda: float = 0.95):
+    def __init__(self, discount: float = 0.9, gae_lambda: float = 0.95) -> None:
         if not 0.0 < discount <= 1.0:
             raise ValueError("discount must be in (0, 1]")
         if not 0.0 <= gae_lambda <= 1.0:

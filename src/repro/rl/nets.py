@@ -22,7 +22,7 @@ class PolicyValueNet:
         num_actions: int,
         hidden_sizes: tuple = (50, 50),
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> None:
         if input_dim <= 0 or num_actions <= 0:
             raise ValueError("input_dim and num_actions must be positive")
         rng = rng or np.random.default_rng(0)

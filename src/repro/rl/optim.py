@@ -14,7 +14,7 @@ class Adam:
         beta1: float = 0.9,
         beta2: float = 0.999,
         epsilon: float = 1e-8,
-    ):
+    ) -> None:
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         self.learning_rate = learning_rate

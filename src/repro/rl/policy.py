@@ -21,7 +21,7 @@ def softmax(logits: np.ndarray) -> np.ndarray:
 class CategoricalPolicy:
     """Samples discrete actions and reports log-probabilities/values."""
 
-    def __init__(self, net: PolicyValueNet):
+    def __init__(self, net: PolicyValueNet) -> None:
         self.net = net
 
     @property

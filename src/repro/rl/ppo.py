@@ -9,6 +9,7 @@ derived analytically (see the inline derivation in ``_loss_gradients``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +35,12 @@ class PpoUpdateStats:
 class PpoTrainer:
     """Runs clipped-surrogate PPO updates on a policy/value network."""
 
-    def __init__(self, net: PolicyValueNet, config: RLConfig = None, rng=None):
+    def __init__(
+        self,
+        net: PolicyValueNet,
+        config: Optional[RLConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         self.net = net
         self.config = config or RLConfig()
         self.optimizer = Adam(learning_rate=self.config.learning_rate)
@@ -63,7 +69,7 @@ class PpoTrainer:
         if n == 0:
             raise ValueError("empty rollout buffer")
         batch_size = min(self.config.batch_size, n)
-        stats = None
+        stats: Optional[PpoUpdateStats] = None
         for _epoch in range(self.config.epochs_per_update):
             order = self.rng.permutation(n)
             for start in range(0, n, batch_size):
@@ -77,9 +83,18 @@ class PpoTrainer:
                 )
             if stats is not None and abs(stats.mean_kl) > self.KL_STOP:
                 break
+        if stats is None:
+            raise RuntimeError("no minibatch ran (epochs_per_update < 1)")
         return stats
 
-    def _update_minibatch(self, states, actions, old_log_probs, advantages, returns):
+    def _update_minibatch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        old_log_probs: np.ndarray,
+        advantages: np.ndarray,
+        returns: np.ndarray,
+    ) -> PpoUpdateStats:
         logits, values, cache = self.net.forward(states)
         dlogits, dvalues, stats = self._loss_gradients(
             logits, values, actions, old_log_probs, advantages, returns
@@ -88,7 +103,15 @@ class PpoTrainer:
         self.optimizer.step(self.net.params, grads)
         return stats
 
-    def _loss_gradients(self, logits, values, actions, old_log_probs, advantages, returns):
+    def _loss_gradients(
+        self,
+        logits: np.ndarray,
+        values: np.ndarray,
+        actions: np.ndarray,
+        old_log_probs: np.ndarray,
+        advantages: np.ndarray,
+        returns: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, PpoUpdateStats]:
         """Analytic gradients of the PPO loss w.r.t. logits and values.
 
         Loss = -E[min(r A, clip(r) A)] + c_v E[(v - R)^2] - c_e E[H]

@@ -11,7 +11,7 @@ frees channel slots and re-pumps the queues.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.profiling import PROFILER
 from repro.sched.policies import SchedulingPolicy
@@ -27,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class IoDispatcher:
     """Connects per-vSSD virtual queues to the shared SSD's channels."""
 
-    def __init__(self, sim: "Simulator", ssd: "Ssd", policy: SchedulingPolicy):
+    def __init__(self, sim: "Simulator", ssd: "Ssd", policy: SchedulingPolicy) -> None:
         self.sim = sim
         self.ssd = ssd
         self.policy = policy
@@ -41,7 +41,7 @@ class IoDispatcher:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register_vssd(self, vssd_id: int, ftl: "VssdFtl", **policy_kwargs) -> None:
+    def register_vssd(self, vssd_id: int, ftl: "VssdFtl", **policy_kwargs: Any) -> None:
         """Attach a vSSD's FTL and create its virtual queue."""
         if vssd_id in self.ftls:
             raise ValueError(f"vSSD {vssd_id} already registered")

@@ -128,7 +128,7 @@ class TokenBucketStridePolicy(SchedulingPolicy):
         rate_bytes_per_us: float,
         burst_bytes: float,
         work_conserving: bool = True,
-    ):
+    ) -> None:
         self._default_rate = rate_bytes_per_us
         self._default_burst = burst_bytes
         self._work_conserving = work_conserving

@@ -49,7 +49,7 @@ class IoRequest:
         num_pages: int,
         page_size: int,
         submit_time: float,
-    ):
+    ) -> None:
         if op not in ("read", "write"):
             raise ValueError(f"op must be 'read' or 'write', got {op!r}")
         if num_pages <= 0:

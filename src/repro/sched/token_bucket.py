@@ -17,7 +17,7 @@ class TokenBucket:
     up to ``burst_bytes``.
     """
 
-    def __init__(self, rate_bytes_per_us: float, burst_bytes: float, now: float = 0.0):
+    def __init__(self, rate_bytes_per_us: float, burst_bytes: float, now: float = 0.0) -> None:
         if rate_bytes_per_us <= 0:
             raise ValueError("rate must be positive")
         if burst_bytes <= 0:

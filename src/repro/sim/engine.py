@@ -33,7 +33,7 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback

@@ -55,7 +55,7 @@ class ChannelStats:
 class Channel:
     """One flash channel: chips, blocks, a bus, and outstanding-op limits."""
 
-    def __init__(self, channel_id: int, config: SSDConfig, sim: "Simulator"):
+    def __init__(self, channel_id: int, config: SSDConfig, sim: "Simulator") -> None:
         self.channel_id = channel_id
         self.config = config
         self.sim = sim
@@ -87,6 +87,7 @@ class Channel:
         return (
             self.offline
             or self.fault_slowdown != 1.0
+            # fleetlint: disable=float-time-equality  sentinel compare against the exact literal clear_fault() assigns, not accumulated time
             or self.fault_extra_latency_us != 0.0
         )
 

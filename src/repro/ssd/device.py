@@ -20,7 +20,7 @@ class Ssd:
     superblock harvesting).
     """
 
-    def __init__(self, config: SSDConfig, sim: "Simulator"):
+    def __init__(self, config: SSDConfig, sim: "Simulator") -> None:
         self.config = config
         self.sim = sim
         self.channels = [Channel(c, config, sim) for c in range(config.num_channels)]

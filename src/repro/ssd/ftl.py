@@ -83,7 +83,7 @@ class WriteRegion:
         max_open_per_channel: int = 4,
         purpose: str = "bandwidth",
         wear_aware: bool = False,
-    ):
+    ) -> None:
         if kind not in ("own", "harvest"):
             raise ValueError(f"unknown region kind {kind!r}")
         if purpose not in ("bandwidth", "capacity"):
@@ -282,7 +282,7 @@ class VssdFtl:
         ssd: "Ssd",
         hbt: Optional[HarvestedBlockTable] = None,
         gc_threshold: Optional[float] = None,
-    ):
+    ) -> None:
         self.vssd_id = vssd_id
         self.ssd = ssd
         self.config: SSDConfig = ssd.config
@@ -667,7 +667,7 @@ class VssdFtl:
             PROFILER.count("ftl.gc_blocks_erased", erased)
         return erased
 
-    def _select_own_victim(self, channel_id: int):
+    def _select_own_victim(self, channel_id: int) -> Optional[FlashBlock]:
         """Best own-pool victim: HBT-flagged first, then fewest valid."""
         frontier_ids = self.own_region.frontier_blocks()
         best = None

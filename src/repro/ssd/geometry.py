@@ -24,7 +24,7 @@ class PagePointer:
 
     __slots__ = ("block", "page")
 
-    def __init__(self, block: "FlashBlock", page: int):
+    def __init__(self, block: "FlashBlock", page: int) -> None:
         self.block = block
         self.page = page
 
@@ -72,7 +72,7 @@ class FlashBlock:
         "erase_count",
     )
 
-    def __init__(self, channel_id: int, chip_id: int, index: int, pages_per_block: int):
+    def __init__(self, channel_id: int, chip_id: int, index: int, pages_per_block: int) -> None:
         self.channel_id = channel_id
         self.chip_id = chip_id
         self.index = index

@@ -60,7 +60,7 @@ class AdmissionController:
         set_priority_fn: Optional[Callable[[int, int], None]] = None,
         batch_interval_s: float = ADMISSION_BATCH_INTERVAL_S,
         policies: Optional[list] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.gsb_manager = gsb_manager
         self.set_priority_fn = set_priority_fn

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ssd.ftl import WriteRegion
@@ -23,7 +23,7 @@ _gsb_ids = itertools.count()
 class GhostSuperblock:
     """Metadata of one ghost superblock (Figure 7)."""
 
-    def __init__(self, n_chls: int, blocks: list, home_vssd: int):
+    def __init__(self, n_chls: int, blocks: list, home_vssd: int) -> None:
         if n_chls <= 0:
             raise ValueError("a gSB must stripe across at least one channel")
         if not blocks:
@@ -65,7 +65,7 @@ class GhostSuperblock:
 class GsbPool:
     """Harvestable gSBs indexed by channel count for best-fit search."""
 
-    def __init__(self, max_channels: int):
+    def __init__(self, max_channels: int) -> None:
         if max_channels <= 0:
             raise ValueError("max_channels must be positive")
         self.max_channels = max_channels
@@ -94,7 +94,7 @@ class GsbPool:
         self,
         n_chls: int,
         exclude_home: Optional[int] = None,
-        predicate=None,
+        predicate: Optional[Callable[[GhostSuperblock], bool]] = None,
     ) -> Optional[GhostSuperblock]:
         """Best-fit acquire (Section 3.6.2).
 

@@ -28,6 +28,7 @@ from repro.virt.gsb import GhostSuperblock, GsbPool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ssd.device import Ssd
+    from repro.ssd.geometry import FlashBlock
     from repro.ssd.hbt import HarvestedBlockTable
     from repro.virt.vssd import Vssd
 
@@ -49,7 +50,7 @@ class GsbManagerStats:
 class GsbManager:
     """Owns the gSB pool and executes harvesting state transitions."""
 
-    def __init__(self, ssd: "Ssd", hbt: "HarvestedBlockTable"):
+    def __init__(self, ssd: "Ssd", hbt: "HarvestedBlockTable") -> None:
         self.ssd = ssd
         self.config: SSDConfig = ssd.config
         self.hbt = hbt
@@ -231,7 +232,7 @@ class GsbManager:
         self.stats.gsbs_reclaimed_lazily += 1
         self.pump_reclaims()
 
-    def _block_returned(self, gsb: GhostSuperblock, block) -> None:
+    def _block_returned(self, gsb: GhostSuperblock, block: "FlashBlock") -> None:
         """A reclaiming gSB's block is FREE again — send it home.
 
         The block leaves ``gsb.blocks`` so a later pump cannot touch it

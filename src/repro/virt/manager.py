@@ -10,7 +10,7 @@ harvestable (Section 3.7).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.config import SSDConfig
 from repro.sched.dispatcher import IoDispatcher
@@ -35,7 +35,7 @@ class StorageVirtualizer:
         config: Optional[SSDConfig] = None,
         policy: Optional[SchedulingPolicy] = None,
         sim: Optional[Simulator] = None,
-    ):
+    ) -> None:
         self.config = config or SSDConfig()
         self.sim = sim or Simulator()
         self.ssd = Ssd(self.config, self.sim)
@@ -63,7 +63,7 @@ class StorageVirtualizer:
         blocks_per_channel: Optional[int] = None,
         slo_latency_us: Optional[float] = None,
         tenant_class: str = "standard",
-        **policy_kwargs,
+        **policy_kwargs: Any,
     ) -> Vssd:
         """Create a vSSD.
 

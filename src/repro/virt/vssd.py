@@ -27,7 +27,7 @@ class Vssd:
         isolation: str = "hardware",
         slo_latency_us: Optional[float] = None,
         tenant_class: str = "standard",
-    ):
+    ) -> None:
         if isolation not in ("hardware", "software"):
             raise ValueError(f"unknown isolation mode {isolation!r}")
         self.vssd_id = vssd_id

@@ -17,7 +17,7 @@ import numpy as np
 class AddressPattern(abc.ABC):
     """Samples starting LPNs for requests within a working set."""
 
-    def __init__(self, working_set_pages: int):
+    def __init__(self, working_set_pages: int) -> None:
         if working_set_pages <= 0:
             raise ValueError("working_set_pages must be positive")
         self.working_set_pages = working_set_pages
@@ -49,7 +49,7 @@ class ZipfPattern(AddressPattern):
 
     BUCKETS = 1024
 
-    def __init__(self, working_set_pages: int, theta: float = 0.99, seed: int = 1234):
+    def __init__(self, working_set_pages: int, theta: float = 0.99, seed: int = 1234) -> None:
         super().__init__(working_set_pages)
         if theta <= 0:
             raise ValueError("theta must be positive")
@@ -75,7 +75,7 @@ class SequentialPattern(AddressPattern):
     forward; with probability ``reseek_prob`` it jumps to a random spot.
     """
 
-    def __init__(self, working_set_pages: int, reseek_prob: float = 0.01):
+    def __init__(self, working_set_pages: int, reseek_prob: float = 0.01) -> None:
         super().__init__(working_set_pages)
         if not 0.0 <= reseek_prob <= 1.0:
             raise ValueError("reseek_prob must be in [0, 1]")
@@ -99,7 +99,7 @@ class HotspotPattern(AddressPattern):
         working_set_pages: int,
         hot_fraction: float = 0.2,
         hot_probability: float = 0.8,
-    ):
+    ) -> None:
         super().__init__(working_set_pages)
         if not 0.0 < hot_fraction < 1.0:
             raise ValueError("hot_fraction must be in (0, 1)")

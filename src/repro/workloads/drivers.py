@@ -16,6 +16,7 @@ from repro.workloads.model import WorkloadModel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+    from repro.workloads.spec import WorkloadSpec
 
 SubmitFn = Callable[[IoRequest], None]
 
@@ -30,7 +31,7 @@ class _DriverBase:
         sim: "Simulator",
         submit: SubmitFn,
         page_size: int,
-    ):
+    ) -> None:
         self.model = model
         self.vssd_id = vssd_id
         self.sim = sim
@@ -41,7 +42,7 @@ class _DriverBase:
         self.completed = 0
 
     @property
-    def spec(self):
+    def spec(self) -> "WorkloadSpec":
         """The workload spec driving this generator."""
         return self.model.spec
 
@@ -95,7 +96,7 @@ class OpenLoopDriver(_DriverBase):
 class ClosedLoopDriver(_DriverBase):
     """Keeps ``outstanding × phase-scale`` requests in flight."""
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.in_flight = 0
 
@@ -143,7 +144,7 @@ def make_driver(
     sim: "Simulator",
     submit: SubmitFn,
     page_size: int,
-):
+) -> "_DriverBase":
     """Build the driver kind the spec asks for."""
     driver_cls = OpenLoopDriver if model.spec.mode == "open" else ClosedLoopDriver
     return driver_cls(model, vssd_id, sim, submit, page_size)

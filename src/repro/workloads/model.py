@@ -10,6 +10,7 @@ clustering pipeline consumes (Section 3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro.workloads.spec import WorkloadSpec
 class WorkloadModel:
     """Samples I/O characteristics for one workload instance."""
 
-    def __init__(self, spec: WorkloadSpec, rng: np.random.Generator, working_set_pages: int):
+    def __init__(self, spec: WorkloadSpec, rng: np.random.Generator, working_set_pages: int) -> None:
         self.spec = spec
         self.rng = rng
         self.working_set_pages = working_set_pages
@@ -101,7 +102,7 @@ class Trace:
             page_size=self.page_size,
         )
 
-    def iter_windows(self, requests_per_window: int):
+    def iter_windows(self, requests_per_window: int) -> "Iterator[Trace]":
         """Yield consecutive fixed-size request windows (Section 3.4
         divides traces into 10K-request windows)."""
         for start in range(0, len(self) - requests_per_window + 1, requests_per_window):

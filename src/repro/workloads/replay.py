@@ -147,7 +147,7 @@ class TraceReplayDriver:
         page_size: Optional[int] = None,
         time_scale: float = 1.0,
         loop: bool = False,
-    ):
+    ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         if working_set_pages <= 0:

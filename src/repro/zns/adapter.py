@@ -24,6 +24,7 @@ from repro.zns.namespace import ZnsError, ZonedNamespace
 from repro.zns.zone import Zone, ZoneState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.ssd.geometry import FlashBlock
     from repro.ssd.hbt import HarvestedBlockTable
     from repro.virt.vssd import Vssd
 
@@ -43,7 +44,7 @@ class ZnsHarvestAdapter:
         namespace: ZonedNamespace,
         pool: GsbPool,
         hbt: "HarvestedBlockTable",
-    ):
+    ) -> None:
         self.namespace = namespace
         self.pool = pool
         self.hbt = hbt
@@ -142,7 +143,7 @@ class ZnsHarvestAdapter:
         if gsb in harvester.harvested_gsbs:
             harvester.harvested_gsbs.remove(gsb)
 
-    def _block_home(self, gsb: GhostSuperblock, block) -> None:
+    def _block_home(self, gsb: GhostSuperblock, block: "FlashBlock") -> None:
         self.hbt.mark_regular(block)
         try:
             gsb.blocks.remove(block)

@@ -35,7 +35,7 @@ class ZonedNamespace:
         channel_ids: list,
         blocks_per_zone: int = 8,
         max_open_zones: int = 8,
-    ):
+    ) -> None:
         if blocks_per_zone <= 0:
             raise ValueError("blocks_per_zone must be positive")
         if max_open_zones <= 0:

@@ -27,7 +27,7 @@ class Zone:
     sequential: one write pointer, append-only, reset-to-reuse.
     """
 
-    def __init__(self, zone_id: int, blocks: list):
+    def __init__(self, zone_id: int, blocks: list) -> None:
         if not blocks:
             raise ValueError("a zone needs at least one block")
         channels = {block.channel_id for block in blocks}

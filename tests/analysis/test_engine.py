@@ -1,0 +1,217 @@
+"""Engine behavior: suppressions, baseline round-trip, JSON output, CLI."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# mutable-default-arg applies in every package, so this snippet is
+# flagged regardless of the path it is linted under.
+FLAGGED = "def f(items=[]):\n    return items\n"
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_trailing_suppression_silences_its_line(self):
+        src = (
+            "import time\n"
+            "now = time.time()  # fleetlint: disable=sim-wall-clock  test fixture\n"
+        )
+        report = lint_source(src)
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["sim-wall-clock"]
+
+    def test_standalone_suppression_covers_next_line(self):
+        src = (
+            "import time\n"
+            "# fleetlint: disable=sim-wall-clock  test fixture\n"
+            "now = time.time()\n"
+        )
+        report = lint_source(src)
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["sim-wall-clock"]
+
+    def test_suppression_is_rule_specific(self):
+        src = (
+            "import time\n"
+            "now = time.time()  # fleetlint: disable=unseeded-rng  wrong rule\n"
+        )
+        report = lint_source(src)
+        assert [f.rule for f in report.findings] == ["sim-wall-clock"]
+
+    def test_missing_reason_is_an_error(self):
+        src = (
+            "import time\n"
+            "now = time.time()  # fleetlint: disable=sim-wall-clock\n"
+        )
+        report = lint_source(src)
+        rules = {f.rule for f in report.findings}
+        assert "bad-suppression" in rules
+
+    def test_unknown_rule_is_an_error(self):
+        src = "x = 1  # fleetlint: disable=no-such-rule  because\n"
+        report = lint_source(src)
+        assert {f.rule for f in report.findings} == {"bad-suppression"}
+
+    def test_marker_in_string_literal_is_ignored(self):
+        src = 'msg = "# fleetlint: disable=bogus"\n'
+        report = lint_source(src)
+        assert not report.findings
+
+    def test_multi_rule_suppression(self):
+        src = (
+            "import time, random\n"
+            "x = time.time() + random.random()"
+            "  # fleetlint: disable=sim-wall-clock,unseeded-rng  fixture\n"
+        )
+        report = lint_source(src)
+        assert not report.findings
+        assert {f.rule for f in report.suppressed} == {
+            "sim-wall-clock",
+            "unseeded-rng",
+        }
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = lint_source(FLAGGED, path="src/repro/harness/snip.py").findings
+        assert findings
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == len(baseline)
+        assert all(loaded.contains(f) for f in findings)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_fingerprint_survives_line_moves(self):
+        before = lint_source(FLAGGED, path="src/repro/harness/snip.py").findings
+        shifted = "\n\n\ndef f(items=[]):\n    return items\n"
+        after = lint_source(shifted, path="src/repro/harness/snip.py").findings
+        assert before[0].fingerprint() == after[0].fingerprint()
+        assert before[0].line != after[0].line
+
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        target = tmp_path / "snip.py"
+        target.write_text(FLAGGED)
+        # Outside the repo root, the path stays absolute and is not a core
+        # package, so a baseline entry is allowed to silence it.
+        first = lint_paths([target], root=tmp_path)
+        assert first.findings and first.exit_code() == 1
+        baseline = Baseline.from_findings(first.findings)
+        second = lint_paths([target], baseline=baseline, root=tmp_path)
+        assert not second.findings
+        assert second.baselined
+        assert second.exit_code() == 0
+
+    def test_core_baseline_entries_fail_the_build(self, tmp_path):
+        findings = lint_source(FLAGGED).findings  # default path is sim/ => core
+        baseline = Baseline.from_findings(findings)
+        assert baseline.core_entries()
+        report = lint_paths([tmp_path], baseline=baseline, root=tmp_path)
+        assert report.exit_code() == 1
+
+    def test_write_baseline_then_clean_run(self, tmp_path):
+        target = tmp_path / "snip.py"
+        target.write_text(FLAGGED)
+        baseline_path = tmp_path / "baseline.json"
+        wrote = run_lint(
+            [target], baseline_path=baseline_path, write_baseline=True
+        )
+        assert wrote == 0 and baseline_path.exists()
+        # The baselined finding lives outside the deterministic core
+        # (absolute tmp path), so the follow-up run is clean.
+        assert run_lint([target], baseline_path=baseline_path) == 0
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+class TestOutput:
+    def test_json_document_shape(self, tmp_path):
+        target = tmp_path / "snip.py"
+        target.write_text(FLAGGED)
+        report = lint_paths([target], root=tmp_path)
+        doc = report.to_json()
+        assert doc["version"] == 1
+        assert doc["files"] == 1
+        assert doc["summary"]["errors"] == len(report.errors)
+        (entry,) = doc["findings"]
+        assert entry["rule"] == "mutable-default-arg"
+        assert entry["line"] == 1
+        assert entry["fingerprint"]
+        json.dumps(doc)  # must be serializable
+
+    def test_text_summary_line(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        report = lint_paths([target], root=tmp_path)
+        text = report.render_text()
+        assert "fleetlint: 1 files, 0 errors, 0 warnings" in text
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        report = lint_paths([target], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert report.exit_code() == 1
+
+
+# ----------------------------------------------------------------------
+# Self-lint regression (satellite: the repo itself stays clean)
+# ----------------------------------------------------------------------
+class TestSelfLint:
+    def test_repo_lints_clean(self):
+        report = lint_paths(
+            [REPO_ROOT / "src" / "repro"],
+            baseline=Baseline.load(REPO_ROOT / ".fleetlint-baseline.json"),
+            root=REPO_ROOT,
+        )
+        assert report.exit_code(strict=True) == 0, report.render_text()
+
+    def test_baseline_has_no_core_entries(self):
+        baseline = Baseline.load(REPO_ROOT / ".fleetlint-baseline.json")
+        assert baseline.core_entries() == []
+
+    def test_every_suppression_has_a_reason(self):
+        # parse_suppressions already turns reasonless markers into
+        # bad-suppression errors; assert directly so the contract is
+        # explicit even if the engine policy ever loosens.
+        from repro.analysis import parse_suppressions
+
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            lines = path.read_text().splitlines()
+            markers = parse_suppressions(str(path), lines)
+            assert not markers.problems, [f.render() for f in markers.problems]
+            for suppression in markers.suppressions:
+                assert suppression.reason.strip(), (
+                    f"{path}:{suppression.line} suppression without a reason"
+                )
+
+    def test_cli_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src/repro"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "fleetlint:" in proc.stdout
