@@ -45,7 +45,8 @@ def sweeps():
     cells = MATRIX.cells()
     warm_policy_cache(cells)
     serial = run_serial(cells)
-    parallel = ParallelRunner(workers=WORKERS).run(cells)
+    runner = ParallelRunner(workers=WORKERS)
+    parallel = runner.run(cells)
     return serial, parallel
 
 
@@ -67,7 +68,8 @@ def test_parallel_speedup_and_bench_json(benchmark, sweeps):
         speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
         profile = parallel.profile
         print_header(
-            "Parallel fan-out", f"{len(MATRIX)} cells, {WORKERS} workers, {cores} cores"
+            "Parallel fan-out",
+            f"{len(MATRIX)} cells, {parallel.workers} workers, {cores} cores",
         )
         print(f"  serial:   {serial.wall_s:6.1f}s")
         print(f"  parallel: {parallel.wall_s:6.1f}s  ({parallel.mode})")
@@ -76,7 +78,11 @@ def test_parallel_speedup_and_bench_json(benchmark, sweeps):
         print(format_profile(profile, total_label="sim.event_loop"))
         payload = {
             "cells": [cell.cell_id for cell in MATRIX.cells()],
-            "workers": WORKERS,
+            # ``workers`` is the sweep's *effective* worker count — the
+            # runner caps the request at the host's core count, so the
+            # recorded number reflects what actually ran.
+            "workers": parallel.workers,
+            "workers_requested": WORKERS,
             "cpu_count": cores,
             "start_method": parallel.mode,
             "serial_wall_s": round(serial.wall_s, 3),
@@ -98,10 +104,10 @@ def test_parallel_speedup_and_bench_json(benchmark, sweeps):
     )
     assert payload["telemetry_byte_equal"]
     assert payload["profile"]["timers"]["sim.event_loop"]["calls"] == len(MATRIX)
-    if payload["cpu_count"] >= 4:
-        assert payload["speedup"] >= 2.0
-    else:
-        print(
-            f"  ({payload['cpu_count']} cores: speedup gate skipped — "
-            "fan-out cannot beat serial without parallel hardware)"
+    if payload["cpu_count"] < 4:
+        pytest.skip(
+            f"speedup gate needs >= 4 cores, host has {payload['cpu_count']}: "
+            "fan-out cannot beat serial without parallel hardware "
+            "(BENCH_parallel.json still records the measured numbers)"
         )
+    assert payload["speedup"] >= 2.0

@@ -1,0 +1,155 @@
+"""Single-run hot-path benchmark: wall clock behind a byte-identity gate.
+
+Runs the canonical two-tenant FleetIO cell (ycsb+terasort, seed 0, 8
+simulated seconds) several times, asserts the telemetry is **byte-equal**
+to the digest recorded before the hot-path optimizations landed, and
+writes ``BENCH_singlerun.json`` with the per-subsystem profile and the
+measured speedup over the pre-optimization baseline.
+
+Two assertions, two strictness levels:
+
+* **Byte equality is unconditional.**  The optimizations (batched
+  multi-agent inference, vectorized GAE, event-pool/FTL fast paths,
+  cdf-searchsorted sampling) are only admissible because they provably
+  change nothing — the telemetry digest must match on any host, every
+  run.  A digest mismatch means an optimization altered simulation
+  behaviour and must be treated as a correctness bug, not noise.
+* **The speedup gate is host-gated.**  ``BASELINE_WALL_S`` was measured
+  on the development host in the same session as the optimized numbers
+  (best of 5 serial runs of this exact cell with the optimizations
+  stashed: 3.194 s, vs 1.434 s optimized — 2.2x).  Wall clock on shared
+  CI is noisy and hardware-dependent, so the >= 1.3x assertion is
+  skipped-with-reason on small hosts (< 4 cores) or when
+  ``REPRO_SINGLERUN_GATE=off`` — the digest check and the JSON artifact
+  still run in that mode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import print_expectation, print_header
+from repro.parallel import ExperimentCell, warm_policy_cache
+from repro.parallel.worker import run_cell
+from repro.profiling import format_profile
+
+#: The canonical single-run cell: the standard ycsb+terasort collocation
+#: under the full FleetIO policy (RL agents + harvesting + GC), long
+#: enough that steady-state hot paths dominate process startup.
+CELL = ExperimentCell(
+    scenario="ycsb+terasort",
+    workloads=("ycsb", "terasort"),
+    policy="fleetio",
+    seed=0,
+    duration_s=8.0,
+    measure_after_s=2.0,
+)
+
+#: SHA-256 of the cell's telemetry (results CSV + window CSV) captured on
+#: the *unoptimized* tree (commit ccdaa85).  The optimized code must
+#: reproduce it byte-for-byte.
+REFERENCE_DIGEST = "7f6ff59c1264dfa38443e043e3bd6d60ce67b9bfdcb9a0eaca216bc4a40bdbcf"
+
+#: Pre-optimization wall clock for CELL on the benchmark host — best of 5
+#: serial runs with the optimizations stashed, measured back-to-back with
+#: the optimized runs so host load cancels out.  (An earlier capture read
+#: 2.657 s under lighter host load; same-session A/B is the honest
+#: comparison, so the paired measurement is recorded.)
+BASELINE_WALL_S = 3.194
+
+#: Required wall-clock improvement over BASELINE_WALL_S.
+MIN_SPEEDUP = 1.3
+
+#: Timed repetitions; the best round is scored (minimum is the standard
+#: noise-robust statistic for wall-clock benchmarks).
+ROUNDS = 3
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_singlerun.json"
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    warm_policy_cache([CELL])
+    # One unscored warm-up run so imports, JIT-able numpy internals, and
+    # OS page cache effects don't land in round 1.
+    run_cell(CELL, profile=False)
+    return [run_cell(CELL, profile=True) for _ in range(ROUNDS)]
+
+
+def test_singlerun_telemetry_matches_reference(outcomes):
+    """Every round's telemetry must equal the pre-optimization digest."""
+    for outcome in outcomes:
+        assert outcome.ok, outcome.error
+        digest = hashlib.sha256(outcome.telemetry).hexdigest()
+        assert digest == REFERENCE_DIGEST, (
+            f"telemetry digest {digest} != reference {REFERENCE_DIGEST}: "
+            "an optimization changed simulation behaviour"
+        )
+
+
+def test_singlerun_wall_clock_and_bench_json(benchmark, outcomes):
+    def regenerate():
+        cores = os.cpu_count() or 1
+        walls = [outcome.wall_s for outcome in outcomes]
+        best = min(walls)
+        speedup = BASELINE_WALL_S / best if best else 0.0
+        outcome = outcomes[walls.index(best)]
+        digest = hashlib.sha256(outcome.telemetry).hexdigest()
+        print_header(
+            "Single-run hot path",
+            f"{CELL.cell_id}, {CELL.duration_s:.0f}s simulated, "
+            f"best of {ROUNDS} rounds",
+        )
+        print(f"  baseline:  {BASELINE_WALL_S:6.2f}s  (pre-optimization)")
+        print(f"  optimized: {best:6.2f}s  (walls: "
+              + ", ".join(f"{w:.2f}" for w in walls) + ")")
+        print(f"  speedup:   {speedup:6.2f}x")
+        print()
+        print(format_profile(outcome.profile, total_label="sim.event_loop"))
+        payload = {
+            "cell": CELL.cell_id,
+            "duration_s": CELL.duration_s,
+            "measure_after_s": CELL.measure_after_s,
+            "rounds": ROUNDS,
+            "cpu_count": cores,
+            "walls_s": [round(w, 3) for w in walls],
+            "wall_s": round(best, 3),
+            "baseline_wall_s": BASELINE_WALL_S,
+            "speedup": round(speedup, 3),
+            "telemetry_bytes": len(outcome.telemetry),
+            "telemetry_sha256": digest,
+            "telemetry_byte_equal": digest == REFERENCE_DIGEST,
+            "profile": outcome.profile,
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {BENCH_PATH.name}")
+        return payload
+
+    payload = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_expectation(
+        f"optimized single run >= {MIN_SPEEDUP}x faster than baseline",
+        f"{payload['speedup']:.2f}x on {payload['cpu_count']} cores",
+    )
+    # Byte equality is unconditional — never skipped.
+    assert payload["telemetry_byte_equal"]
+    assert payload["profile"]["counters"].get("rl.batched_decisions", 0) > 0, (
+        "batched inference path never ran — the benchmark is no longer "
+        "exercising the optimization it exists to guard"
+    )
+    if os.environ.get("REPRO_SINGLERUN_GATE", "").lower() == "off":
+        pytest.skip(
+            "REPRO_SINGLERUN_GATE=off: digest-check mode "
+            "(BENCH_singlerun.json still records the measured numbers)"
+        )
+    if payload["cpu_count"] < 4:
+        pytest.skip(
+            f"speedup gate needs >= 4 cores, host has {payload['cpu_count']}: "
+            "shared small hosts are too noisy for a wall-clock assertion "
+            "(BENCH_singlerun.json still records the measured numbers)"
+        )
+    assert payload["speedup"] >= MIN_SPEEDUP

@@ -76,9 +76,26 @@ class FleetIoAgent:
         self.rewards_seen.append(reward)
         self._pending = None
 
-    def decide(self, state: np.ndarray) -> int:
-        """Pick this window's action and remember it for crediting."""
-        if self.explore:
+    def decide(self, state: np.ndarray, precomputed: Optional[tuple] = None) -> int:
+        """Pick this window's action and remember it for crediting.
+
+        ``precomputed`` is an optional ``(logits_row, value)`` pair from a
+        batched forward pass over collocated agents whose networks share
+        this agent's parameters (see ``FleetIoController``); action
+        sampling still draws from this agent's own RNG stream, so batched
+        and unbatched decisions are identical.
+        """
+        if precomputed is not None:
+            logits_row, value = precomputed
+            if self.explore:
+                action, logp, value = self.policy.act_from_logits(
+                    logits_row, value, self.rng
+                )
+            else:
+                action, logp, value = self.policy.act_greedy_from_logits(
+                    logits_row, value
+                )
+        elif self.explore:
             action, logp, value = self.policy.act(state, self.rng)
         else:
             action, logp, value = self.policy.act_greedy(state)

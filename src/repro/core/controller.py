@@ -100,7 +100,9 @@ class FleetIoController:
             finetune=self.finetune,
         )
         monitor = VssdMonitor(vssd)
-        self.virt.dispatcher.add_completion_callback(monitor.on_complete)
+        self.virt.dispatcher.add_completion_callback(
+            monitor.on_complete, vssd_id=vssd.vssd_id
+        )
         self.agents[vssd.vssd_id] = agent
         self.monitors[vssd.vssd_id] = monitor
         if self.guardrails is not None:
@@ -155,6 +157,7 @@ class FleetIoController:
             self._run_watchdogs(stats, now_s)
         self._classify_workloads()
         actions = {}
+        deciding = []
         for vssd_id, agent in self.agents.items():
             if self.guardrails is not None and self.guardrails.suspended(vssd_id):
                 # Graceful degradation: the safe policy is a no-op — no
@@ -165,7 +168,10 @@ class FleetIoController:
             state = agent.featurizer.push(
                 stats[vssd_id], others, self.guaranteed_bandwidth(vssd_id)
             )
-            action_index = agent.decide(state)
+            deciding.append((vssd_id, agent, state))
+        precomputed = self._batched_inference(deciding)
+        for vssd_id, agent, state in deciding:
+            action_index = agent.decide(state, precomputed=precomputed.get(vssd_id))
             if self.guardrails is not None:
                 action_index = self.guardrails.clamp_action(
                     vssd_id, action_index, self.action_space
@@ -180,6 +186,39 @@ class FleetIoController:
         self._window_index += 1
         self.window_log.append({"stats": stats, "actions": actions})
         return stats
+
+    def _batched_inference(self, deciding: list) -> dict:
+        """One forward pass per group of agents with identical parameters.
+
+        Collocated agents deploy as clones of the same pre-trained net
+        (Section 3.8: one agent per vSSD), so until online fine-tuning
+        diverges them, their sanitized observations stack into a single
+        matrix served by one trunk evaluation instead of N scalar passes.
+        Grouping keys on ``PolicyValueNet.params_version`` — equal tokens
+        guarantee bit-identical parameters — and ``forward_batch``
+        guarantees per-row results identical to per-agent forwards, so
+        the only change is fewer passes, not different decisions.  Each
+        agent still samples from its own named RNG stream in ``decide``.
+
+        Returns ``{vssd_id: (logits_row, value)}`` for batched agents;
+        agents in singleton groups are omitted and run their own forward.
+        """
+        groups: dict = {}
+        for entry in deciding:
+            groups.setdefault(entry[1].net.params_version, []).append(entry)
+        precomputed: dict = {}
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            net = members[0][1].net
+            stacked = np.stack(
+                [np.asarray(state, dtype=np.float64) for _v, _a, state in members]
+            )
+            logits, values = net.forward_batch(stacked)
+            PROFILER.count("rl.batched_decisions", len(members))
+            for i, (vssd_id, _agent, _state) in enumerate(members):
+                precomputed[vssd_id] = (logits[i], values[i])
+        return precomputed
 
     def _run_watchdogs(self, stats: dict, now_s: float) -> None:
         """Advance each vSSD's watchdog and apply state transitions."""

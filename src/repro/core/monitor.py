@@ -94,28 +94,33 @@ class VssdMonitor:
         if self.dropout:
             self.dropped_completions += 1
             return
-        latency = request.latency_us
+        # Hot path (one call per completion): bind the request's derived
+        # properties once instead of recomputing them per field below.
+        complete_time = request.complete_time
+        latency = complete_time - request.submit_time  # == request.latency_us
+        size_bytes = request.num_pages * request.page_size  # == request.size_bytes
+        is_read = request.op == "read"
         self._completed += 1
-        self._bytes += request.size_bytes
+        self._bytes += size_bytes
         self._latency_sum += latency
-        self._queue_delay_sum += request.queue_delay_us
-        if request.is_read:
+        self._queue_delay_sum += request.dispatch_time - request.submit_time
+        if is_read:
             self._reads += 1
         else:
             self._writes += 1
         if self.slo_latency_us is not None and latency > self.slo_latency_us:
             self._violations += 1
-        complete_s = request.complete_time / 1_000_000.0
+        complete_s = complete_time / 1_000_000.0
         if complete_s >= self.measure_from_s:
             self.all_latencies.append(latency)
-            if request.is_read:
+            if is_read:
                 self.all_read_latencies.append(latency)
             self.completion_times_s.append(complete_s)
-            self.completion_bytes.append(request.size_bytes)
-            self.total_bytes += request.size_bytes
+            self.completion_bytes.append(size_bytes)
+            self.total_bytes += size_bytes
             self.total_completed += 1
         self.recent_trace.append(
-            (request.complete_time, 1 if request.is_read else 0, request.lpn, request.num_pages)
+            (complete_time, 1 if is_read else 0, request.lpn, request.num_pages)
         )
 
     # ------------------------------------------------------------------

@@ -264,12 +264,13 @@ def _merge_buffers(buffers: list, rl_config: RLConfig) -> RolloutBuffer:
         adv = np.asarray(buf.advantages)
         if len(adv) > 1:
             adv = (adv - adv.mean()) / (adv.std() + 1e-8)
-        merged.states.extend(buf.states)
-        merged.actions.extend(buf.actions)
-        merged.log_probs.extend(buf.log_probs)
-        merged.rewards.extend(buf.rewards)
-        merged.values.extend(buf.values)
-        merged.advantages.extend(adv.tolist())
-        merged.returns.extend(buf.returns)
-    merged._path_start = len(merged.states)
+        merged.append_finished(
+            buf.states,
+            buf.actions,
+            buf.log_probs,
+            buf.rewards,
+            buf.values,
+            adv,
+            buf.returns,
+        )
     return merged

@@ -173,7 +173,9 @@ class Experiment:
                 **kwargs,
             )
             monitor = VssdMonitor(vssd)
-            self.virt.dispatcher.add_completion_callback(monitor.on_complete)
+            self.virt.dispatcher.add_completion_callback(
+                monitor.on_complete, vssd_id=vssd.vssd_id
+            )
             self.monitors[plan.name] = monitor
             self._attach_driver(plan, vssd)
             self._warm(plan, vssd)
@@ -286,7 +288,9 @@ class Experiment:
             if request.vssd_id == vssd_id:
                 driver.on_complete(request)
 
-        self.virt.dispatcher.add_completion_callback(route_completion)
+        self.virt.dispatcher.add_completion_callback(
+            route_completion, vssd_id=vssd.vssd_id
+        )
 
     def _working_set_pages(self, spec: "WorkloadSpec", vssd: "Vssd") -> int:
         owned_pages = (
@@ -399,7 +403,9 @@ class Experiment:
                 if request.vssd_id == vssd_id:
                     driver.on_complete(request)
 
-            self.virt.dispatcher.add_completion_callback(route_completion)
+            self.virt.dispatcher.add_completion_callback(
+                route_completion, vssd_id=vssd.vssd_id
+            )
             driver.start()
 
         self.virt.sim.schedule_at(at_s * 1_000_000.0, do_switch)

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+from itertools import accumulate
+from typing import Optional, Sequence
+
 import numpy as np
+
+#: First allocation, in transitions; capacity doubles from there.
+_INITIAL_CAPACITY = 64
 
 
 class RolloutBuffer:
@@ -11,6 +17,12 @@ class RolloutBuffer:
     Transitions are appended in time order; :meth:`finish_path` closes an
     episode (or a truncated segment, given a bootstrap value) and computes
     the advantage estimates for that segment.
+
+    Storage is preallocated contiguous arrays grown geometrically, so
+    :meth:`get` hands PPO array views without restacking thousands of
+    little per-step arrays.  ``advantages``/``returns`` stay plain Python
+    lists — they are append-only outputs of :meth:`finish_path` and part
+    of the inspectable API.
     """
 
     def __init__(self, discount: float = 0.9, gae_lambda: float = 0.95) -> None:
@@ -20,23 +32,83 @@ class RolloutBuffer:
             raise ValueError("gae_lambda must be in [0, 1]")
         self.discount = discount
         self.gae_lambda = gae_lambda
-        self.states: list = []
-        self.actions: list = []
-        self.log_probs: list = []
-        self.rewards: list = []
-        self.values: list = []
         self.advantages: list = []
         self.returns: list = []
+        self._capacity = 0
+        self._size = 0
+        # Allocated on the first add()/append_finished(), when the state
+        # shape is known.
+        self._states: Optional[np.ndarray] = None
+        self._actions = np.empty(0, dtype=np.int64)
+        self._log_probs = np.empty(0, dtype=np.float64)
+        self._rewards = np.empty(0, dtype=np.float64)
+        self._values = np.empty(0, dtype=np.float64)
         self._path_start = 0
 
     def __len__(self) -> int:
-        return len(self.states)
+        return self._size
 
     @property
     def open_path_length(self) -> int:
         """Transitions added since the last finish_path()."""
-        return len(self.states) - self._path_start
+        return self._size - self._path_start
 
+    # -- stored-transition views (do not mutate) -----------------------
+    @property
+    def states(self) -> np.ndarray:
+        """Stored states as an ``(n, *state_shape)`` array view."""
+        if self._states is None:
+            return np.empty((0,))
+        return self._states[: self._size]
+
+    @property
+    def actions(self) -> np.ndarray:
+        """Stored actions as an int64 array view."""
+        return self._actions[: self._size]
+
+    @property
+    def log_probs(self) -> np.ndarray:
+        """Stored behaviour log-probabilities as an array view."""
+        return self._log_probs[: self._size]
+
+    @property
+    def rewards(self) -> np.ndarray:
+        """Stored rewards as an array view."""
+        return self._rewards[: self._size]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Stored value estimates as an array view."""
+        return self._values[: self._size]
+
+    # -- growth --------------------------------------------------------
+    def _allocate(self, state_shape: tuple, capacity: int) -> None:
+        self._states = np.empty((capacity, *state_shape), dtype=np.float64)
+        self._actions = np.empty(capacity, dtype=np.int64)
+        self._log_probs = np.empty(capacity, dtype=np.float64)
+        self._rewards = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._capacity = capacity
+
+    def _ensure_capacity(self, state_shape: tuple, needed: int) -> None:
+        if self._states is None:
+            self._allocate(state_shape, max(_INITIAL_CAPACITY, needed))
+            return
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        n = self._size
+        old = (self._states, self._actions, self._log_probs, self._rewards, self._values)
+        self._allocate(self._states.shape[1:], capacity)
+        self._states[:n] = old[0][:n]
+        self._actions[:n] = old[1][:n]
+        self._log_probs[:n] = old[2][:n]
+        self._rewards[:n] = old[3][:n]
+        self._values[:n] = old[4][:n]
+
+    # -- intake --------------------------------------------------------
     def add(
         self,
         state: np.ndarray,
@@ -46,53 +118,104 @@ class RolloutBuffer:
         value: float,
     ) -> None:
         """Append one transition to the open segment."""
-        self.states.append(np.asarray(state, dtype=np.float64))
-        self.actions.append(int(action))
-        self.log_probs.append(float(log_prob))
-        self.rewards.append(float(reward))
-        self.values.append(float(value))
+        state = np.asarray(state, dtype=np.float64)
+        n = self._size
+        self._ensure_capacity(state.shape, n + 1)
+        self._states[n] = state
+        self._actions[n] = int(action)
+        self._log_probs[n] = float(log_prob)
+        self._rewards[n] = float(reward)
+        self._values[n] = float(value)
+        self._size = n + 1
 
+    def append_finished(
+        self,
+        states: np.ndarray,
+        actions: Sequence[int],
+        log_probs: Sequence[float],
+        rewards: Sequence[float],
+        values: Sequence[float],
+        advantages: Sequence[float],
+        returns: Sequence[float],
+    ) -> None:
+        """Batch-append an already-finished trajectory (no open segment).
+
+        Used when merging per-agent rollouts for a joint update: the
+        advantages/returns were computed (and possibly normalized) by the
+        source buffer, so no GAE pass runs here and the path is closed
+        immediately after the append.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        k = len(states)
+        if k:
+            n = self._size
+            self._ensure_capacity(states.shape[1:], n + k)
+            self._states[n : n + k] = states
+            self._actions[n : n + k] = np.asarray(actions, dtype=np.int64)
+            self._log_probs[n : n + k] = np.asarray(log_probs, dtype=np.float64)
+            self._rewards[n : n + k] = np.asarray(rewards, dtype=np.float64)
+            self._values[n : n + k] = np.asarray(values, dtype=np.float64)
+            self._size = n + k
+        self.advantages.extend(float(a) for a in advantages)
+        self.returns.extend(float(r) for r in returns)
+        self._path_start = self._size
+
+    # -- GAE -----------------------------------------------------------
     def finish_path(self, bootstrap_value: float = 0.0) -> None:
-        """Close the open segment and compute its GAE advantages."""
-        start = self._path_start
-        rewards = np.asarray(self.rewards[start:], dtype=np.float64)
-        values = np.asarray(self.values[start:] + [bootstrap_value], dtype=np.float64)
-        n = len(rewards)
-        advantages = np.zeros(n)
-        gae = 0.0
-        for t in range(n - 1, -1, -1):
-            delta = rewards[t] + self.discount * values[t + 1] - values[t]
-            gae = delta + self.discount * self.gae_lambda * gae
-            advantages[t] = gae
-        self.advantages.extend(advantages.tolist())
-        self.returns.extend((advantages + values[:-1]).tolist())
-        self._path_start = len(self.states)
+        """Close the open segment and compute its GAE advantages.
 
+        The reverse scan is vectorized: the TD residuals come from one
+        elementwise expression with exactly the scalar loop's operand
+        pairing — ``(rewards[t] + discount * values[t+1]) - values[t]`` —
+        and the first-order recurrence ``gae = delta + c * gae`` (with
+        ``c = discount * gae_lambda`` precomputed, matching the original
+        left-associated product) runs as an accumulate over the reversed
+        residuals.  Both are bit-identical to the reference loop.
+        """
+        start = self._path_start
+        n = self._size - start
+        if n:
+            values = np.empty(n + 1, dtype=np.float64)
+            values[:n] = self._values[start : self._size]
+            values[n] = bootstrap_value
+            rewards = self._rewards[start : self._size]
+            deltas = rewards + self.discount * values[1:] - values[:-1]
+            c = self.discount * self.gae_lambda
+            scan = accumulate(
+                deltas[::-1].tolist(), lambda gae, delta: delta + c * gae, initial=0.0
+            )
+            advantages = list(scan)[:0:-1]  # drop the seed, undo the reversal
+            self.advantages.extend(advantages)
+            self.returns.extend((np.asarray(advantages) + values[:-1]).tolist())
+        self._path_start = self._size
+
+    # -- consumption ---------------------------------------------------
     def get(self, normalize_advantages: bool = True) -> dict:
         """Return stacked arrays for a PPO update.
 
         Raises if a path is still open — advantages would be missing.
+        The transition entries are views into the buffer's storage; do
+        not mutate them.
         """
-        if self._path_start != len(self.states):
+        if self._path_start != self._size:
             raise RuntimeError("finish_path() must be called before get()")
         advantages = np.asarray(self.advantages)
         if normalize_advantages and len(advantages) > 1:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
         return {
-            "states": np.stack(self.states) if self.states else np.empty((0,)),
-            "actions": np.asarray(self.actions, dtype=np.int64),
-            "log_probs": np.asarray(self.log_probs),
+            "states": self.states,
+            "actions": self.actions,
+            "log_probs": self.log_probs,
             "advantages": advantages,
             "returns": np.asarray(self.returns),
         }
 
     def clear(self) -> None:
-        """Drop all stored transitions and advantages."""
-        self.states.clear()
-        self.actions.clear()
-        self.log_probs.clear()
-        self.rewards.clear()
-        self.values.clear()
+        """Drop all stored transitions and advantages.
+
+        Allocated capacity is retained for the next rollout.
+        """
+        self._size = 0
         self.advantages.clear()
         self.returns.clear()
         self._path_start = 0

@@ -12,6 +12,41 @@ from typing import Optional
 
 import numpy as np
 
+#: ``(n, d, k)`` -> whether this BLAS computes an (n, d) @ (d, k) product
+#: whose rows are bit-identical to n separate (1, d) @ (d, k) products.
+#: GEMM implementations pick kernels and blocking by matrix shape, so the
+#: answer is shape- and library-specific; it is probed once per shape.
+_ROW_STABLE_CACHE: dict = {}
+
+_PROBE_TRIALS = 4
+
+
+def _gemm_rows_stable(n: int, d: int, k: int) -> bool:
+    """Probe whether batched GEMM is row-stable for one shape.
+
+    Runs a few fixed-seed trials comparing the full (n, d) @ (d, k)
+    product against each row computed as a (1, d) @ (d, k) product.  Any
+    bit mismatch marks the shape unstable, steering
+    :meth:`PolicyValueNet.forward_batch` to its row-looped fallback.
+    """
+    key = (n, d, k)
+    hit = _ROW_STABLE_CACHE.get(key)
+    if hit is None:
+        rng = np.random.default_rng(0x5EED + n * 1009 + d * 31 + k)
+        hit = True
+        for _ in range(_PROBE_TRIALS):
+            a = rng.standard_normal((n, d))
+            b = rng.standard_normal((d, k))
+            full = a @ b
+            for i in range(n):
+                if not (full[i] == (a[i : i + 1] @ b)[0]).all():
+                    hit = False
+                    break
+            if not hit:
+                break
+        _ROW_STABLE_CACHE[key] = hit
+    return hit
+
 
 class PolicyValueNet:
     """MLP with shared trunk and (policy, value) heads, manual backprop."""
@@ -39,6 +74,12 @@ class PolicyValueNet:
         self.params["bp"] = np.zeros(num_actions)
         self.params["Wv"] = _orthogonal(rng, last, 1, gain=1.0)
         self.params["bv"] = np.zeros(1)
+        #: Identity token for the current parameter values: two nets with
+        #: *equal* tokens are guaranteed to hold bit-identical parameters
+        #: (clones share the token; any mutation mints a fresh one), which
+        #: is what lets the controller stack collocated agents' states
+        #: into one batched forward pass.
+        self.params_version: object = object()
 
     @property
     def num_hidden(self) -> int:
@@ -64,6 +105,49 @@ class PolicyValueNet:
         logits = h @ self.params["Wp"] + self.params["bp"]
         values = (h @ self.params["Wv"] + self.params["bv"])[:, 0]
         return logits, values, activations
+
+    def forward_batch(self, x: np.ndarray) -> tuple:
+        """Batched ``(logits, values)`` bit-identical to per-row forward().
+
+        Used when several agents share identical parameters (equal
+        ``params_version``): their states stack into one matrix and the
+        trunk runs once.  Bias adds and tanh are elementwise and the
+        softmax reductions downstream run along each row, so the only
+        operation whose batched result can differ from the per-row one is
+        the GEMM itself — BLAS libraries pick kernels/blocking by shape,
+        and an (n, d) product does not in general reproduce its (1, d)
+        rows bit-for-bit.  A one-time probe per shape decides: on
+        row-stable shapes the whole batch goes through one forward();
+        otherwise each row runs the exact (1, d) GEMM sequence a
+        per-agent call would, so batching never perturbs a decision.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n = x.shape[0]
+        if n > 1:
+            sizes = [self.input_dim, *self.hidden_sizes]
+            stable = all(
+                _gemm_rows_stable(n, sizes[i], sizes[i + 1])
+                for i in range(self.num_hidden)
+            )
+            stable = (
+                stable
+                and _gemm_rows_stable(n, sizes[-1], self.num_actions)
+                and _gemm_rows_stable(n, sizes[-1], 1)
+            )
+            if not stable:
+                logits = np.empty((n, self.num_actions), dtype=np.float64)
+                values = np.empty(n, dtype=np.float64)
+                for i in range(n):
+                    row_logits, row_values, _ = self.forward(x[i : i + 1])
+                    logits[i] = row_logits[0]
+                    values[i] = row_values[0]
+                return logits, values
+        logits, values, _ = self.forward(x)
+        return logits, values
+
+    def mark_params_updated(self) -> None:
+        """Mint a fresh ``params_version`` after any in-place mutation."""
+        self.params_version = object()
 
     def backward(
         self,
@@ -106,11 +190,18 @@ class PolicyValueNet:
             offset += size
         if offset != flat.size:
             raise ValueError(f"expected {offset} params, got {flat.size}")
+        self.params_version = object()
 
     def clone(self) -> "PolicyValueNet":
-        """A deep copy with independent parameter arrays."""
+        """A deep copy with independent parameter arrays.
+
+        The clone *shares* the source's ``params_version``: its values are
+        bit-identical at this moment, and whichever copy mutates first
+        mints its own fresh token.
+        """
         other = PolicyValueNet(self.input_dim, self.num_actions, self.hidden_sizes)
         other.params = {k: v.copy() for k, v in self.params.items()}
+        other.params_version = self.params_version
         return other
 
     def save(self, path: str) -> None:

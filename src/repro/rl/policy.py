@@ -40,6 +40,30 @@ class CategoricalPolicy:
         logp = float(np.log(max(probs[action], 1e-12)))
         return action, logp, float(values[0])
 
+    def act_from_logits(
+        self, logits_row: np.ndarray, value: float, rng: np.random.Generator
+    ) -> tuple:
+        """Sample from a precomputed logits row (batched inference path).
+
+        Bit-identical to :meth:`act`: log-softmax on a 1-D row reduces
+        along the same contiguous axis as row 0 of a (1, A) matrix, and
+        the action draw consumes this agent's RNG stream exactly as the
+        unbatched call would.
+        """
+        probs = softmax(logits_row)
+        action = int(rng.choice(self.num_actions, p=probs))
+        logp = float(np.log(max(probs[action], 1e-12)))
+        return action, logp, float(value)
+
+    def act_greedy_from_logits(self, logits_row: np.ndarray, value: float) -> tuple:
+        """Greedy pick from a precomputed logits row (batched path).
+
+        Bit-identical to :meth:`act_greedy` given the same logits row.
+        """
+        logp_all = log_softmax(logits_row)
+        action = int(np.argmax(logits_row))
+        return action, float(logp_all[action]), float(value)
+
     def act_deterministic(self, state: np.ndarray) -> int:
         """Greedy action (used at deployment when exploration is off)."""
         logits, _values, _ = self.net.forward(state)

@@ -65,7 +65,12 @@ class PpoTrainer:
 
     def _update_inner(self, buffer: RolloutBuffer) -> PpoUpdateStats:
         data = buffer.get()
-        n = len(data["actions"])
+        states = data["states"]
+        actions = data["actions"]
+        log_probs = data["log_probs"]
+        advantages = data["advantages"]
+        returns = data["returns"]
+        n = len(actions)
         if n == 0:
             raise ValueError("empty rollout buffer")
         batch_size = min(self.config.batch_size, n)
@@ -73,13 +78,15 @@ class PpoTrainer:
         for _epoch in range(self.config.epochs_per_update):
             order = self.rng.permutation(n)
             for start in range(0, n, batch_size):
+                # Fancy indexing with the permutation slice assembles each
+                # minibatch as one gather per field — no per-row copies.
                 idx = order[start : start + batch_size]
                 stats = self._update_minibatch(
-                    data["states"][idx],
-                    data["actions"][idx],
-                    data["log_probs"][idx],
-                    data["advantages"][idx],
-                    data["returns"][idx],
+                    states[idx],
+                    actions[idx],
+                    log_probs[idx],
+                    advantages[idx],
+                    returns[idx],
                 )
             if stats is not None and abs(stats.mean_kl) > self.KL_STOP:
                 break
@@ -101,6 +108,9 @@ class PpoTrainer:
         )
         grads = self.net.backward(cache, dlogits, dvalues)
         self.optimizer.step(self.net.params, grads)
+        # Parameters changed: the net may no longer share values with its
+        # clone siblings, so its batching-identity token must refresh.
+        self.net.mark_params_updated()
         return stats
 
     def _loss_gradients(

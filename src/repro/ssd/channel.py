@@ -77,6 +77,24 @@ class Channel:
         self.fault_slowdown = 1.0
         self.fault_extra_latency_us = 0.0
         self.offline = False
+        self._recompute_timing()
+
+    def _recompute_timing(self) -> None:
+        """Cache slowdown-scaled op timings.
+
+        ``service_read``/``service_write`` run once per page on the I/O
+        critical path; multiplying config constants by the (almost always
+        1.0) fault slowdown per call was measurable.  The products here
+        use exactly the expressions the service methods used inline, so
+        the cached values are bit-identical, and they are refreshed on
+        every fault transition.
+        """
+        cfg = self.config
+        slowdown = self.fault_slowdown
+        self._eff_read_us = cfg.page_read_us * slowdown
+        self._eff_write_us = cfg.page_write_us * slowdown
+        self._eff_xfer_us = cfg.bus_transfer_us * slowdown
+        self._eff_gc_xfer_us = cfg.bus_transfer_us * cfg.gc_bus_share * slowdown
 
     # ------------------------------------------------------------------
     # Fault state
@@ -114,12 +132,14 @@ class Channel:
             self.fault_extra_latency_us = extra_latency_us
         if offline is not None:
             self.offline = offline
+        self._recompute_timing()
 
     def clear_fault(self) -> None:
         """Restore healthy timing and capacity."""
         self.fault_slowdown = 1.0
         self.fault_extra_latency_us = 0.0
         self.offline = False
+        self._recompute_timing()
 
     # ------------------------------------------------------------------
     # Capacity / admission
@@ -192,25 +212,31 @@ class Channel:
         while the queued backlog shifts behind it (the bus still does the
         same total work).
         """
-        cfg = self.config
+        # Hot path (one call per page read): max() is spelled as inline
+        # comparisons — same values, no builtin call per timing update.
         now = self.sim.now
-        read_us = cfg.page_read_us * self.fault_slowdown
-        xfer_us = cfg.bus_transfer_us * self.fault_slowdown
+        read_us = self._eff_read_us
+        xfer_us = self._eff_xfer_us
         extra_us = self.fault_extra_latency_us
-        sense_start = max(now, self._chip_busy_until[chip_id])
+        chip_busy = self._chip_busy_until
+        sense_start = chip_busy[chip_id]
+        if now > sense_start:
+            sense_start = now
         sense_done = sense_start + read_us
+        bus_busy = self._bus_busy_until
         if front:
             # Head-of-queue insertion: wait for at most one in-progress
             # transfer instead of the whole backlog.
-            bus_available = min(self._bus_busy_until, now + xfer_us)
+            bus_available = min(bus_busy, now + xfer_us)
             xfer_start = max(sense_done, bus_available)
             done = xfer_start + xfer_us + extra_us
-            self._bus_busy_until = max(self._bus_busy_until, now) + xfer_us + extra_us
+            self._bus_busy_until = max(bus_busy, now) + xfer_us + extra_us
         else:
-            xfer_start = max(sense_done, self._bus_busy_until)
+            xfer_start = sense_done if sense_done > bus_busy else bus_busy
             done = xfer_start + xfer_us + extra_us
             self._bus_busy_until = done
-        self._chip_busy_until[chip_id] = max(self._chip_busy_until[chip_id], done)
+        if done > chip_busy[chip_id]:
+            chip_busy[chip_id] = done
         self.stats.pages_read += 1
         self.stats.busy_us += read_us + xfer_us + extra_us
         return done
@@ -226,27 +252,28 @@ class Channel:
         at the head of the bus queue (priority HIGH), as in
         :meth:`service_read`.
         """
-        cfg = self.config
+        # Hot path (one call per page program): same inline-comparison
+        # treatment as service_read.
         now = self.sim.now
-        xfer_time = (
-            cfg.bus_transfer_us
-            * (cfg.gc_bus_share if background else 1.0)
-            * self.fault_slowdown
-        )
-        write_us = cfg.page_write_us * self.fault_slowdown
+        xfer_time = self._eff_gc_xfer_us if background else self._eff_xfer_us
+        write_us = self._eff_write_us
         extra_us = self.fault_extra_latency_us
+        bus_busy = self._bus_busy_until
         if front and not background:
             # Head-of-queue insertion (see service_read).
-            bus_available = min(self._bus_busy_until, now + xfer_time)
+            bus_available = min(bus_busy, now + xfer_time)
             xfer_done = max(now, bus_available) + xfer_time
-            self._bus_busy_until = max(self._bus_busy_until, now) + xfer_time
+            self._bus_busy_until = max(bus_busy, now) + xfer_time
         else:
-            xfer_start = max(now, self._bus_busy_until)
+            xfer_start = now if now > bus_busy else bus_busy
             xfer_done = xfer_start + xfer_time
             self._bus_busy_until = xfer_done
-        program_start = max(xfer_done, self._chip_busy_until[chip_id])
+        chip_busy = self._chip_busy_until
+        program_start = chip_busy[chip_id]
+        if xfer_done > program_start:
+            program_start = xfer_done
         done = program_start + write_us + extra_us
-        self._chip_busy_until[chip_id] = done
+        chip_busy[chip_id] = done
         self.stats.pages_written += 1
         self.stats.busy_us += write_us + xfer_time + extra_us
         return done

@@ -198,6 +198,17 @@ class WriteRegion:
         open_queue = self._open.get(channel_id)
         if open_queue is None:
             open_queue = self._open[channel_id] = deque()
+        # Steady-state fast path (one hit per programmed page): a full
+        # rotation of open frontiers with a non-FULL head needs no
+        # drop/refill bookkeeping — identical to falling through below.
+        elif (
+            open_queue
+            and open_queue[0].state is not BlockState.FULL
+            and len(open_queue) >= self.max_open_per_channel
+        ):
+            block = open_queue[0]
+            open_queue.rotate(-1)
+            return block
         # Drop filled frontiers.
         while open_queue and open_queue[0].state is BlockState.FULL:
             open_queue.popleft()
@@ -290,7 +301,13 @@ class VssdFtl:
         self.gc_threshold = (
             gc_threshold if gc_threshold is not None else self.config.gc_free_block_threshold
         )
-        self.page_map: dict = {}  # lpn -> PagePointer
+        # L2P mapping as parallel arrays indexed by LPN (grown on demand):
+        # the dict-of-PagePointer layout paid a hash probe plus a
+        # PagePointer allocation per programmed page, which dominated the
+        # write path.  ``_l2p_block[lpn] is None`` marks an unmapped LPN.
+        self._l2p_block: list = []
+        self._l2p_page: list = []
+        self._mapped = 0
         self.own_region = WriteRegion(
             f"own:{vssd_id}", kind="own",
             max_open_per_channel=self.config.chips_per_channel,
@@ -305,6 +322,13 @@ class VssdFtl:
         # Cached striping order: list of (region, channel_id).
         self._slots: list = []
         self._slots_version = -1
+        # Cached channel_count(), keyed by the same regions version the
+        # striping cache uses (the dispatcher calls it per admission check).
+        self._chan_count = 1
+        self._chan_count_version = -1
+        # Queue-depth busy-horizon bound, hoisted off the per-page frontier
+        # scan (the SSD config is fixed for the device's lifetime).
+        self._qd_bound_us = self.config.max_queue_depth * self.config.bus_transfer_us
 
     # ------------------------------------------------------------------
     # Block population
@@ -362,11 +386,15 @@ class VssdFtl:
 
     def channel_count(self) -> int:
         """Channels this vSSD currently touches (own + live harvested)."""
-        count = len(self.own_region._channels)
-        for region in self.harvest_regions:
-            if not region.reclaiming:
-                count += len(region._channels)
-        return max(count, 1)
+        version = self._regions_version()
+        if version != self._chan_count_version:
+            count = len(self.own_region._channels)
+            for region in self.harvest_regions:
+                if not region.reclaiming:
+                    count += len(region._channels)
+            self._chan_count = max(count, 1)
+            self._chan_count_version = version
+        return self._chan_count
 
     def free_fraction(self, channel_id: Optional[int] = None) -> float:
         """FREE fraction of owned blocks, per channel or overall."""
@@ -381,7 +409,22 @@ class VssdFtl:
 
     def mapped_pages(self) -> int:
         """Number of live logical pages (the vSSD's used capacity)."""
-        return len(self.page_map)
+        return self._mapped
+
+    @property
+    def page_map(self) -> dict:
+        """The L2P mapping as ``{lpn: PagePointer}`` (built on demand).
+
+        Compatibility/introspection view over the array-backed mapping —
+        O(mapped pages) to build, so hot paths use the arrays directly.
+        """
+        blocks = self._l2p_block
+        pages = self._l2p_page
+        return {
+            lpn: PagePointer(block, pages[lpn])
+            for lpn, block in enumerate(blocks)
+            if block is not None
+        }
 
     # ------------------------------------------------------------------
     # Host I/O
@@ -393,12 +436,12 @@ class VssdFtl:
         per-channel outstanding operations.  ``front`` requests priority
         arbitration on the channel bus (Set_Priority HIGH).
         """
-        pointer = self._allocate_and_program(lpn)
-        channel = self.ssd.channels[pointer.block.channel_id]
-        done = channel.service_write(pointer.block.chip_id, front=front)
+        block, _page = self._allocate_and_program(lpn)
+        channel_id = block.channel_id
+        done = self.ssd.channels[channel_id].service_write(block.chip_id, front=front)
         self.stats.host_writes += 1
-        self._maybe_gc(pointer.block.channel_id)
-        return done, pointer.block.channel_id
+        self._maybe_gc(channel_id)
+        return done, channel_id
 
     def read_page(self, lpn: int, front: bool = False) -> tuple:
         """Read one logical page.
@@ -406,17 +449,24 @@ class VssdFtl:
         Returns ``(completion_time_us, channel_id)``.  ``front`` requests
         priority arbitration on the channel bus (Set_Priority HIGH).
         """
-        pointer = self.page_map.get(lpn)
-        if pointer is None:
+        l2p = self._l2p_block
+        block = l2p[lpn] if lpn < len(l2p) else None
+        if block is None:
             return self._read_unmapped()
-        channel = self.ssd.channels[pointer.block.channel_id]
-        done = channel.service_read(pointer.block.chip_id, front=front)
+        channel_id = block.channel_id
+        done = self.ssd.channels[channel_id].service_read(block.chip_id, front=front)
         self.stats.host_reads += 1
-        return done, pointer.block.channel_id
+        return done, channel_id
 
     def page_location(self, lpn: int) -> Optional[PagePointer]:
         """Physical location of ``lpn``, or None if never written."""
-        return self.page_map.get(lpn)
+        l2p = self._l2p_block
+        if lpn >= len(l2p) or lpn < 0:
+            return None
+        block = l2p[lpn]
+        if block is None:
+            return None
+        return PagePointer(block, self._l2p_page[lpn])
 
     def warm_fill(self, lpns: Iterable[int]) -> int:
         """Program pages without consuming simulated time.
@@ -435,10 +485,15 @@ class VssdFtl:
     def trim_all(self) -> int:
         """Invalidate every mapped page (vSSD deallocation, Section 3.7)."""
         count = 0
-        for lpn, pointer in list(self.page_map.items()):
-            pointer.block.invalidate(pointer.page)
-            del self.page_map[lpn]
+        blocks = self._l2p_block
+        pages = self._l2p_page
+        for lpn, block in enumerate(blocks):
+            if block is None:
+                continue
+            block.invalidate(pages[lpn])
+            blocks[lpn] = None
             count += 1
+        self._mapped = 0
         return count
 
     def _read_unmapped(self) -> tuple:
@@ -463,8 +518,15 @@ class VssdFtl:
         lpn: int,
         for_gc: bool = False,
         target_region: Optional[WriteRegion] = None,
-    ) -> PagePointer:
-        old = self.page_map.get(lpn)
+    ) -> tuple:
+        """Place ``lpn`` on a frontier block; returns ``(block, page)``."""
+        l2p_block = self._l2p_block
+        if lpn >= len(l2p_block):
+            grow = lpn + 1 - len(l2p_block)
+            l2p_block.extend([None] * grow)
+            self._l2p_page.extend([0] * grow)
+        old_block = l2p_block[lpn]
+        old_page = self._l2p_page[lpn]
         block = self._pick_frontier(for_gc=for_gc, target_region=target_region)
         if block is None:
             if not for_gc and not self._in_gc:
@@ -475,11 +537,13 @@ class VssdFtl:
                     f"vSSD {self.vssd_id}: no programmable block available"
                 )
         page = block.program(lpn)
-        pointer = PagePointer(block, page)
-        self.page_map[lpn] = pointer
-        if old is not None:
-            old.block.invalidate(old.page)
-        return pointer
+        l2p_block[lpn] = block
+        self._l2p_page[lpn] = page
+        if old_block is not None:
+            old_block.invalidate(old_page)
+        else:
+            self._mapped += 1
+        return block, page
 
     def _regions_version(self) -> int:
         version = self.own_region.version
@@ -555,9 +619,13 @@ class VssdFtl:
             # reduces to busy - now < bound because bound > 0.
             channels = self.ssd.channels
             now = self.ssd.sim.now
-            bound = self.config.max_queue_depth * self.config.bus_transfer_us
+            bound = self._qd_bound_us
+            idx = start % n
             for k in range(n):
-                region, channel_id = slots[(start + k) % n]
+                region, channel_id = slots[idx]
+                idx += 1
+                if idx == n:
+                    idx = 0
                 channel = channels[channel_id]
                 if not channel.offline and channel._bus_busy_until - now < bound:
                     choice = (region, channel_id, k)
@@ -583,9 +651,14 @@ class VssdFtl:
         if self._in_gc:
             return
         owned = self._own_blocks_per_channel.get(channel_id, 0)
-        if owned > 0 and self.free_fraction(channel_id) < self.gc_threshold:
-            self.run_gc(channel_id)
-            return
+        if owned > 0:
+            # Inlined free_fraction(channel_id): this check runs once per
+            # host-written page.  Same division, bit-identical threshold.
+            queue = self.own_region._free.get(channel_id)
+            free = len(queue) if queue else 0
+            if free / owned < self.gc_threshold:
+                self.run_gc(channel_id)
+                return
         for region in self.harvest_regions:
             if (
                 not region.reclaiming
@@ -740,14 +813,14 @@ class VssdFtl:
                 return 0
         channel = self.ssd.channels[victim.channel_id]
         for _page, lpn in valid:
-            pointer = self._allocate_and_program(
+            dest_block, _dest_page = self._allocate_and_program(
                 lpn, for_gc=True, target_region=target_region
             )
             # Copy-back programs consume destination channel time just
             # like host writes; this is the GC interference the RL state's
             # In_GC flag lets agents react to.
-            dest = self.ssd.channels[pointer.block.channel_id]
-            dest.service_write(pointer.block.chip_id, background=True)
+            dest = self.ssd.channels[dest_block.channel_id]
+            dest.service_write(dest_block.chip_id, background=True)
             self.stats.gc_reads += 1
             self.stats.gc_writes += 1
         channel.occupy_for_gc(victim.chip_id, migrate_reads=len(valid), erases=1)

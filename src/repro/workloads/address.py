@@ -57,13 +57,19 @@ class ZipfPattern(AddressPattern):
         ranks = np.arange(1, self.BUCKETS + 1, dtype=np.float64)
         weights = 1.0 / np.power(ranks, theta)
         self._probs = weights / weights.sum()
+        # Precomputed inverse-CDF: Generator.choice rebuilds this cumsum
+        # (1024 elements) and re-validates p on *every* draw; hoisting it
+        # and sampling via one uniform + searchsorted is bit-identical
+        # (same cdf, same single rng.random() stream consumption).
+        self._cdf = self._probs.cumsum()
+        self._cdf /= self._cdf[-1]
         shuffle_rng = np.random.default_rng(seed)
         self._bucket_order = shuffle_rng.permutation(self.BUCKETS)
         self._bucket_pages = max(working_set_pages // self.BUCKETS, 1)
 
     def sample(self, rng: np.random.Generator, num_pages: int) -> int:
         """Zipf-weighted bucket, uniform offset within it."""
-        bucket = int(self._bucket_order[rng.choice(self.BUCKETS, p=self._probs)])
+        bucket = int(self._bucket_order[self._cdf.searchsorted(rng.random(), side="right")])
         offset = int(rng.integers(0, self._bucket_pages))
         return self._clamp(bucket * self._bucket_pages + offset, num_pages)
 

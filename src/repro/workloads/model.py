@@ -27,6 +27,13 @@ class WorkloadModel:
         self.pattern = spec.pattern_factory(working_set_pages)
         self._sizes = np.asarray(spec.io_sizes_pages, dtype=np.int64)
         self._size_probs = np.asarray(spec.io_size_probs, dtype=np.float64)
+        # Precomputed inverse-CDF for sample_size_pages: exactly the
+        # cdf Generator.choice builds per call (cumsum then normalize),
+        # hoisted out of the per-request path.  One uniform draw +
+        # searchsorted replicates choice's sampling bit-for-bit while
+        # skipping its per-call p validation and cumsum.
+        self._size_cdf = self._size_probs.cumsum()
+        self._size_cdf /= self._size_cdf[-1]
 
     def sample_op(self) -> str:
         """Draw 'read' or 'write' per the spec's read ratio."""
@@ -34,7 +41,8 @@ class WorkloadModel:
 
     def sample_size_pages(self) -> int:
         """Draw a request size from the spec's distribution."""
-        return int(self.rng.choice(self._sizes, p=self._size_probs))
+        idx = self._size_cdf.searchsorted(self.rng.random(), side="right")
+        return int(self._sizes[idx])
 
     def sample_lpn(self, num_pages: int) -> int:
         """Draw a starting address from the spec's pattern."""
