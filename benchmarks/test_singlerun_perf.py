@@ -50,10 +50,16 @@ CELL = ExperimentCell(
     measure_after_s=2.0,
 )
 
-#: SHA-256 of the cell's telemetry (results CSV + window CSV) captured on
-#: the *unoptimized* tree (commit ccdaa85).  The optimized code must
-#: reproduce it byte-for-byte.
-REFERENCE_DIGEST = "7f6ff59c1264dfa38443e043e3bd6d60ce67b9bfdcb9a0eaca216bc4a40bdbcf"
+#: SHA-256 of the cell's telemetry (results CSV + window CSV).  The
+#: hot-path code must reproduce it byte-for-byte.  History: the original
+#: reference (7f6ff59c...) was captured on the unoptimized tree at
+#: commit ccdaa85 and survived the PR 4 optimizations unchanged; the
+#: collocation-sampler fix (``SAMPLER_VERSION`` 2 — remainder channels
+#: are no longer stranded) intentionally changed the canonical
+#: pre-trained policy artifact, so the digest was re-captured with the
+#: regenerated policy.  Within a sampler version the digest remains a
+#: hard byte-identity gate.
+REFERENCE_DIGEST = "3636a8ff08a0eca64e96b13051d38efcf6dc4c486582c47a2d8344df916eee86"
 
 #: Pre-optimization wall clock for CELL on the benchmark host — best of 5
 #: serial runs with the optimizations stashed, measured back-to-back with

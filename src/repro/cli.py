@@ -199,13 +199,25 @@ def cmd_classify(args: argparse.Namespace) -> int:
 def cmd_pretrain(args: argparse.Namespace) -> int:
     """(Re)build the cached pre-trained policy."""
     from repro.harness import get_pretrained_net
+    from repro.profiling import PROFILER, format_profile
 
     started = time.time()
-    net = get_pretrained_net(iterations=args.iterations, use_disk_cache=not args.fresh)
-    print(
-        f"policy ready: {net.num_parameters()} parameters "
-        f"({time.time() - started:.1f} s)"
-    )
+    with PROFILER.enabled_scope():
+        net = get_pretrained_net(
+            iterations=args.iterations,
+            seed=args.seed,
+            use_disk_cache=not args.fresh,
+            envs=args.envs,
+            workers=args.workers,
+        )
+        print(
+            f"policy ready: {net.num_parameters()} parameters "
+            f"({time.time() - started:.1f} s, engine="
+            f"{'vectorized x' + str(args.envs) if args.envs > 1 else 'scalar'}, "
+            f"workers={args.workers or 1})"
+        )
+        if args.profile:
+            print(format_profile(PROFILER.snapshot()))
     return 0
 
 
@@ -441,7 +453,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     pretrain = sub.add_parser("pretrain", help="(re)build the cached policy")
     pretrain.add_argument("--iterations", type=int, default=600)
+    pretrain.add_argument("--seed", type=int, default=7, help="base seed of the seed search")
+    pretrain.add_argument(
+        "--envs", type=int, default=1,
+        help="lockstep environments per rollout round (1 = scalar reference)",
+    )
+    pretrain.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the seed search (default: serial)",
+    )
     pretrain.add_argument("--fresh", action="store_true", help="ignore the disk cache")
+    pretrain.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase collect/update/eval timings",
+    )
     pretrain.set_defaults(func=cmd_pretrain)
 
     overheads = sub.add_parser("overheads", help="overhead microbenchmarks (S 4.7)")

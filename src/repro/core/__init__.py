@@ -13,6 +13,8 @@
   storage virtualizer through admission control.
 * :mod:`repro.core.fast_env` — the analytic pre-training environment
   (plays the role WiscSim plays in the paper's offline training).
+* :mod:`repro.core.vector_env` — K fast envs stepped in lockstep with
+  the window dynamics vectorized over a padded tenant tensor.
 * :mod:`repro.core.pretrain` — offline PPO pre-training.
 """
 
@@ -23,6 +25,7 @@ from repro.core.reward import multi_agent_rewards, single_agent_reward
 from repro.core.agent import FleetIoAgent
 from repro.core.controller import FleetIoController
 from repro.core.fast_env import FastFleetEnv, FastVssdSpec
+from repro.core.vector_env import VectorFastFleetEnv
 from repro.core.pretrain import pretrain
 
 __all__ = [
@@ -36,5 +39,6 @@ __all__ = [
     "FleetIoController",
     "FastFleetEnv",
     "FastVssdSpec",
+    "VectorFastFleetEnv",
     "pretrain",
 ]

@@ -75,6 +75,18 @@ class ActionSpace:
             )
         return SetPriorityAction(vssd_id, level=level)
 
+    def decode(self, index: int) -> tuple:
+        """The ``(kind, level)`` pair behind an action index.
+
+        ``kind`` is the action family (``harvest`` / ``make_harvestable``
+        / ``set_priority``); ``level`` is the channel count for the first
+        two and the :class:`~repro.sched.request.Priority` for the third.
+        This is the public decoding surface — environments that execute
+        actions themselves (the fast pre-training envs) use it instead of
+        reaching into the catalog.
+        """
+        return self._catalog[index]
+
     def kind(self, index: int) -> str:
         """The action family of an index: harvest / make_harvestable / set_priority."""
         return self._catalog[index][0]

@@ -170,8 +170,7 @@ class FastFleetEnv:
     # Action semantics (channel-count analogue of the gSB machinery)
     # ------------------------------------------------------------------
     def _apply_action(self, i: int, action_index: int) -> None:
-        kind = self.action_space.kind(action_index)
-        _k, level = self.action_space._catalog[action_index]
+        kind, level = self.action_space.decode(action_index)
         if kind == "set_priority":
             self.priority[i] = level
             return

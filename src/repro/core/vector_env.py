@@ -1,0 +1,521 @@
+"""Lockstep fleets of analytic training environments.
+
+:class:`VectorFastFleetEnv` steps K independent
+:class:`~repro.core.fast_env.FastFleetEnv` collocations in lockstep,
+with the per-window dynamics rewritten as array operations over a padded
+``(K, n_max)`` tenant tensor: demand, capacity, foreign-traffic
+interference, the tail/violation model, reward blending, and state
+featurization all run as a handful of numpy expressions per window
+instead of a Python loop per tenant.
+
+The contract is **bit-exactness per environment**: given the same
+:class:`numpy.random.Generator` stream and the same actions, environment
+``k`` of a fleet produces states, rewards, and window statistics that
+are bit-identical to a lone scalar ``FastFleetEnv``.  Three things make
+that hold:
+
+* **Stream discipline.**  Each environment owns its own generator
+  (callers derive them via ``SeedSequence.spawn`` so streams are
+  independent *and* reproducible), and every draw happens in exactly the
+  scalar env's order: per window, one batched lognormal for the demand
+  noise (numpy fills arrays from the bitstream in draw order, so a
+  size-n draw equals n scalar draws), then the per-tenant GC/tail pair
+  in tenant order.
+* **Expression discipline.**  Every arithmetic expression mirrors the
+  scalar env's operand order and associativity; elementwise IEEE float
+  ops are deterministic, so equal expressions give equal bits.
+  Reductions that the scalar env runs as sequential Python sums
+  (foreign-traffic, shared-state, and reward totals) accumulate column
+  by column rather than through ``ndarray.sum`` (whose pairwise scheme
+  regroups additions).
+* **The quartic probe.**  ``congestion ** 4`` on an *array* is not
+  guaranteed bit-equal to Python's scalar ``float ** 4`` (numpy may
+  dispatch a SIMD pow kernel).  A one-time probe decides per process;
+  unstable hosts fall back to an elementwise scalar loop, mirroring the
+  GEMM row-stability probe in :mod:`repro.rl.nets`.
+
+Padded tenant slots (environments smaller than ``n_max``) carry inert
+values — zero demand, unit noise, zero interference — so they consume no
+randomness and contribute exact-zero terms to every masked reduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import RLConfig, SSDConfig
+from repro.core.actionspace import ActionSpace
+from repro.core.fast_env import (
+    BASE_TAIL_US,
+    BI_QDELAY_SCALE_US,
+    CHANNEL_EFFICIENCY,
+    HARVEST_SHARE,
+    HOME_SHARE_LOSS,
+    FastVssdSpec,
+)
+from repro.core.monitor import WindowStats
+from repro.core.state import (
+    BW_SCALE_MBPS,
+    IOPS_SCALE,
+    LATENCY_SCALE_US,
+    PRIORITY_SCALE,
+    QDELAY_SCALE_US,
+)
+
+#: Priority -> tail multiplier, indexable by the Priority int value
+#: (LOW=0, MEDIUM=1, HIGH=2); values match the scalar env's dict.
+_PRIORITY_TAIL_MULT = np.array([1.6, 1.0, 0.5], dtype=np.float64)
+
+#: Whether ``array ** 4`` reproduces Python's scalar ``float ** 4``
+#: bit-for-bit on this host (None = not yet probed).  numpy may route
+#: array pow through a SIMD kernel that differs from libm in the last
+#: ulp, so the answer is build- and host-specific.
+_POW4_STABLE: Optional[bool] = None
+
+
+def _pow4(values: np.ndarray) -> np.ndarray:
+    """Elementwise quartic, bit-identical to scalar ``float ** 4``.
+
+    Probes once whether the vectorized power matches; if not, computes
+    each element with Python's scalar pow (the operation the scalar env
+    performs), so vectorization never perturbs the tail model.
+    """
+    global _POW4_STABLE
+    if _POW4_STABLE is None:
+        probe = np.random.default_rng(0x9A41).random(64)
+        reference = np.array([x**4 for x in probe.tolist()])
+        _POW4_STABLE = bool((probe**4 == reference).all())
+    if _POW4_STABLE:
+        return values**4
+    flat = values.ravel().tolist()
+    return np.array([x**4 for x in flat], dtype=np.float64).reshape(values.shape)
+
+
+class VectorFastFleetEnv:
+    """K independent fast-env collocations stepped in lockstep.
+
+    Each environment has its own tenant mix (2-8 vSSDs), its own RNG
+    stream, and its own harvesting state; they share only the episode
+    clock (all reset together, all finish after ``episode_windows``
+    windows).  States, rewards, and window statistics are exposed as
+    padded ``(K, n_max, ...)`` tensors plus a live-tenant ``mask``.
+    """
+
+    def __init__(
+        self,
+        vssd_spec_lists: Sequence[Sequence[FastVssdSpec]],
+        rl_config: Optional[RLConfig] = None,
+        ssd_config: Optional[SSDConfig] = None,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        episode_windows: int = 40,
+        interference_coef: float = 7.0,
+    ) -> None:
+        if not vssd_spec_lists or any(not specs for specs in vssd_spec_lists):
+            raise ValueError("need at least one vSSD spec per environment")
+        self.specs: List[List[FastVssdSpec]] = [list(s) for s in vssd_spec_lists]
+        self.rl_config = rl_config or RLConfig()
+        self.ssd_config = ssd_config or SSDConfig()
+        self.episode_windows = episode_windows
+        self.interference_coef = interference_coef
+        self.num_envs = len(self.specs)
+        self.n_per_env = np.array([len(s) for s in self.specs], dtype=np.int64)
+        self.n_max = int(self.n_per_env.max())
+        if rngs is None:
+            rngs = [
+                np.random.default_rng(child)
+                for child in np.random.SeedSequence(0).spawn(self.num_envs)
+            ]
+        if len(rngs) != self.num_envs:
+            raise ValueError(
+                f"need one RNG per environment: {len(rngs)} != {self.num_envs}"
+            )
+        self.rngs: List[np.random.Generator] = list(rngs)
+        self.chan_bw = self.ssd_config.channel_write_bandwidth_mbps
+        self.action_space = ActionSpace(self.chan_bw)
+
+        K, n = self.num_envs, self.n_max
+        self.mask = np.zeros((K, n), dtype=bool)
+        for k, count in enumerate(self.n_per_env):
+            self.mask[k, : int(count)] = True
+        self.num_agents = int(self.mask.sum())
+
+        # -- per-tenant constants, padded with inert values -------------
+        effective_bw = self.chan_bw * CHANNEL_EFFICIENCY
+        reference_channels = self.ssd_config.num_channels / 2.0
+        self._channels = np.zeros((K, n), dtype=np.int64)
+        self._alpha = np.zeros((K, n), dtype=np.float64)
+        self._slo_latency_us = np.ones((K, n), dtype=np.float64)
+        self._read_ratio = np.zeros((K, n), dtype=np.float64)
+        self._is_latency = np.zeros((K, n), dtype=bool)
+        self._peak = np.zeros((K, n), dtype=np.float64)
+        self._mean_io_bytes = np.ones((K, n), dtype=np.float64)
+        # Guaranteed bandwidth; padded lanes use the featurizer's default
+        # scale so divisions stay finite (their numerators are zero).
+        self._guar_bw = np.full((K, n), BW_SCALE_MBPS, dtype=np.float64)
+        for k, specs in enumerate(self.specs):
+            for i, spec in enumerate(specs):
+                self._channels[k, i] = spec.channels
+                self._alpha[k, i] = spec.alpha
+                self._slo_latency_us[k, i] = float(spec.slo_latency_us or 1.0)
+                self._read_ratio[k, i] = spec.workload.read_ratio
+                self._is_latency[k, i] = spec.workload.is_latency_sensitive
+                # Mirrors FastFleetEnv._demand_mbps's peak expressions,
+                # operand order included.
+                if spec.workload.is_latency_sensitive:
+                    self._peak[k, i] = 0.15 * reference_channels * effective_bw
+                else:
+                    self._peak[k, i] = (
+                        spec.demand_ratio * reference_channels * effective_bw
+                    )
+                self._mean_io_bytes[k, i] = (
+                    spec.workload.mean_io_pages * self.ssd_config.page_size
+                )
+                self._guar_bw[k, i] = spec.channels * self.chan_bw
+        self._write_frac = 1.0 - self._read_ratio
+        self._effective_bw = effective_bw
+
+        # -- phase tables for the vectorized scale_at -------------------
+        max_phases = max(
+            (len(spec.workload.phases) for specs in self.specs for spec in specs),
+            default=0,
+        )
+        self._max_phases = max_phases
+        self._phase_dur = np.ones((K, n, max(max_phases, 1)), dtype=np.float64)
+        self._phase_scale = np.ones((K, n, max(max_phases, 1)), dtype=np.float64)
+        self._phase_count = np.zeros((K, n), dtype=np.int64)
+        self._cycle_s = np.ones((K, n), dtype=np.float64)
+        self._last_scale = np.ones((K, n), dtype=np.float64)
+        for k, specs in enumerate(self.specs):
+            for i, spec in enumerate(specs):
+                phases = spec.workload.phases
+                self._phase_count[k, i] = len(phases)
+                if phases:
+                    self._cycle_s[k, i] = spec.workload.cycle_duration_s
+                    self._last_scale[k, i] = phases[-1].scale
+                    for p, phase in enumerate(phases):
+                        self._phase_dur[k, i, p] = phase.duration_s
+                        self._phase_scale[k, i, p] = phase.scale
+
+        # -- mutable episode state --------------------------------------
+        self.offered = np.zeros((K, n), dtype=np.int64)
+        self.harvested = np.zeros((K, n, n), dtype=np.int64)
+        self.priority = np.ones((K, n), dtype=np.int64)
+        self.time_s = np.zeros(K, dtype=np.float64)
+        self.t = 0
+        self._history: List[np.ndarray] = []
+        self._win: dict = {}
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Episode control
+    # ------------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Start every environment's episode; returns padded states.
+
+        Per environment the randomized initial harvesting configuration
+        draws from that environment's own stream in exactly the scalar
+        env's order (episode start time, per-tenant offer and priority,
+        per-tenant initial harvest want).
+        """
+        self.t = 0
+        self.offered[:] = 0
+        self.harvested[:] = 0
+        self.priority[:] = 1  # Priority.MEDIUM
+        for k, specs in enumerate(self.specs):
+            rng = self.rngs[k]
+            self.time_s[k] = float(rng.uniform(0.0, 30.0))
+            for i, spec in enumerate(specs):
+                max_offer = min(spec.channels // 2, 4)
+                self.offered[k, i] = int(rng.integers(0, max_offer + 1))
+                self.priority[k, i] = int(rng.integers(0, 3))
+            n_k = len(specs)
+            for i in range(n_k):
+                want = int(rng.integers(0, 5))
+                for j in self._pool_order(k, i):
+                    if want <= 0:
+                        break
+                    free = self.offered[k, j] - self.harvested[k, :, j].sum()
+                    take = min(want, int(free))
+                    if take > 0:
+                        self.harvested[k, i, j] += take
+                        want -= take
+        self._history.clear()
+        self._simulate_window()
+        return self._states()
+
+    def step(self, actions: np.ndarray) -> tuple:
+        """Apply one action per live agent; advance every env one window.
+
+        ``actions`` is a padded ``(K, n_max)`` int array (padded entries
+        ignored).  Returns ``(states, rewards, done, info)`` where states
+        are ``(K, n_max, state_dim)``, rewards ``(K, n_max)`` (zero in
+        padded lanes), ``done`` is the shared lockstep flag, and ``info``
+        carries the per-agent Eq. 1 rewards under ``"singles"``.
+        """
+        actions = np.asarray(actions, dtype=np.int64)
+        for k in range(self.num_envs):
+            for i in range(int(self.n_per_env[k])):
+                self._apply_action(k, i, int(actions[k, i]))
+        self._simulate_window()
+        singles = self._single_rewards()
+        rewards = self._blend_rewards(singles)
+        self.t += 1
+        done = self.t >= self.episode_windows
+        info = {"singles": singles, "window": self._win}
+        return self._states(), rewards, done, info
+
+    # ------------------------------------------------------------------
+    # Action semantics (mirrors FastFleetEnv exactly; integer math only)
+    # ------------------------------------------------------------------
+    def _apply_action(self, k: int, i: int, action_index: int) -> None:
+        kind, level = self.action_space.decode(action_index)
+        if kind == "set_priority":
+            self.priority[k, i] = int(level)
+            return
+        if kind == "make_harvestable":
+            max_offer = self.specs[k][i].channels // 2
+            target = min(int(level), max_offer)
+            if target < self.offered[k, i]:
+                self._reclaim(k, i, int(self.offered[k, i]) - target)
+            self.offered[k, i] = target
+            return
+        want = int(level)
+        for j in self._pool_order(k, i):
+            if want <= 0:
+                break
+            free = self.offered[k, j] - self.harvested[k, :, j].sum()
+            take = min(want, int(free))
+            if take > 0:
+                self.harvested[k, i, j] += take
+                want -= take
+
+    def _reclaim(self, k: int, i: int, count: int) -> None:
+        for h in range(int(self.n_per_env[k])):
+            if count <= 0:
+                break
+            take = min(count, int(self.harvested[k, h, i]))
+            self.harvested[k, h, i] -= take
+            count -= take
+
+    def _pool_order(self, k: int, i: int) -> List[int]:
+        spare = [
+            (self.offered[k, j] - self.harvested[k, :, j].sum(), j)
+            for j in range(int(self.n_per_env[k]))
+            if j != i
+        ]
+        spare.sort(reverse=True)
+        return [j for _s, j in spare]
+
+    # ------------------------------------------------------------------
+    # Window dynamics (vectorized over the whole fleet)
+    # ------------------------------------------------------------------
+    def _scales_at(self, t0: np.ndarray) -> np.ndarray:
+        """Vectorized ``WorkloadSpec.scale_at`` over the tenant tensor.
+
+        Replays the scalar walk — subtract each phase duration until the
+        offset fits — so boundary behaviour (including accumulated float
+        error in the running offset) matches per element.
+        """
+        scale = np.ones((self.num_envs, self.n_max), dtype=np.float64)
+        if self._max_phases == 0:
+            return scale
+        has = self._phase_count > 0
+        offset = np.where(has, t0[:, None] % self._cycle_s, 0.0)
+        scale = np.where(has, self._last_scale, scale)
+        resolved = ~has
+        for p in range(self._max_phases):
+            exists = self._phase_count > p
+            dur = self._phase_dur[:, :, p]
+            hit = ~resolved & exists & (offset < dur)
+            scale = np.where(hit, self._phase_scale[:, :, p], scale)
+            resolved |= hit
+            offset = np.where(~resolved & exists, offset - dur, offset)
+        return scale
+
+    def _simulate_window(self) -> None:
+        K, n = self.num_envs, self.n_max
+        window_s = self.rl_config.decision_interval_s
+        t0 = self.time_s.copy()
+        t1 = t0 + window_s
+        self.time_s = t1
+
+        # Channels lent per home tenant / borrowed per harvester.
+        shared_out = self.harvested.sum(axis=1)
+        shared_in = self.harvested.sum(axis=2)
+
+        # Demand: one batched lognormal per env consumes the stream
+        # exactly as the scalar env's per-tenant draws do.
+        noise = np.ones((K, n), dtype=np.float64)
+        for k in range(K):
+            n_k = int(self.n_per_env[k])
+            noise[k, :n_k] = self.rngs[k].lognormal(0.0, 0.05, n_k)
+        scales = self._scales_at(t0)
+        demands = np.maximum(self._peak * scales * noise, 0.0)
+
+        effective_bw = self._effective_bw
+        capacities = effective_bw * (
+            self._channels - HOME_SHARE_LOSS * shared_out + HARVEST_SHARE * shared_in
+        )
+        cap_floor = np.maximum(capacities, 1e-6)
+        achieved = np.minimum(demands, cap_floor)
+        utilizations = achieved / cap_floor
+        overhang = demands / cap_floor
+
+        # Foreign traffic through my channels: accumulate harvester by
+        # harvester in tenant order (the scalar env's sum order); slots
+        # with nothing harvested contribute exact zeros.
+        foreign_bw = np.zeros((K, n), dtype=np.float64)
+        for h in range(n):
+            foreign_bw = foreign_bw + (
+                HARVEST_SHARE
+                * effective_bw
+                * self.harvested[:, h, :]
+                * utilizations[:, h, None]
+            )
+        foreign = foreign_bw / np.maximum(self._channels * effective_bw, 1e-6)
+
+        tail = BASE_TAIL_US * (
+            1.0 + 2.5 * _pow4(utilizations) + self.interference_coef * foreign
+        )
+        tail = tail * _PRIORITY_TAIL_MULT[self.priority]
+
+        # GC draw + tail noise, interleaved per tenant as the scalar env
+        # draws them.
+        gc_draw = np.ones((K, n), dtype=np.float64)
+        tail_noise = np.ones((K, n), dtype=np.float64)
+        for k in range(K):
+            rng = self.rngs[k]
+            for i in range(int(self.n_per_env[k])):
+                gc_draw[k, i] = rng.random()
+                tail_noise[k, i] = float(rng.lognormal(0.0, 0.05))
+        in_gc = gc_draw < np.minimum(0.8 * self._write_frac * utilizations, 0.9)
+        tail = np.where(in_gc, tail * 1.3, tail)
+        tail = tail * tail_noise
+
+        lat_queue = np.maximum(tail - BASE_TAIL_US, 0.0)
+        bw_queue = np.maximum(overhang - 1.0, 0.0) * BI_QDELAY_SCALE_US + tail
+        queue_delay = np.where(self._is_latency, lat_queue, bw_queue)
+        avg_lat = np.where(self._is_latency, 0.7 * tail, bw_queue + 4.0 * BASE_TAIL_US)
+        lat_for_slo = np.where(self._is_latency, tail, avg_lat)
+        violation = np.clip(
+            0.6 * (lat_for_slo / self._slo_latency_us - 1.0), 0.0, 1.0
+        )
+        violation = np.where(self.mask, violation, 0.0)
+
+        iops = achieved * 1024.0 * 1024.0 / np.maximum(self._mean_io_bytes, 1.0)
+        avail = np.clip(0.5 - 0.05 * self.offered, 0.05, 1.0)
+
+        self._win = {
+            "t0": t0,
+            "t1": t1,
+            "window_s": window_s,
+            "achieved": achieved,
+            "iops": iops,
+            "avg_lat": avg_lat,
+            "violation": violation,
+            "queue_delay": queue_delay,
+            "avail": avail,
+            "in_gc": in_gc & self.mask,
+        }
+
+    # ------------------------------------------------------------------
+    # Rewards (vectorized Eq. 1 / Eq. 2)
+    # ------------------------------------------------------------------
+    def _single_rewards(self) -> np.ndarray:
+        win = self._win
+        singles = (1.0 - self._alpha) * (win["achieved"] / self._guar_bw) - (
+            self._alpha
+            * (win["violation"] / self.rl_config.slo_violation_guarantee)
+        )
+        return np.where(self.mask, singles, 0.0)
+
+    def _blend_rewards(self, singles: np.ndarray) -> np.ndarray:
+        # Sequential tenant-order total, matching sum() over the scalar
+        # env's reward dict; masked lanes add exact zeros.
+        total = np.zeros(self.num_envs, dtype=np.float64)
+        for j in range(self.n_max):
+            total = total + np.where(self.mask[:, j], singles[:, j], 0.0)
+        n = self.n_per_env[:, None]
+        others_mean = (total[:, None] - singles) / np.maximum(n - 1, 1)
+        beta = self.rl_config.beta
+        blended = beta * singles + (1.0 - beta) * others_mean
+        blended = np.where(n > 1, blended, singles)
+        return np.where(self.mask, blended, 0.0)
+
+    # ------------------------------------------------------------------
+    # States (vectorized Table 1 featurization with rolling history)
+    # ------------------------------------------------------------------
+    def _window_features(self) -> np.ndarray:
+        win = self._win
+        iops = win["iops"]
+        violation = win["violation"]
+        # Others' sums accumulate in tenant order, skipping self via an
+        # exact-zero masked add (the scalar featurizer's sum order).
+        shared_iops = np.zeros_like(iops)
+        shared_vio = np.zeros_like(violation)
+        lane = np.arange(self.n_max)
+        for j in range(self.n_max):
+            include = self.mask[:, j, None] & (lane != j)
+            shared_iops = shared_iops + np.where(include, iops[:, j, None], 0.0)
+            shared_vio = shared_vio + np.where(include, violation[:, j, None], 0.0)
+        features = np.empty((self.num_envs, self.n_max, 11), dtype=np.float64)
+        features[:, :, 0] = win["achieved"] / np.maximum(self._guar_bw, 1e-6)
+        features[:, :, 1] = iops / IOPS_SCALE
+        features[:, :, 2] = win["avg_lat"] / LATENCY_SCALE_US
+        features[:, :, 3] = violation
+        features[:, :, 4] = win["queue_delay"] / QDELAY_SCALE_US
+        features[:, :, 5] = self._read_ratio
+        features[:, :, 6] = win["avail"]
+        features[:, :, 7] = np.where(win["in_gc"], 1.0, 0.0)
+        features[:, :, 8] = self.priority / PRIORITY_SCALE
+        features[:, :, 9] = shared_iops / IOPS_SCALE
+        features[:, :, 10] = shared_vio
+        return features
+
+    def _states(self) -> np.ndarray:
+        history_windows = self.rl_config.history_windows
+        self._history.append(self._window_features())
+        if len(self._history) > history_windows:
+            self._history.pop(0)
+        missing = history_windows - len(self._history)
+        zero = np.zeros_like(self._history[0])
+        parts = [zero] * missing + self._history
+        return np.concatenate(parts, axis=2)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def window_stats(self, k: int) -> List[WindowStats]:
+        """Materialize env ``k``'s last window as scalar WindowStats.
+
+        The tensors already hold every field; this builds the dataclass
+        views the scalar env hands out, for tests and debugging.
+        """
+        win = self._win
+        window_s = win["window_s"]
+        stats = []
+        for i in range(int(self.n_per_env[k])):
+            iops = float(win["iops"][k, i])
+            read_ratio = float(self._read_ratio[k, i])
+            stats.append(
+                WindowStats(
+                    vssd_id=i,
+                    window_start_s=float(win["t0"][k]),
+                    window_end_s=float(win["t1"][k]),
+                    avg_bw_mbps=float(win["achieved"][k, i]),
+                    avg_iops=iops,
+                    avg_latency_us=float(win["avg_lat"][k, i]),
+                    slo_violation_frac=float(win["violation"][k, i]),
+                    queue_delay_us=float(win["queue_delay"][k, i]),
+                    rw_ratio=read_ratio,
+                    avail_capacity_frac=float(win["avail"][k, i]),
+                    in_gc=bool(win["in_gc"][k, i]),
+                    cur_priority=int(self.priority[k, i]),
+                    completed=int(iops * window_s),
+                    reads=int(iops * window_s * read_ratio),
+                    writes=int(iops * window_s * (1.0 - read_ratio)),
+                )
+            )
+        return stats

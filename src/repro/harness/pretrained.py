@@ -16,13 +16,13 @@ import hashlib
 import json
 import os
 import pickle
-from typing import Callable
+from typing import Callable, Optional
 from dataclasses import asdict
 from pathlib import Path
 
 from repro.clustering.classifier import WorkloadTypeClassifier, fit_default_classifier
 from repro.config import RLConfig
-from repro.core.pretrain import pretrain_best
+from repro.core.pretrain import SAMPLER_VERSION, pretrain_best
 from repro.rl.nets import PolicyValueNet
 
 #: Default pre-training effort; below the paper's 2,000 iterations
@@ -73,14 +73,23 @@ def pretrained_cache_path(
     iterations: int = DEFAULT_ITERATIONS,
     seed: int = DEFAULT_SEED,
     variant: str = "default",
+    envs: int = 1,
 ) -> Path:
-    """Where the pre-trained net for this configuration lives on disk."""
+    """Where the pre-trained net for this configuration lives on disk.
+
+    ``envs`` is part of the key because the vectorized engine draws
+    different exploration streams than the scalar reference, so each
+    fleet width is its own artifact.  The worker count is *not*: a
+    parallel seed search selects the identical winner as a serial one.
+    """
     digest = _config_hash(
         {
             "iterations": iterations,
             "seed": seed,
             "variant": variant,
             "rl_config": asdict(RLConfig()),
+            "sampler_version": SAMPLER_VERSION,
+            "envs": envs,
         }
     )
     return _cache_dir() / f"pretrained_{digest}.npz"
@@ -91,20 +100,30 @@ def get_pretrained_net(
     seed: int = DEFAULT_SEED,
     use_disk_cache: bool = True,
     variant: str = "default",
+    envs: int = 1,
+    workers: Optional[int] = None,
 ) -> PolicyValueNet:
-    """A pre-trained policy network (memo- and disk-cached)."""
+    """A pre-trained policy network (memo- and disk-cached).
+
+    ``envs``/``workers`` select the vectorized collection engine and the
+    process fan-out of the seed search (see
+    :func:`repro.core.pretrain.pretrain_best`); both default to the
+    serial scalar reference that produced the canonical artifact.
+    """
     if variant not in VARIANT_KWARGS:
         raise KeyError(f"unknown variant {variant!r}; have {sorted(VARIANT_KWARGS)}")
-    key = (iterations, seed, variant)
+    key = (iterations, seed, variant, envs)
     if key in _net_cache:
         return _net_cache[key]
-    cache_file = pretrained_cache_path(iterations, seed, variant)
+    cache_file = pretrained_cache_path(iterations, seed, variant, envs)
     if use_disk_cache and cache_file.exists():
         net = PolicyValueNet.load(str(cache_file))
     else:
         net = pretrain_best(
             seeds=(seed, seed + 4, seed + 16, seed + 24, seed + 40),
             iterations=iterations,
+            workers=workers,
+            envs=envs,
             **VARIANT_KWARGS[variant],
         ).net
         if use_disk_cache:

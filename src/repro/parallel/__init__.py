@@ -8,7 +8,12 @@ telemetry is byte-identical to a serial run of the same matrix
 (:func:`run_serial`).
 """
 
-from repro.parallel.matrix import ExperimentCell, ExperimentMatrix, plans_for
+from repro.parallel.matrix import (
+    ExperimentCell,
+    ExperimentMatrix,
+    PretrainCell,
+    plans_for,
+)
 from repro.parallel.policy_cache import cells_need_policy, warm_policy_cache
 from repro.parallel.runner import (
     CellFailure,
@@ -21,6 +26,7 @@ from repro.parallel.worker import RUNNERS, CellOutcome, run_cell
 __all__ = [
     "ExperimentCell",
     "ExperimentMatrix",
+    "PretrainCell",
     "plans_for",
     "CellOutcome",
     "CellFailure",

@@ -59,6 +59,28 @@ class ExperimentCell:
 
 
 @dataclass(frozen=True)
+class PretrainCell:
+    """One pre-training seed run — the seed search's atom of work.
+
+    ``options`` carries the extra :func:`repro.core.pretrain.pretrain`
+    keyword arguments as sorted ``(name, value)`` pairs, so equal
+    configurations compare (and pickle) identically regardless of the
+    caller's keyword order.
+    """
+
+    seed: int
+    iterations: int
+    options: Tuple[Tuple[str, object], ...] = ()
+    #: Name of the registered cell runner (``repro.parallel.worker``).
+    runner: str = "pretrain"
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identity, e.g. ``pretrain/s7``."""
+        return f"pretrain/s{self.seed}"
+
+
+@dataclass(frozen=True)
 class ExperimentMatrix:
     """A sweep definition: scenarios × policies × seeds.
 

@@ -36,8 +36,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection
 from typing import Optional, Sequence
 
-from repro.parallel.matrix import ExperimentCell
-from repro.parallel.worker import CellOutcome, run_cell
+from repro.parallel.worker import CellOutcome, WorkCell, run_cell
 from repro.profiling import merge_profiles
 
 
@@ -45,7 +44,7 @@ from repro.profiling import merge_profiles
 class CellFailure:
     """A cell whose worker died or whose runner raised."""
 
-    cell: ExperimentCell
+    cell: WorkCell
     #: Process exit code (None when the runner raised in-process).
     exitcode: Optional[int] = None
     #: ``{"type", "message", "traceback"}`` when the runner raised.
@@ -106,7 +105,7 @@ class SweepResult:
 
 
 def _child_main(
-    cell: ExperimentCell, profile: bool, conn: connection.Connection
+    cell: WorkCell, profile: bool, conn: connection.Connection
 ) -> None:
     """Worker process body: run one cell, ship the outcome, exit."""
     outcome = run_cell(cell, profile=profile)
@@ -118,7 +117,7 @@ def _child_main(
 
 
 def run_serial(
-    cells: Sequence[ExperimentCell], profile: bool = True
+    cells: Sequence[WorkCell], profile: bool = True
 ) -> SweepResult:
     """Run every cell in-process, matrix order — the reference output."""
     started = time.perf_counter()
@@ -164,7 +163,7 @@ class ParallelRunner:
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
 
-    def run(self, cells: Sequence[ExperimentCell]) -> SweepResult:
+    def run(self, cells: Sequence[WorkCell]) -> SweepResult:
         """Run the cells; returns merged results in matrix order."""
         started = time.perf_counter()
         slots: dict = {}  # index -> (cell, process, conn, outcome-or-None)

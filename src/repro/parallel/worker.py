@@ -15,28 +15,34 @@ job to detect.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.config import SSDConfig
 from repro.harness.experiment import Experiment
-from repro.harness.metrics import ExperimentResult
 from repro.harness.report import results_csv_bytes
 from repro.harness.telemetry import windows_csv_bytes
-from repro.parallel.matrix import ExperimentCell
+from repro.parallel.matrix import ExperimentCell, PretrainCell
 from repro.profiling import PROFILER
+
+#: Anything the runner registry can execute: every cell type exposes
+#: ``cell_id`` and ``runner``.
+WorkCell = Union[ExperimentCell, PretrainCell]
 
 
 @dataclass
 class CellOutcome:
     """What one cell sends back to the sweep."""
 
-    cell: ExperimentCell
+    cell: WorkCell
     ok: bool
-    result: Optional[ExperimentResult] = None
+    #: The runner's payload: an ``ExperimentResult`` for experiment
+    #: cells, a ``PretrainResult`` for pre-training cells.
+    result: Optional[object] = None
     #: Results CSV + per-window telemetry CSV, concatenated.
     telemetry: bytes = b""
     #: Profiler snapshot (:meth:`repro.profiling.Profiler.snapshot`).
@@ -64,14 +70,39 @@ def _run_experiment_cell(cell: ExperimentCell) -> CellOutcome:
     return CellOutcome(cell=cell, ok=True, result=result, telemetry=telemetry)
 
 
-def _crash_cell(cell: ExperimentCell) -> CellOutcome:  # pragma: no cover
+def _run_pretrain_cell(cell: PretrainCell) -> CellOutcome:
+    """Pre-training runner: one seed of the ``pretrain_best`` search.
+
+    The import is deferred: this module is the generic cell executor and
+    must not drag the training stack into every worker that only runs
+    experiments.  Telemetry is a deterministic JSON fingerprint of the
+    run (reward curve + checkpoint selection), so serial and parallel
+    seed searches are byte-comparable just like experiment sweeps.
+    """
+    from repro.core.pretrain import pretrain
+
+    result = pretrain(
+        iterations=cell.iterations, seed=cell.seed, **dict(cell.options)
+    )
+    fingerprint = {
+        "cell": cell.cell_id,
+        "mean_rewards": result.mean_rewards,
+        "best_reward": result.best_reward,
+        "best_iteration": result.best_iteration,
+    }
+    telemetry = (json.dumps(fingerprint, sort_keys=True) + "\n").encode("utf-8")
+    return CellOutcome(cell=cell, ok=True, result=result, telemetry=telemetry)
+
+
+def _crash_cell(cell: WorkCell) -> CellOutcome:  # pragma: no cover
     """Test-only runner: die without reporting (simulates a hard crash)."""
     os._exit(13)
 
 
-#: Registered cell runners, selected by ``ExperimentCell.runner``.
-RUNNERS: Dict[str, Callable[[ExperimentCell], CellOutcome]] = {
+#: Registered cell runners, selected by the cell's ``runner`` field.
+RUNNERS: Dict[str, Callable[..., CellOutcome]] = {
     "experiment": _run_experiment_cell,
+    "pretrain": _run_pretrain_cell,
     "crash": _crash_cell,
 }
 
@@ -98,7 +129,7 @@ def _profile_delta(before: dict, after: dict) -> dict:
     return {"timers": timers, "counters": counters}
 
 
-def run_cell(cell: ExperimentCell, profile: bool = True) -> CellOutcome:
+def run_cell(cell: WorkCell, profile: bool = True) -> CellOutcome:
     """Run one cell; exceptions become a structured failure outcome."""
     runner = RUNNERS[cell.runner]
     started = time.perf_counter()

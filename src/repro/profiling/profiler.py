@@ -141,6 +141,23 @@ class Profiler:
         """Live name -> int mapping (do not mutate)."""
         return self._counters
 
+    def absorb(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this profiler's totals.
+
+        The inverse of shipping a snapshot out of a worker process: a
+        parent that fans work out can absorb each worker's delta so its
+        own report covers the whole run.  Works while disabled — the
+        data was already recorded elsewhere.
+        """
+        for name, entry in snapshot.get("timers", {}).items():
+            section = self._timers.get(name)
+            if section is None:
+                section = self._timers[name] = SectionStats()
+            section.calls += entry["calls"]
+            section.total_ns += entry["total_ns"]
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+
     def snapshot(self) -> dict:
         """A plain-dict copy, safe to pickle/JSON-serialize and merge."""
         return {

@@ -128,6 +128,35 @@ class RolloutBuffer:
         self._values[n] = float(value)
         self._size = n + 1
 
+    def add_batch(
+        self,
+        states: np.ndarray,
+        actions: Sequence[int],
+        log_probs: Sequence[float],
+        rewards: Sequence[float],
+        values: Sequence[float],
+    ) -> None:
+        """Append many transitions to the open segment in one shot.
+
+        Bit-identical to calling :meth:`add` once per row — the rows land
+        in the same storage slots with the same dtype conversions — but
+        with one capacity check and five array copies instead of per-step
+        Python bookkeeping.  The segment stays open; :meth:`finish_path`
+        still closes it and runs GAE over everything appended.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        k = len(states)
+        if not k:
+            return
+        n = self._size
+        self._ensure_capacity(states.shape[1:], n + k)
+        self._states[n : n + k] = states
+        self._actions[n : n + k] = np.asarray(actions, dtype=np.int64)
+        self._log_probs[n : n + k] = np.asarray(log_probs, dtype=np.float64)
+        self._rewards[n : n + k] = np.asarray(rewards, dtype=np.float64)
+        self._values[n : n + k] = np.asarray(values, dtype=np.float64)
+        self._size = n + k
+
     def append_finished(
         self,
         states: np.ndarray,
@@ -156,8 +185,8 @@ class RolloutBuffer:
             self._rewards[n : n + k] = np.asarray(rewards, dtype=np.float64)
             self._values[n : n + k] = np.asarray(values, dtype=np.float64)
             self._size = n + k
-        self.advantages.extend(float(a) for a in advantages)
-        self.returns.extend(float(r) for r in returns)
+        self.advantages.extend(np.asarray(advantages, dtype=np.float64).tolist())
+        self.returns.extend(np.asarray(returns, dtype=np.float64).tolist())
         self._path_start = self._size
 
     # -- GAE -----------------------------------------------------------

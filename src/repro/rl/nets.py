@@ -135,12 +135,25 @@ class PolicyValueNet:
                 and _gemm_rows_stable(n, sizes[-1], 1)
             )
             if not stable:
+                # Inlined per-row forward: the exact (1, d) GEMM/tanh
+                # sequence forward() runs, minus its activation-cache and
+                # input-normalization bookkeeping (x is already a float64
+                # matrix here), so the fallback costs the math alone.
+                params = self.params
+                weights = [
+                    (params[f"W{i}"], params[f"b{i}"])
+                    for i in range(self.num_hidden)
+                ]
+                Wp, bp = params["Wp"], params["bp"]
+                Wv, bv = params["Wv"], params["bv"]
                 logits = np.empty((n, self.num_actions), dtype=np.float64)
                 values = np.empty(n, dtype=np.float64)
                 for i in range(n):
-                    row_logits, row_values, _ = self.forward(x[i : i + 1])
-                    logits[i] = row_logits[0]
-                    values[i] = row_values[0]
+                    h = x[i : i + 1]
+                    for W, b in weights:
+                        h = np.tanh(h @ W + b)
+                    logits[i] = (h @ Wp + bp)[0]
+                    values[i] = (h @ Wv + bv)[0, 0]
                 return logits, values
         logits, values, _ = self.forward(x)
         return logits, values

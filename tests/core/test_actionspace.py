@@ -72,6 +72,21 @@ def test_bandwidth_levels_round_trip(space):
         assert manager.bandwidth_to_channels(command.gsb_bw_mbps) == k
 
 
+def test_decode_covers_catalog(space):
+    """decode() is the public (kind, level) surface; it agrees with
+    kind() and enumerates the documented levels per family."""
+    decoded = [space.decode(i) for i in range(len(space))]
+    assert [kind for kind, _level in decoded] == [
+        space.kind(i) for i in range(len(space))
+    ]
+    levels = {}
+    for kind, level in decoded:
+        levels.setdefault(kind, []).append(level)
+    assert levels["harvest"] == list(HARVEST_LEVELS)
+    assert levels["make_harvestable"] == list(HARVESTABLE_LEVELS)
+    assert levels["set_priority"] == list(PRIORITY_LEVELS)
+
+
 def test_invalid_bandwidth_rejected():
     with pytest.raises(ValueError):
         ActionSpace(0.0)

@@ -6,12 +6,17 @@ import pytest
 from repro.config import RLConfig
 from repro.core.pretrain import (
     PretrainResult,
+    _evaluate_greedy,
     _merge_buffers,
     _sample_collocation,
+    apply_reward_ablation,
+    coef_at,
     pretrain,
+    pretrain_best,
 )
 from repro.config import SSDConfig
 from repro.rl import RolloutBuffer
+from repro.rl.policy import CategoricalPolicy
 
 
 def test_pretrain_returns_trained_net():
@@ -44,6 +49,51 @@ def test_sample_collocation_shape():
         categories = {spec.workload.category for spec in specs}
         assert categories == {"latency", "bandwidth"}
         assert sum(spec.channels for spec in specs) <= config.num_channels
+
+
+def test_sample_collocation_assigns_every_channel():
+    """No stranded remainder: tenant channels sum to the whole device,
+    with the extra channels going to the first ``num_channels % n``
+    tenants, one each."""
+    rng = np.random.default_rng(1)
+    config = SSDConfig()
+    sizes_seen = set()
+    for _ in range(200):
+        specs = _sample_collocation(rng, config)
+        n = len(specs)
+        sizes_seen.add(n)
+        assert sum(spec.channels for spec in specs) == config.num_channels
+        base, remainder = divmod(config.num_channels, n)
+        expected = [base + (1 if i < remainder else 0) for i in range(n)]
+        assert [spec.channels for spec in specs] == expected
+    # The uneven mixes (the ones the old // split shortchanged) showed up.
+    assert {3, 6} <= sizes_seen
+
+
+def test_coef_at_stage_boundaries():
+    schedule = ((0.5, 3.0), (1.0, 7.0))
+    # Progress (i+1)/iterations exactly at a stage fraction still belongs
+    # to that stage: iteration 4 of 10 has progress 0.5.
+    assert coef_at(4, 10, schedule) == 3.0
+    assert coef_at(5, 10, schedule) == 7.0
+    assert coef_at(9, 10, schedule) == 7.0
+    # Fractions short of 1.0 fall through to the last stage's coefficient.
+    assert coef_at(9, 10, ((0.3, 1.0), (0.6, 2.0))) == 2.0
+    # Single-stage schedule covers every iteration.
+    assert coef_at(0, 4, ((1.0, 5.0),)) == 5.0
+
+
+def test_apply_reward_ablation_overrides_in_place():
+    rng = np.random.default_rng(2)
+    specs = _sample_collocation(rng, SSDConfig())
+    original = [spec.alpha for spec in specs]
+    assert len(set(original)) > 1  # per-cluster alphas differ
+    returned = apply_reward_ablation(specs, 0.42)
+    assert returned is specs  # mutates and returns the same list
+    assert all(spec.alpha == 0.42 for spec in specs)
+    # None leaves the (now overridden) alphas untouched.
+    assert apply_reward_ablation(specs, None) is specs
+    assert all(spec.alpha == 0.42 for spec in specs)
 
 
 def test_merge_buffers_normalizes_per_agent():
@@ -83,3 +133,52 @@ def test_interference_curriculum_applies():
     finally:
         pretrain_module.FastFleetEnv = original
     assert 1.0 in seen and 9.0 in seen
+
+
+# ----------------------------------------------------------------------
+# Vectorized engine (envs > 1) and the parallel seed search
+# ----------------------------------------------------------------------
+
+def test_pretrain_vectorized_returns_trained_net():
+    result = pretrain(
+        iterations=2, seed=0, rollout_batch=64, episode_windows=5, envs=4
+    )
+    assert isinstance(result, PretrainResult)
+    assert len(result.mean_rewards) == 2
+    assert all(np.isfinite(r) for r in result.mean_rewards)
+
+
+def test_pretrain_vectorized_deterministic_given_seed():
+    a = pretrain(iterations=2, seed=5, rollout_batch=64, episode_windows=5, envs=3)
+    b = pretrain(iterations=2, seed=5, rollout_batch=64, episode_windows=5, envs=3)
+    assert (a.net.get_flat_params() == b.net.get_flat_params()).all()
+    assert a.mean_rewards == b.mean_rewards
+
+
+def test_pretrain_vectorized_quality_matches_scalar():
+    """The two engines explore different streams but must land in the
+    same place: greedy-eval scores agree within a small tolerance."""
+    scalar = pretrain(iterations=8, seed=3, rollout_batch=64, episode_windows=5)
+    vector = pretrain(
+        iterations=8, seed=3, rollout_batch=64, episode_windows=5, envs=4
+    )
+    rl, ssd = RLConfig(), SSDConfig()
+    score_scalar = _evaluate_greedy(CategoricalPolicy(scalar.net), rl, ssd)
+    score_vector = _evaluate_greedy(CategoricalPolicy(vector.net), rl, ssd)
+    assert abs(score_scalar - score_vector) < 0.15
+
+
+def test_pretrain_rejects_bad_envs():
+    with pytest.raises(ValueError):
+        pretrain(iterations=1, envs=0)
+
+
+def test_pretrain_best_parallel_matches_serial():
+    """The process fan-out selects the identical winner (same params)."""
+    kwargs = dict(rollout_batch=32, episode_windows=3)
+    serial = pretrain_best(seeds=(0, 1), iterations=2, **kwargs)
+    parallel = pretrain_best(seeds=(0, 1), iterations=2, workers=2, **kwargs)
+    assert (
+        serial.net.get_flat_params() == parallel.net.get_flat_params()
+    ).all()
+    assert serial.best_reward == parallel.best_reward

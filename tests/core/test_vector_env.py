@@ -1,0 +1,188 @@
+"""Bit-exactness tests for the lockstep vectorized training env.
+
+The contract under test: environment ``k`` of a
+:class:`~repro.core.vector_env.VectorFastFleetEnv`, given the same RNG
+stream and the same actions, is bit-identical to a lone scalar
+:class:`~repro.core.fast_env.FastFleetEnv` — states, rewards, Eq. 1
+singles, and every ``WindowStats`` field.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import CLUSTER_ALPHAS, SSDConfig
+from repro.core.fast_env import FastFleetEnv, FastVssdSpec
+from repro.core.vector_env import VectorFastFleetEnv, _pow4
+from repro.workloads.catalog import CLUSTER_GROUND_TRUTH, get_spec
+
+
+def _specs(names, channels_each=None):
+    config = SSDConfig()
+    if channels_each is None:
+        base, remainder = divmod(config.num_channels, len(names))
+        channels_each = [
+            base + (1 if i < remainder else 0) for i in range(len(names))
+        ]
+    return [
+        FastVssdSpec(
+            workload=get_spec(name),
+            channels=channels,
+            alpha=CLUSTER_ALPHAS[CLUSTER_GROUND_TRUTH.get(name, "LC-1")],
+        )
+        for name, channels in zip(names, channels_each)
+    ]
+
+
+MIXES = [
+    ("livemaps", "batchanalytics"),
+    ("tpce", "batchanalytics", "batchanalytics"),
+    ("livemaps", "tpce", "searchengine",
+     "batchanalytics", "batchanalytics", "batchanalytics"),
+    ("livemaps", "tpce", "searchengine", "livemaps",
+     "batchanalytics", "batchanalytics", "batchanalytics", "batchanalytics"),
+]
+
+
+def _lockstep_pair(seed=1234, episode_windows=12, interference_coef=5.0):
+    """A vector fleet of all MIXES plus scalar twins on cloned streams."""
+    spec_lists = [_specs(names) for names in MIXES]
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(spec_lists))
+    vec = VectorFastFleetEnv(
+        spec_lists,
+        rngs=[np.random.default_rng(child) for child in children],
+        episode_windows=episode_windows,
+        interference_coef=interference_coef,
+    )
+    scalars = [
+        FastFleetEnv(
+            [dataclasses.replace(spec) for spec in specs],
+            rng=np.random.default_rng(child),
+            episode_windows=episode_windows,
+            interference_coef=interference_coef,
+        )
+        for specs, child in zip(spec_lists, children)
+    ]
+    return vec, scalars
+
+
+def test_reset_states_bit_identical():
+    vec, scalars = _lockstep_pair()
+    states = vec.reset()
+    for k, env in enumerate(scalars):
+        ref = env.reset()
+        for i in range(env.n):
+            assert (states[k, i] == ref[i]).all(), f"env {k} tenant {i}"
+
+
+def test_step_states_rewards_bit_identical():
+    vec, scalars = _lockstep_pair()
+    vec.reset()
+    for env in scalars:
+        env.reset()
+    act_rng = np.random.default_rng(7)
+    num_actions = vec.action_space.num_actions
+    for _t in range(12):
+        padded = np.zeros((vec.num_envs, vec.n_max), dtype=np.int64)
+        per_env = []
+        for k, env in enumerate(scalars):
+            actions = {
+                i: int(act_rng.integers(0, num_actions)) for i in range(env.n)
+            }
+            per_env.append(actions)
+            for i, a in actions.items():
+                padded[k, i] = a
+        states, rewards, done, info = vec.step(padded)
+        for k, env in enumerate(scalars):
+            ref_states, ref_rewards, ref_done, ref_info = env.step(per_env[k])
+            assert done == ref_done
+            for i in range(env.n):
+                assert (states[k, i] == ref_states[i]).all()
+                assert rewards[k, i] == ref_rewards[i]
+                assert info["singles"][k, i] == ref_info["singles"][i]
+        if done:
+            break
+
+
+def test_window_stats_bit_identical():
+    vec, scalars = _lockstep_pair()
+    vec.reset()
+    for env in scalars:
+        env.reset()
+    padded = np.zeros((vec.num_envs, vec.n_max), dtype=np.int64)
+    vec.step(padded)
+    for k, env in enumerate(scalars):
+        _s, _r, _d, ref_info = env.step({i: 0 for i in range(env.n)})
+        for got, want in zip(vec.window_stats(k), ref_info["stats"]):
+            assert got == want, f"env {k} vssd {got.vssd_id}"
+
+
+def test_padded_lanes_inert():
+    """Padded slots earn exact-zero rewards and stay masked out."""
+    vec, _scalars = _lockstep_pair()
+    vec.reset()
+    padded = np.zeros((vec.num_envs, vec.n_max), dtype=np.int64)
+    for _ in range(3):
+        _states, rewards, _done, info = vec.step(padded)
+        dead = ~vec.mask
+        assert (rewards[dead] == 0.0).all()
+        assert (info["singles"][dead] == 0.0).all()
+    assert int(vec.mask.sum()) == vec.num_agents == sum(len(m) for m in MIXES)
+
+
+def test_env_streams_independent():
+    """Each env's trajectory depends only on its own stream: dropping a
+    sibling from the fleet does not change the survivor's bits."""
+    spec_lists = [_specs(names) for names in MIXES[:2]]
+    children = np.random.SeedSequence(99).spawn(2)
+    pair = VectorFastFleetEnv(
+        spec_lists, rngs=[np.random.default_rng(c) for c in children]
+    )
+    solo = VectorFastFleetEnv(
+        [spec_lists[1]], rngs=[np.random.default_rng(children[1])]
+    )
+    s_pair = pair.reset()
+    s_solo = solo.reset()
+    n1 = len(spec_lists[1])
+    assert (s_pair[1, :n1] == s_solo[0, :n1]).all()
+    pair_states, pair_rewards, _d, _i = pair.step(
+        np.zeros((2, pair.n_max), dtype=np.int64)
+    )
+    solo_states, solo_rewards, _d, _i = solo.step(
+        np.zeros((1, solo.n_max), dtype=np.int64)
+    )
+    assert (pair_states[1, :n1] == solo_states[0, :n1]).all()
+    assert (pair_rewards[1, :n1] == solo_rewards[0, :n1]).all()
+
+
+def test_lockstep_done_flag():
+    vec = VectorFastFleetEnv(
+        [_specs(MIXES[0])],
+        rngs=[np.random.default_rng(0)],
+        episode_windows=3,
+    )
+    vec.reset()
+    padded = np.zeros((1, vec.n_max), dtype=np.int64)
+    dones = [vec.step(padded)[2] for _ in range(3)]
+    assert dones == [False, False, True]
+
+
+def test_pow4_matches_scalar_pow():
+    values = np.random.default_rng(3).random((4, 5)) * 2.0
+    reference = np.array(
+        [[float(x) ** 4 for x in row] for row in values.tolist()]
+    )
+    assert (_pow4(values) == reference).all()
+
+
+def test_rejects_empty_and_mismatched_inputs():
+    with pytest.raises(ValueError):
+        VectorFastFleetEnv([])
+    with pytest.raises(ValueError):
+        VectorFastFleetEnv([[]])
+    with pytest.raises(ValueError):
+        VectorFastFleetEnv(
+            [_specs(MIXES[0])], rngs=[np.random.default_rng(0)] * 2
+        )

@@ -85,6 +85,42 @@ def test_invalid_discount_rejected():
         RolloutBuffer(gae_lambda=1.5)
 
 
+def test_add_batch_bit_identical_to_repeated_add():
+    rng = np.random.default_rng(11)
+    states = rng.standard_normal((17, 6))
+    actions = rng.integers(0, 5, 17).tolist()
+    log_probs = rng.standard_normal(17).tolist()
+    rewards = rng.standard_normal(17).tolist()
+    values = rng.standard_normal(17).tolist()
+    one = RolloutBuffer(discount=0.9, gae_lambda=0.8)
+    for row in range(17):
+        one.add(states[row], actions[row], log_probs[row], rewards[row], values[row])
+    bulk = RolloutBuffer(discount=0.9, gae_lambda=0.8)
+    bulk.add_batch(states, actions, log_probs, rewards, values)
+    one.finish_path(0.25)
+    bulk.finish_path(0.25)
+    a, b = one.get(normalize_advantages=False), bulk.get(normalize_advantages=False)
+    for key in a:
+        assert (a[key] == b[key]).all(), key
+
+
+def test_add_batch_extends_open_segment():
+    buffer = RolloutBuffer(discount=0.9)
+    buffer.add(np.zeros(2), 0, -0.5, 1.0, 0.0)
+    buffer.add_batch(np.ones((2, 2)), [1, 2], [-0.1, -0.2], [2.0, 3.0], [0.5, 0.6])
+    assert buffer.open_path_length == 3
+    buffer.finish_path()
+    assert len(buffer) == 3
+    assert buffer._rewards[:3].tolist() == [1.0, 2.0, 3.0]
+
+
+def test_add_batch_empty_noop():
+    buffer = RolloutBuffer()
+    buffer.add_batch(np.empty((0, 4)), [], [], [], [])
+    assert len(buffer) == 0
+    assert buffer.open_path_length == 0
+
+
 def test_bootstrap_affects_last_advantage():
     buffer_a = RolloutBuffer(discount=0.9)
     _fill(buffer_a, [1.0], [0.0], bootstrap=0.0)
