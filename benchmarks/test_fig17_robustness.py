@@ -127,3 +127,55 @@ def test_fig17_utilization_survives_switch(benchmark, robustness):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     for label, (_t, _p, util_transfer, util_pretrained, _is_bw) in robustness.items():
         assert util_transfer > 0.5 * util_pretrained, label
+
+
+# ----------------------------------------------------------------------
+# Adversarially discovered regression scenarios
+# ----------------------------------------------------------------------
+#: Scenarios found by the PAIRED-style regret search (``repro
+#: adversarial``), committed as replayable cells.  They extend the
+#: figure's robustness story beyond workload switches: these are the
+#: collocations + fault schedules the search found the pre-trained
+#: policy handles worst, replayed here under the full guardrail stack.
+from pathlib import Path  # noqa: E402
+
+CELL_DIR = Path(__file__).resolve().parent / "adversarial_cells"
+CELL_PATHS = sorted(CELL_DIR.glob("adv-*.json"))
+
+
+def test_adversarial_regression_cells(benchmark):
+    from repro.adversarial import load_cell, replay_cell
+
+    def regenerate():
+        print_header(
+            "Adversarial cells",
+            "discovered high-regret scenarios under the guardrail stack",
+        )
+        print(
+            f"{'cell':>18s} {'tenants':>8s} {'faults':>7s} "
+            f"{'viol':>7s} {'fallbacks':>10s} {'digest':>14s}"
+        )
+        rows = []
+        for path in CELL_PATHS:
+            cell = load_cell(path)
+            result = replay_cell(cell)
+            genome = cell["genome"]
+            print(
+                f"{cell['cell_id']:>18s} {len(genome['tenants']):>8d} "
+                f"{len(genome['faults']):>7d} {result.mean_violation:7.3f} "
+                f"{result.fallbacks:>10d} {result.digest[:12]:>14s}"
+            )
+            rows.append((cell, result))
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert len(rows) >= 2, f"expected committed cells in {CELL_DIR}"
+    fallbacks = sum(result.fallbacks for _cell, result in rows)
+    print_expectation(
+        "each cell replays byte-identically; watchdog degrades gracefully",
+        f"{len(rows)} cells replayed, {fallbacks} fallback transitions",
+    )
+    for cell, result in rows:
+        assert result.digest == cell["replay"]["digest"], cell["cell_id"]
+        assert result.fallbacks == cell["replay"]["fallbacks"], cell["cell_id"]
+    assert fallbacks > 0

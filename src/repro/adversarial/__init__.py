@@ -1,0 +1,62 @@
+"""PAIRED-style adversarial scenario search for policy hardening.
+
+The package closes the robustness loop: :mod:`repro.adversarial.genome`
+defines the searchable scenario space (tenant mixes, burst schedules,
+fault schedules, degraded-channel patterns), :mod:`repro.adversarial.search`
+runs the regret-driven designer against a frozen protagonist policy,
+and :mod:`repro.adversarial.replay` turns discovered high-regret
+scenarios into committed regression cells that replay byte-identically
+in CI with the guardrail stack active.
+"""
+
+from repro.adversarial.genome import (
+    GENOME_SCHEMA_VERSION,
+    ScenarioGenome,
+    TenantGene,
+    crossover,
+    mutate,
+    random_genome,
+)
+from repro.adversarial.replay import (
+    CELL_SCHEMA_VERSION,
+    ReplayResult,
+    load_cell,
+    make_cell,
+    replay_cell,
+    replay_genome,
+    verify_cell,
+    write_cell,
+)
+from repro.adversarial.search import (
+    CandidateResult,
+    SearchResult,
+    adversarial_search,
+    evaluate_cell,
+    evaluate_genome,
+    resolve_protagonist,
+    tiny_protagonist_params,
+)
+
+__all__ = [
+    "CELL_SCHEMA_VERSION",
+    "CandidateResult",
+    "GENOME_SCHEMA_VERSION",
+    "ReplayResult",
+    "ScenarioGenome",
+    "SearchResult",
+    "TenantGene",
+    "adversarial_search",
+    "crossover",
+    "evaluate_cell",
+    "evaluate_genome",
+    "load_cell",
+    "make_cell",
+    "mutate",
+    "random_genome",
+    "replay_cell",
+    "replay_genome",
+    "resolve_protagonist",
+    "tiny_protagonist_params",
+    "verify_cell",
+    "write_cell",
+]

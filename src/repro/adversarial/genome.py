@@ -1,0 +1,453 @@
+"""Scenario genomes: the search space of the adversarial designer.
+
+A genome describes one collocated-tenant scenario for the analytic fast
+environments: which workloads share the device, how the channels split,
+each tenant's burst/phase schedule, and a fault schedule (drawn from
+:mod:`repro.faults` FaultSpecs, including degraded-channel patterns
+that hit several of one tenant's channels at once).
+
+Everything is deterministic and serializable:
+
+* :func:`random_genome` / :func:`mutate` / :func:`crossover` draw every
+  decision from a caller-supplied :class:`numpy.random.Generator`, so a
+  search replays bit-identically from its seed.
+* ``to_dict``/``from_dict`` round-trip through a versioned JSON schema
+  (fault entries reuse :mod:`repro.faults.serialize`), and
+  :meth:`ScenarioGenome.digest` fingerprints the canonical JSON — equal
+  digests mean equal scenarios, which is how the search deduplicates
+  and how committed regression cells are named.
+
+Generated float parameters are rounded to a few decimals so canonical
+JSON stays short and diffs stay readable; rounding happens at
+*generation* time, so a loaded genome replays the exact floats that
+were committed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import CLUSTER_ALPHAS, RLConfig, SSDConfig
+from repro.core.fast_env import FastVssdSpec
+from repro.core.fault_profile import SUPPORTED_KINDS, WindowFaultProfile
+from repro.faults.injector import FaultSpec
+from repro.faults.serialize import fault_from_dict, fault_to_dict
+from repro.workloads.catalog import CLUSTER_GROUND_TRUTH, WORKLOAD_CATALOG, get_spec
+from repro.workloads.spec import Phase
+
+#: Genome document schema version.
+GENOME_SCHEMA_VERSION = 1
+
+#: Candidate workloads, in deterministic (sorted) order so integer draws
+#: map to the same names on every host.
+GENOME_WORKLOADS: Tuple[str, ...] = tuple(sorted(WORKLOAD_CATALOG))
+
+#: Decision-window length used to convert ``episode_windows`` into the
+#: fault-schedule horizon (matches ``RLConfig.decision_interval_s``).
+WINDOW_S = RLConfig().decision_interval_s
+
+#: Every tenant keeps at least this many channels.
+MIN_CHANNELS = 2
+
+#: Phase-scale palette for burst schedules (0 = compute-only lull).
+_PHASE_SCALES = (0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+@dataclass(frozen=True)
+class TenantGene:
+    """One tenant: workload, channel share, optional burst override."""
+
+    workload: str
+    channels: int
+    #: ``((duration_s, scale), ...)`` phase cycle overriding the
+    #: catalog workload's own phases; ``None`` keeps the catalog cycle.
+    phases: Optional[Tuple[Tuple[float, float], ...]] = None
+
+
+@dataclass(frozen=True)
+class ScenarioGenome:
+    """A full scenario: tenant mix + fault schedule + episode length."""
+
+    tenants: Tuple[TenantGene, ...]
+    faults: Tuple[FaultSpec, ...] = ()
+    episode_windows: int = 16
+
+    # -- derived ------------------------------------------------------
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenants)
+
+    @property
+    def num_channels(self) -> int:
+        return sum(gene.channels for gene in self.tenants)
+
+    @property
+    def horizon_s(self) -> float:
+        """Episode length in seconds (the fault-schedule horizon)."""
+        return self.episode_windows * WINDOW_S
+
+    @property
+    def tenant_names(self) -> Tuple[str, ...]:
+        return tuple(f"t{i}" for i in range(self.num_tenants))
+
+    # -- environments -------------------------------------------------
+    def specs(self, ssd_config: Optional[SSDConfig] = None) -> List[FastVssdSpec]:
+        """Fresh ``FastVssdSpec`` rows for a fast env (specs are mutable)."""
+        del ssd_config  # alphas/SLOs derive from the catalog, not geometry
+        rows = []
+        for gene in self.tenants:
+            workload = get_spec(gene.workload)
+            if gene.phases is not None:
+                workload = dataclasses.replace(
+                    workload,
+                    phases=tuple(Phase(d, s) for d, s in gene.phases),
+                )
+            cluster = CLUSTER_GROUND_TRUTH.get(gene.workload, "LC-1")
+            rows.append(
+                FastVssdSpec(
+                    workload=workload,
+                    channels=gene.channels,
+                    alpha=CLUSTER_ALPHAS.get(cluster, 0.01),
+                )
+            )
+        return rows
+
+    def fault_profile(self) -> Optional[WindowFaultProfile]:
+        """The compiled analytic fault hook (None when fault-free)."""
+        if not self.faults:
+            return None
+        return WindowFaultProfile(
+            self.faults,
+            [gene.channels for gene in self.tenants],
+            tenant_names=self.tenant_names,
+        )
+
+    # -- serialization ------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": GENOME_SCHEMA_VERSION,
+            "tenants": [
+                {
+                    "workload": gene.workload,
+                    "channels": gene.channels,
+                    "phases": (
+                        None
+                        if gene.phases is None
+                        else [[d, s] for d, s in gene.phases]
+                    ),
+                }
+                for gene in self.tenants
+            ],
+            "faults": [fault_to_dict(spec) for spec in self.faults],
+            "episode_windows": self.episode_windows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioGenome":
+        schema = data.get("schema")
+        if schema != GENOME_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported genome schema {schema!r} "
+                f"(this build reads version {GENOME_SCHEMA_VERSION})"
+            )
+        tenants = tuple(
+            TenantGene(
+                workload=str(entry["workload"]),
+                channels=int(entry["channels"]),
+                phases=(
+                    None
+                    if entry.get("phases") is None
+                    else tuple(
+                        (float(d), float(s)) for d, s in entry["phases"]
+                    )
+                ),
+            )
+            for entry in data["tenants"]
+        )
+        faults = tuple(fault_from_dict(entry) for entry in data.get("faults", []))
+        genome = cls(
+            tenants=tenants,
+            faults=faults,
+            episode_windows=int(data.get("episode_windows", 16)),
+        )
+        genome.validate()
+        return genome
+
+    def canonical_json(self) -> str:
+        """Compact sorted-key JSON — the digest's input."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioGenome":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def digest(self) -> str:
+        """12-hex-char scenario identity (sha256 of canonical JSON)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()[:12]
+
+    # -- validation ---------------------------------------------------
+    def validate(self, num_channels: Optional[int] = None) -> None:
+        """Raise ``ValueError`` on any structural problem."""
+        if not self.tenants:
+            raise ValueError("genome needs at least one tenant")
+        if self.episode_windows < 2:
+            raise ValueError("episode_windows must be >= 2")
+        for gene in self.tenants:
+            if gene.workload not in WORKLOAD_CATALOG:
+                raise ValueError(f"unknown workload {gene.workload!r}")
+            if gene.channels < MIN_CHANNELS:
+                raise ValueError(
+                    f"tenant needs >= {MIN_CHANNELS} channels, got {gene.channels}"
+                )
+            if gene.phases is not None:
+                if not gene.phases:
+                    raise ValueError("phase override must be non-empty or None")
+                for duration, scale in gene.phases:
+                    if duration <= 0 or scale < 0:
+                        raise ValueError(f"bad phase ({duration}, {scale})")
+                if all(scale == 0 for _d, scale in gene.phases):
+                    raise ValueError("phase cycle needs one positive scale")
+        if num_channels is not None and self.num_channels != num_channels:
+            raise ValueError(
+                f"tenant channels sum to {self.num_channels}, "
+                f"device has {num_channels}"
+            )
+        names = set(self.tenant_names)
+        for spec in self.faults:
+            if spec.kind not in SUPPORTED_KINDS:
+                raise ValueError(f"fault kind {spec.kind!r} not supported here")
+            if spec.kind == "gc_storm" and spec.vssd not in names:
+                raise ValueError(f"gc_storm targets unknown tenant {spec.vssd!r}")
+            if spec.kind != "gc_storm" and not (
+                spec.channel is not None and 0 <= spec.channel < self.num_channels
+            ):
+                raise ValueError(f"fault channel {spec.channel} out of range")
+            if spec.start_s >= self.horizon_s:
+                raise ValueError(
+                    f"fault starts at {spec.start_s}s, past the "
+                    f"{self.horizon_s}s episode horizon"
+                )
+        # Compiling the profile re-checks target consistency.
+        self.fault_profile()
+
+
+# ----------------------------------------------------------------------
+# Random generation
+# ----------------------------------------------------------------------
+def _random_split(rng: np.random.Generator, total: int, parts: int) -> List[int]:
+    """Random channel split: equal shares plus seeded perturbation."""
+    base, remainder = divmod(total, parts)
+    counts = [base + (1 if i < remainder else 0) for i in range(parts)]
+    for _ in range(parts):
+        donor = int(rng.integers(0, parts))
+        receiver = int(rng.integers(0, parts))
+        if donor != receiver and counts[donor] > MIN_CHANNELS:
+            counts[donor] -= 1
+            counts[receiver] += 1
+    return counts
+
+
+def _random_phases(rng: np.random.Generator) -> Tuple[Tuple[float, float], ...]:
+    """A 2-4 phase burst cycle spanning several decision windows."""
+    count = int(rng.integers(2, 5))
+    phases = []
+    for _ in range(count):
+        duration = round(float(rng.uniform(2.0, 12.0)), 2)
+        scale = float(_PHASE_SCALES[int(rng.integers(0, len(_PHASE_SCALES)))])
+        phases.append((duration, scale))
+    if all(scale == 0 for _d, scale in phases):
+        phases[0] = (phases[0][0], 1.0)
+    return tuple(phases)
+
+
+def _fault_window(
+    rng: np.random.Generator, horizon_s: float
+) -> Tuple[float, float]:
+    """A fault (start, duration) landing inside the episode."""
+    start = round(float(rng.uniform(0.05, 0.55)) * horizon_s, 2)
+    duration = round(float(rng.uniform(0.2, 0.5)) * horizon_s, 2)
+    return start, max(duration, WINDOW_S)
+
+
+def _tenant_block(genome: ScenarioGenome, tenant: int) -> Tuple[int, int]:
+    """The contiguous channel range tenant ``tenant`` owns."""
+    lo = sum(gene.channels for gene in genome.tenants[:tenant])
+    return lo, lo + genome.tenants[tenant].channels
+
+
+def _random_fault_event(
+    rng: np.random.Generator, genome: ScenarioGenome
+) -> List[FaultSpec]:
+    """One fault event; channel kinds become degraded-channel patterns
+    (the same window replicated over part of one tenant's block)."""
+    tenant = int(rng.integers(0, genome.num_tenants))
+    start, duration = _fault_window(rng, genome.horizon_s)
+    kind = SUPPORTED_KINDS[int(rng.integers(0, len(SUPPORTED_KINDS)))]
+    if kind == "gc_storm":
+        return [
+            FaultSpec("gc_storm", start, duration, vssd=f"t{tenant}")
+        ]
+    lo, hi = _tenant_block(genome, tenant)
+    owned = hi - lo
+    count = int(rng.integers(1, owned + 1))
+    channels = range(lo, lo + count)
+    if kind == "channel_slowdown":
+        factor = round(float(rng.uniform(2.0, 8.0)), 2)
+        return [
+            FaultSpec("channel_slowdown", start, duration, channel=c, factor=factor)
+            for c in channels
+        ]
+    if kind == "channel_outage":
+        # Never black out the whole block: the capacity floor would
+        # dominate every window and the scenario stops discriminating.
+        count = min(count, max(owned - 1, 1))
+        return [
+            FaultSpec("channel_outage", start, duration, channel=c)
+            for c in range(lo, lo + count)
+        ]
+    extra = round(float(rng.uniform(2_000.0, 40_000.0)), 1)
+    return [
+        FaultSpec("latency_spike", start, duration, channel=c, extra_latency_us=extra)
+        for c in channels
+    ]
+
+
+def random_genome(
+    rng: np.random.Generator,
+    num_channels: int = 16,
+    episode_windows: int = 16,
+) -> ScenarioGenome:
+    """Draw a fresh scenario genome from ``rng``."""
+    n = int(rng.integers(2, 5))
+    names = [
+        GENOME_WORKLOADS[int(rng.integers(0, len(GENOME_WORKLOADS)))]
+        for _ in range(n)
+    ]
+    channels = _random_split(rng, num_channels, n)
+    tenants = tuple(
+        TenantGene(
+            workload=name,
+            channels=count,
+            phases=_random_phases(rng) if rng.random() < 0.6 else None,
+        )
+        for name, count in zip(names, channels)
+    )
+    genome = ScenarioGenome(tenants=tenants, episode_windows=episode_windows)
+    faults: List[FaultSpec] = []
+    for _ in range(int(rng.integers(0, 3))):
+        faults.extend(_random_fault_event(rng, genome))
+    genome = dataclasses.replace(genome, faults=tuple(faults))
+    genome.validate(num_channels)
+    return genome
+
+
+# ----------------------------------------------------------------------
+# Mutation / crossover
+# ----------------------------------------------------------------------
+def _replace_tenant(
+    genome: ScenarioGenome, index: int, gene: TenantGene
+) -> ScenarioGenome:
+    tenants = list(genome.tenants)
+    tenants[index] = gene
+    return dataclasses.replace(genome, tenants=tuple(tenants))
+
+
+def _valid_faults(
+    faults: Sequence[FaultSpec], genome: ScenarioGenome
+) -> Tuple[FaultSpec, ...]:
+    """Drop faults whose target no longer exists in ``genome``."""
+    names = set(genome.tenant_names)
+    kept = []
+    for spec in faults:
+        if spec.kind == "gc_storm":
+            if spec.vssd in names:
+                kept.append(spec)
+        elif spec.channel is not None and spec.channel < genome.num_channels:
+            kept.append(spec)
+    return tuple(kept)
+
+
+def mutate(genome: ScenarioGenome, rng: np.random.Generator) -> ScenarioGenome:
+    """One seeded mutation; always returns a structurally valid genome."""
+    op = int(rng.integers(0, 6))
+    n = genome.num_tenants
+    if op == 0:  # swap a tenant's workload
+        index = int(rng.integers(0, n))
+        name = GENOME_WORKLOADS[int(rng.integers(0, len(GENOME_WORKLOADS)))]
+        gene = dataclasses.replace(genome.tenants[index], workload=name)
+        child = _replace_tenant(genome, index, gene)
+    elif op == 1 and n > 1:  # move one channel between tenants
+        donor = int(rng.integers(0, n))
+        receiver = int(rng.integers(0, n))
+        if donor == receiver or genome.tenants[donor].channels <= MIN_CHANNELS:
+            child = genome
+        else:
+            tenants = list(genome.tenants)
+            tenants[donor] = dataclasses.replace(
+                tenants[donor], channels=tenants[donor].channels - 1
+            )
+            tenants[receiver] = dataclasses.replace(
+                tenants[receiver], channels=tenants[receiver].channels + 1
+            )
+            child = dataclasses.replace(genome, tenants=tuple(tenants))
+    elif op == 2:  # re-roll a tenant's burst schedule (or drop it)
+        index = int(rng.integers(0, n))
+        phases = _random_phases(rng) if rng.random() < 0.75 else None
+        gene = dataclasses.replace(genome.tenants[index], phases=phases)
+        child = _replace_tenant(genome, index, gene)
+    elif op == 3:  # add a fault event
+        event = _random_fault_event(rng, genome)
+        child = dataclasses.replace(genome, faults=genome.faults + tuple(event))
+    elif op == 4 and genome.faults:  # drop one fault
+        index = int(rng.integers(0, len(genome.faults)))
+        faults = genome.faults[:index] + genome.faults[index + 1 :]
+        child = dataclasses.replace(genome, faults=faults)
+    else:  # perturb one fault's window/strength (or add when fault-free)
+        if not genome.faults:
+            event = _random_fault_event(rng, genome)
+            child = dataclasses.replace(genome, faults=genome.faults + tuple(event))
+        else:
+            index = int(rng.integers(0, len(genome.faults)))
+            spec = genome.faults[index]
+            start, duration = _fault_window(rng, genome.horizon_s)
+            changes: Dict[str, Any] = {"start_s": start, "duration_s": duration}
+            if spec.kind == "channel_slowdown":
+                changes["factor"] = round(float(rng.uniform(2.0, 8.0)), 2)
+            elif spec.kind == "latency_spike":
+                changes["extra_latency_us"] = round(
+                    float(rng.uniform(2_000.0, 40_000.0)), 1
+                )
+            faults = list(genome.faults)
+            faults[index] = dataclasses.replace(spec, **changes)
+            child = dataclasses.replace(genome, faults=tuple(faults))
+    child = dataclasses.replace(child, faults=_valid_faults(child.faults, child))
+    child.validate(genome.num_channels)
+    return child
+
+
+def crossover(
+    a: ScenarioGenome, b: ScenarioGenome, rng: np.random.Generator
+) -> ScenarioGenome:
+    """Tenant structure from one parent, faults mixed from both.
+
+    Tenants travel wholesale (per-gene mixing would break the
+    channels-sum invariant); each parent fault is included by coin flip
+    and re-validated against the chosen tenant structure.
+    """
+    base, other = (a, b) if rng.random() < 0.5 else (b, a)
+    mixed: List[FaultSpec] = []
+    for spec in base.faults + other.faults:
+        if rng.random() < 0.5:
+            mixed.append(spec)
+    child = dataclasses.replace(
+        base, faults=_valid_faults(tuple(mixed[:8]), base)
+    )
+    child.validate(base.num_channels)
+    return child

@@ -10,6 +10,7 @@ Commands:
 * ``overheads`` — print the Section 4.7 overhead microbenchmarks.
 * ``profile`` — run one policy with per-subsystem wall-clock profiling.
 * ``sweep`` — fan a policies × seeds matrix across worker processes.
+* ``adversarial`` — regret-driven scenario search (policy hardening).
 * ``lint`` — fleetlint determinism & unit-safety static analysis.
 """
 
@@ -316,7 +317,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     warmed = warm_policy_cache(cells)
     if warmed:
         print(f"policy cache ready ({len(warmed)} artifacts)")
-    runner = ParallelRunner(workers=args.workers)
+    runner = ParallelRunner(
+        workers=args.workers,
+        join_timeout_s=args.cell_timeout,
+        max_attempts=args.retries + 1,
+    )
     print(
         f"sweep: {len(cells)} cells "
         f"({len(policies)} policies x {len(seeds)} seeds), "
@@ -357,6 +362,93 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print("error: serial and parallel telemetry diverge", file=sys.stderr)
             return 1
     return 0 if sweep.ok else 1
+
+
+def cmd_adversarial(args: argparse.Namespace) -> int:
+    """Regret-driven adversarial scenario search (PAIRED-style)."""
+    import json
+
+    from repro.adversarial import (
+        adversarial_search,
+        make_cell,
+        replay_genome,
+        resolve_protagonist,
+        write_cell,
+    )
+
+    protagonist = {"kind": args.protagonist}
+    if args.protagonist == "tiny":
+        protagonist.update({"seed": args.tiny_seed, "iterations": args.tiny_iterations})
+    started = time.time()
+    result = adversarial_search(
+        protagonist,
+        rounds=args.rounds,
+        population=args.population,
+        seed=args.seed,
+        workers=args.workers,
+        antagonist_iters=args.antagonist_iters,
+        eval_episodes=args.eval_episodes,
+        envs=args.envs,
+        episode_windows=args.episode_windows,
+        verbose=True,
+    )
+    print(
+        f"\nsearch: {result.evaluations} evaluations over {result.rounds} rounds "
+        f"({result.failures} failed) in {time.time() - started:.1f}s"
+    )
+    top = result.top(args.top)
+    print(f"\n{'genome':>14s} {'regret':>9s} {'p-score':>9s} {'a-score':>9s} {'p-viol':>8s}")
+    for candidate in top:
+        print(
+            f"{candidate.genome.digest:>14s} {candidate.regret:9.4f} "
+            f"{candidate.protagonist_score:9.4f} {candidate.antagonist_score:9.4f} "
+            f"{candidate.protagonist_violation:8.4f}"
+        )
+    if args.emit_cells:
+        params = resolve_protagonist(protagonist)
+        for candidate in top:
+            replay = replay_genome(
+                candidate.genome,
+                params,
+                seed=args.replay_seed,
+                episodes=args.replay_episodes,
+            )
+            cell = make_cell(
+                candidate.genome,
+                protagonist,
+                replay,
+                seed=args.replay_seed,
+                episodes=args.replay_episodes,
+                provenance={
+                    "search_seed": args.seed,
+                    "rounds": args.rounds,
+                    "population": args.population,
+                    "regret": round(candidate.regret, 6),
+                    "protagonist_score": round(candidate.protagonist_score, 6),
+                    "antagonist_score": round(candidate.antagonist_score, 6),
+                },
+            )
+            path = write_cell(cell, args.emit_cells)
+            print(f"wrote {path} (digest {replay.digest[:16]}...)")
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "rounds": result.rounds,
+            "evaluations": result.evaluations,
+            "failures": result.failures,
+            "top": [
+                {
+                    "digest": c.genome.digest,
+                    "regret": c.regret,
+                    "genome": c.genome.to_dict(),
+                }
+                for c in top
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote search summary to {args.json}")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -510,7 +602,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-profile", action="store_true",
         help="print the merged per-subsystem profile",
     )
+    sweep.add_argument(
+        "--cell-timeout", type=float, default=900.0,
+        help="terminate a worker silent for this many seconds (hung-worker watchdog)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=1,
+        help="relaunches granted to a crashed or hung worker (0 = fail fast)",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    adversarial = sub.add_parser(
+        "adversarial",
+        help="regret-driven scenario search for policy hardening (PAIRED-style)",
+    )
+    adversarial.add_argument("--rounds", type=int, default=2)
+    adversarial.add_argument(
+        "--population", type=int, default=4, help="scenario genomes per round"
+    )
+    adversarial.add_argument("--seed", type=int, default=0, help="search seed")
+    adversarial.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for candidate evaluation (default: serial)",
+    )
+    adversarial.add_argument(
+        "--protagonist", default="tiny", choices=("tiny", "pretrained"),
+        help="policy under test: tiny CI policy or the full pre-trained artifact",
+    )
+    adversarial.add_argument("--tiny-seed", type=int, default=7)
+    adversarial.add_argument("--tiny-iterations", type=int, default=2)
+    adversarial.add_argument(
+        "--antagonist-iters", type=int, default=2,
+        help="PPO fine-tune iterations for the scenario specialist",
+    )
+    adversarial.add_argument(
+        "--eval-episodes", type=int, default=2,
+        help="greedy evaluation episodes per candidate",
+    )
+    adversarial.add_argument(
+        "--envs", type=int, default=2,
+        help="lockstep env copies per antagonist rollout round",
+    )
+    adversarial.add_argument(
+        "--episode-windows", type=int, default=16,
+        help="decision windows per scenario episode",
+    )
+    adversarial.add_argument(
+        "--top", type=int, default=2, help="top-regret scenarios to report/emit"
+    )
+    adversarial.add_argument(
+        "--emit-cells", default=None, metavar="DIR",
+        help="write the top scenarios as replayable regression cells here",
+    )
+    adversarial.add_argument(
+        "--replay-seed", type=int, default=2024,
+        help="seed recorded in emitted regression cells",
+    )
+    adversarial.add_argument(
+        "--replay-episodes", type=int, default=2,
+        help="episodes per emitted regression-cell replay",
+    )
+    adversarial.add_argument(
+        "--json", default=None, help="also write the search summary as JSON"
+    )
+    adversarial.set_defaults(func=cmd_adversarial)
 
     lint = sub.add_parser(
         "lint", help="fleetlint determinism & unit-safety static analysis"

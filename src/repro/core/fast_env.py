@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.config import RLConfig, SSDConfig
 from repro.core.actionspace import ActionSpace
+from repro.core.fault_profile import WindowFaultProfile
 from repro.core.monitor import WindowStats
 from repro.core.reward import multi_agent_rewards, single_agent_reward
 from repro.core.state import StateFeaturizer
@@ -88,10 +89,21 @@ class FastFleetEnv:
         rng: Optional[np.random.Generator] = None,
         episode_windows: int = 40,
         interference_coef: float = 7.0,
+        fault_profile: Optional[WindowFaultProfile] = None,
     ) -> None:
         if not vssd_specs:
             raise ValueError("need at least one vSSD spec")
         self.specs = list(vssd_specs)
+        #: Optional per-window fault effects (capacity multiplier, extra
+        #: tail latency, forced GC), evaluated on the episode-relative
+        #: clock.  ``None`` leaves the no-fault window arithmetic — and
+        #: therefore existing telemetry digests — byte-identical.
+        self.fault_profile = fault_profile
+        if fault_profile is not None and fault_profile.num_tenants != len(self.specs):
+            raise ValueError(
+                f"fault profile covers {fault_profile.num_tenants} tenants, "
+                f"env has {len(self.specs)}"
+            )
         self.rl_config = rl_config or RLConfig()
         self.ssd_config = ssd_config or SSDConfig()
         self.rng = rng or np.random.default_rng(0)
@@ -120,6 +132,8 @@ class FastFleetEnv:
         """
         self.t = 0
         self.time_s = float(self.rng.uniform(0.0, 30.0))
+        # Fault schedules are episode-relative: anchor their clock here.
+        self._episode_start_s = self.time_s
         # offered[i]: channels i currently offers; harvested[i][j]:
         # channels i harvests from j's offer.
         self.offered = np.zeros(self.n, dtype=np.int64)
@@ -235,6 +249,16 @@ class FastFleetEnv:
                 for i in range(self.n)
             ]
         )
+        if self.fault_profile is None:
+            fault_fx = None
+        else:
+            rel_s = t0 - self._episode_start_s
+            fault_fx = [
+                self.fault_profile.effects(i, rel_s) for i in range(self.n)
+            ]
+            capacities = capacities * np.array(
+                [fx[0] for fx in fault_fx], dtype=np.float64
+            )
         achieved = np.minimum(demands, np.maximum(capacities, 1e-6))
         utilizations = achieved / np.maximum(capacities, 1e-6)
         for i in range(self.n):
@@ -261,8 +285,12 @@ class FastFleetEnv:
             tail *= {Priority.LOW: 1.6, Priority.MEDIUM: 1.0, Priority.HIGH: 0.5}[
                 self.priority[i]
             ]
+            if fault_fx is not None:
+                tail = tail + fault_fx[i][1]
             write_frac = 1.0 - spec.workload.read_ratio
             in_gc = bool(self.rng.random() < min(0.8 * write_frac * congestion, 0.9))
+            if fault_fx is not None and fault_fx[i][2]:
+                in_gc = True
             if in_gc:
                 tail *= 1.3
             tail *= float(self.rng.lognormal(0.0, 0.05))

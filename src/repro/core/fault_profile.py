@@ -1,0 +1,143 @@
+"""Window-level fault effects for the analytic fast environments.
+
+The discrete-event substrate injects faults through
+:class:`~repro.faults.injector.FaultInjector`, which rewrites device
+timings on the simulator clock.  The analytic training environments
+(:mod:`repro.core.fast_env`, :mod:`repro.core.vector_env`) have no
+device — their window model needs fault effects expressed in its own
+vocabulary: a capacity multiplier, an additive tail-latency term, and a
+forced-GC flag per tenant per window.
+
+:class:`WindowFaultProfile` compiles a list of declarative
+:class:`~repro.faults.injector.FaultSpec` events into exactly that.
+Channel ownership follows the fast envs' convention: tenant ``i`` owns
+the contiguous channel block ``[sum(channels[:i]), sum(channels[:i+1]))``
+in spec order (the same layout the DES equal-split allocator and the
+``repro faults`` CLI assume).
+
+Semantics per supported kind, evaluated at a window's start time
+(*episode-relative* seconds — the fast envs start each episode at a
+random absolute offset, so fault clocks are anchored to episode start):
+
+* ``channel_slowdown`` — the channel contributes ``1 / factor`` of a
+  channel to its owner's capacity while active (factors of overlapping
+  slowdowns multiply, as in the DES injector).
+* ``channel_outage`` — the channel contributes nothing while active
+  (an outage wins over any slowdown, as in the DES injector).
+* ``latency_spike`` — the channel's ``extra_latency_us`` adds to its
+  owner's tail estimate, diluted by the owner's channel count (a spike
+  on one of four channels delays a quarter of the traffic).
+* ``gc_storm`` — the target tenant (named ``t<i>`` by spec order) is
+  forced into GC every active window.
+
+``monitor_dropout`` and ``agent_corruption`` target the telemetry
+pipeline, which the analytic model does not represent; compiling a
+profile from them is an error rather than a silent no-op.
+
+Determinism: :meth:`WindowFaultProfile.effects` is pure float
+arithmetic over the spec list — it consumes no randomness and both the
+scalar and the vectorized env call it with identical inputs, so the
+bit-exactness contract between them is preserved under faults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import FaultSpec
+
+#: Fault kinds the analytic window model can express.
+SUPPORTED_KINDS = ("channel_slowdown", "channel_outage", "latency_spike", "gc_storm")
+
+
+class WindowFaultProfile:
+    """Per-tenant, per-window fault effects compiled from FaultSpecs."""
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        tenant_channels: Sequence[int],
+        tenant_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        counts = [int(c) for c in tenant_channels]
+        if not counts or any(c <= 0 for c in counts):
+            raise ValueError("every tenant needs a positive channel count")
+        self.tenant_channels: Tuple[int, ...] = tuple(counts)
+        if tenant_names is None:
+            tenant_names = [f"t{i}" for i in range(len(counts))]
+        if len(tenant_names) != len(counts):
+            raise ValueError("one name per tenant required")
+        self.tenant_names: Tuple[str, ...] = tuple(tenant_names)
+        self._ranges: List[Tuple[int, int]] = []
+        offset = 0
+        for count in counts:
+            self._ranges.append((offset, offset + count))
+            offset += count
+        self.num_channels = offset
+
+        self._by_channel: Dict[int, List[FaultSpec]] = {}
+        self._gc_by_tenant: Dict[int, List[FaultSpec]] = {}
+        name_index = {name: i for i, name in enumerate(self.tenant_names)}
+        for spec in self.specs:
+            if spec.kind not in SUPPORTED_KINDS:
+                raise ValueError(
+                    f"fault kind {spec.kind!r} is not representable in the "
+                    "analytic window model (supported: "
+                    f"{', '.join(SUPPORTED_KINDS)})"
+                )
+            if spec.kind == "gc_storm":
+                assert spec.vssd is not None  # FaultSpec validated this
+                if spec.vssd not in name_index:
+                    raise ValueError(
+                        f"gc_storm targets unknown tenant {spec.vssd!r} "
+                        f"(have {list(self.tenant_names)})"
+                    )
+                self._gc_by_tenant.setdefault(name_index[spec.vssd], []).append(spec)
+            else:
+                assert spec.channel is not None  # FaultSpec validated this
+                if not 0 <= spec.channel < self.num_channels:
+                    raise ValueError(
+                        f"{spec.kind} targets channel {spec.channel}, but the "
+                        f"device has {self.num_channels}"
+                    )
+                self._by_channel.setdefault(spec.channel, []).append(spec)
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenant_channels)
+
+    def effects(self, tenant: int, rel_time_s: float) -> Tuple[float, float, bool]:
+        """``(capacity_mult, extra_tail_us, gc_forced)`` for one window.
+
+        ``rel_time_s`` is seconds since episode start.  The capacity
+        multiplier averages per-channel contribution rates over the
+        tenant's owned block; the extra tail term averages active spikes
+        the same way.  Both scale the tenant's *whole* effective
+        capacity/tail in the fast envs — a deliberate simplification of
+        the per-channel DES model that keeps the window arithmetic to a
+        handful of float ops.
+        """
+        lo, hi = self._ranges[tenant]
+        owned = float(hi - lo)
+        rate = 0.0
+        extra_sum = 0.0
+        for channel in range(lo, hi):
+            slowdown = 1.0
+            offline = False
+            extra = 0.0
+            for spec in self._by_channel.get(channel, ()):
+                if spec.start_s <= rel_time_s < spec.end_s:
+                    if spec.kind == "channel_slowdown":
+                        slowdown *= spec.factor
+                    elif spec.kind == "channel_outage":
+                        offline = True
+                    else:  # latency_spike
+                        extra += spec.extra_latency_us
+            rate += 0.0 if offline else 1.0 / slowdown
+            extra_sum += extra
+        gc_forced = any(
+            spec.start_s <= rel_time_s < spec.end_s
+            for spec in self._gc_by_tenant.get(tenant, ())
+        )
+        return rate / owned, extra_sum / owned, gc_forced

@@ -55,6 +55,7 @@ from repro.core.fast_env import (
     HOME_SHARE_LOSS,
     FastVssdSpec,
 )
+from repro.core.fault_profile import WindowFaultProfile
 from repro.core.monitor import WindowStats
 from repro.core.state import (
     BW_SCALE_MBPS,
@@ -111,10 +112,32 @@ class VectorFastFleetEnv:
         rngs: Optional[Sequence[np.random.Generator]] = None,
         episode_windows: int = 40,
         interference_coef: float = 7.0,
+        fault_profiles: Optional[Sequence[Optional[WindowFaultProfile]]] = None,
     ) -> None:
         if not vssd_spec_lists or any(not specs for specs in vssd_spec_lists):
             raise ValueError("need at least one vSSD spec per environment")
         self.specs: List[List[FastVssdSpec]] = [list(s) for s in vssd_spec_lists]
+        # One optional fault profile per environment, evaluated on each
+        # environment's episode-relative clock.  ``None`` everywhere
+        # keeps the no-fault window arithmetic byte-identical.
+        profiles: Optional[List[Optional[WindowFaultProfile]]]
+        if fault_profiles is None or all(p is None for p in fault_profiles):
+            profiles = None
+        else:
+            profiles = list(fault_profiles)
+            if len(profiles) != len(self.specs):
+                raise ValueError(
+                    f"need one fault profile (or None) per environment: "
+                    f"{len(profiles)} != {len(self.specs)}"
+                )
+            for k, profile in enumerate(profiles):
+                if profile is not None and profile.num_tenants != len(self.specs[k]):
+                    raise ValueError(
+                        f"fault profile for env {k} covers "
+                        f"{profile.num_tenants} tenants, env has "
+                        f"{len(self.specs[k])}"
+                    )
+        self._fault_profiles = profiles
         self.rl_config = rl_config or RLConfig()
         self.ssd_config = ssd_config or SSDConfig()
         self.episode_windows = episode_windows
@@ -241,6 +264,8 @@ class VectorFastFleetEnv:
                     if take > 0:
                         self.harvested[k, i, j] += take
                         want -= take
+        # Fault schedules are episode-relative: anchor per-env clocks.
+        self._episode_start_s = self.time_s.copy()
         self._history.clear()
         self._simulate_window()
         return self._states()
@@ -358,6 +383,25 @@ class VectorFastFleetEnv:
         capacities = effective_bw * (
             self._channels - HOME_SHARE_LOSS * shared_out + HARVEST_SHARE * shared_in
         )
+        # Fault effects: identical per-tenant floats to the scalar env's
+        # ``WindowFaultProfile.effects`` calls; padded lanes stay inert
+        # (multiplier 1, extra 0, no forced GC).
+        fault_extra: Optional[np.ndarray] = None
+        fault_forced: Optional[np.ndarray] = None
+        if self._fault_profiles is not None:
+            fault_mult = np.ones((K, n), dtype=np.float64)
+            fault_extra = np.zeros((K, n), dtype=np.float64)
+            fault_forced = np.zeros((K, n), dtype=bool)
+            for k, profile in enumerate(self._fault_profiles):
+                if profile is None:
+                    continue
+                rel_s = float(t0[k]) - float(self._episode_start_s[k])
+                for i in range(int(self.n_per_env[k])):
+                    mult, extra, forced = profile.effects(i, rel_s)
+                    fault_mult[k, i] = mult
+                    fault_extra[k, i] = extra
+                    fault_forced[k, i] = forced
+            capacities = capacities * fault_mult
         cap_floor = np.maximum(capacities, 1e-6)
         achieved = np.minimum(demands, cap_floor)
         utilizations = achieved / cap_floor
@@ -380,6 +424,8 @@ class VectorFastFleetEnv:
             1.0 + 2.5 * _pow4(utilizations) + self.interference_coef * foreign
         )
         tail = tail * _PRIORITY_TAIL_MULT[self.priority]
+        if fault_extra is not None:
+            tail = tail + fault_extra
 
         # GC draw + tail noise, interleaved per tenant as the scalar env
         # draws them.
@@ -391,6 +437,8 @@ class VectorFastFleetEnv:
                 gc_draw[k, i] = rng.random()
                 tail_noise[k, i] = float(rng.lognormal(0.0, 0.05))
         in_gc = gc_draw < np.minimum(0.8 * self._write_frac * utilizations, 0.9)
+        if fault_forced is not None:
+            in_gc = in_gc | fault_forced
         tail = np.where(in_gc, tail * 1.3, tail)
         tail = tail * tail_noise
 

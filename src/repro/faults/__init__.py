@@ -28,8 +28,18 @@ from repro.faults.injector import (
     monitor_dropout,
 )
 from repro.faults.scenarios import scenario_phases, slowdown_corruption_scenario
+from repro.faults.serialize import (
+    FAULT_SCHEMA_VERSION,
+    fault_from_dict,
+    fault_to_dict,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
 
 __all__ = [
+    "FAULT_SCHEMA_VERSION",
     "ControlEvent",
     "FaultInjector",
     "FaultSpec",
@@ -40,10 +50,16 @@ __all__ = [
     "agent_corruption",
     "channel_outage",
     "channel_slowdown",
+    "fault_from_dict",
+    "fault_to_dict",
     "gc_storm",
     "latency_spike",
     "monitor_dropout",
     "sanitize_stats",
+    "schedule_from_dict",
+    "schedule_from_json",
+    "schedule_to_dict",
+    "schedule_to_json",
     "scenario_phases",
     "slowdown_corruption_scenario",
 ]

@@ -1,0 +1,82 @@
+"""Versioned JSON round-trip for fault specs and schedules.
+
+Discovered adversarial scenarios are committed to the repository as
+regression fixtures, so their fault schedules need a stable, diffable
+on-disk form.  The schema is versioned: loaders reject documents written
+by a future schema rather than silently misreading them.
+
+Round-trips are exact: every ``FaultSpec`` field is written explicitly
+(including defaulted ones), floats survive JSON unchanged (Python emits
+shortest round-trip representations), and ``schedule_from_dict``
+re-validates through the ``FaultSpec`` constructor so a hand-edited
+fixture with an impossible fault fails at load time, not replay time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.faults.injector import FaultSpec
+
+#: Current schema version of serialized fault schedules.
+FAULT_SCHEMA_VERSION = 1
+
+#: FaultSpec fields in serialization order (matches the dataclass).
+_FIELDS = (
+    "kind",
+    "start_s",
+    "duration_s",
+    "channel",
+    "vssd",
+    "factor",
+    "extra_latency_us",
+    "gc_threshold",
+)
+
+
+def fault_to_dict(spec: FaultSpec) -> Dict[str, Any]:
+    """One fault as a plain JSON-able dict (every field explicit)."""
+    return {name: getattr(spec, name) for name in _FIELDS}
+
+
+def fault_from_dict(data: Mapping[str, Any]) -> FaultSpec:
+    """Rebuild one fault; unknown keys are rejected, defaults filled in."""
+    unknown = set(data) - set(_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+    if "kind" not in data or "start_s" not in data or "duration_s" not in data:
+        raise ValueError("a fault needs at least kind, start_s, duration_s")
+    return FaultSpec(**dict(data))
+
+
+def schedule_to_dict(specs: Sequence[FaultSpec]) -> Dict[str, Any]:
+    """A whole fault schedule as a versioned document."""
+    return {
+        "schema": FAULT_SCHEMA_VERSION,
+        "faults": [fault_to_dict(spec) for spec in specs],
+    }
+
+
+def schedule_from_dict(data: Mapping[str, Any]) -> List[FaultSpec]:
+    """Rebuild a schedule, checking the schema version first."""
+    schema = data.get("schema")
+    if schema != FAULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported fault schedule schema {schema!r} "
+            f"(this build reads version {FAULT_SCHEMA_VERSION})"
+        )
+    faults = data.get("faults")
+    if not isinstance(faults, list):
+        raise ValueError("fault schedule document needs a 'faults' list")
+    return [fault_from_dict(entry) for entry in faults]
+
+
+def schedule_to_json(specs: Sequence[FaultSpec], indent: int = 2) -> str:
+    """Pretty, diffable JSON for committed fixtures."""
+    return json.dumps(schedule_to_dict(specs), indent=indent, sort_keys=True)
+
+
+def schedule_from_json(text: str) -> List[FaultSpec]:
+    """Inverse of :func:`schedule_to_json`."""
+    return schedule_from_dict(json.loads(text))

@@ -9,6 +9,7 @@ telemetry is byte-identical to a serial run of the same matrix
 """
 
 from repro.parallel.matrix import (
+    AdversarialCell,
     ExperimentCell,
     ExperimentMatrix,
     PretrainCell,
@@ -24,6 +25,7 @@ from repro.parallel.runner import (
 from repro.parallel.worker import RUNNERS, CellOutcome, run_cell
 
 __all__ = [
+    "AdversarialCell",
     "ExperimentCell",
     "ExperimentMatrix",
     "PretrainCell",

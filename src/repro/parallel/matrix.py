@@ -10,6 +10,7 @@ matter which worker finished first.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
@@ -78,6 +79,34 @@ class PretrainCell:
     def cell_id(self) -> str:
         """Stable human-readable identity, e.g. ``pretrain/s7``."""
         return f"pretrain/s{self.seed}"
+
+
+@dataclass(frozen=True)
+class AdversarialCell:
+    """One scenario-genome evaluation — the regret search's atom of work.
+
+    ``genome_json`` is the genome's *canonical* JSON
+    (:meth:`repro.adversarial.genome.ScenarioGenome.canonical_json`), so
+    the cell id's digest equals the genome's own digest and equal
+    scenarios compare (and pickle) identically.  ``protagonist`` is a
+    serializable policy spec as sorted ``(name, value)`` pairs, resolved
+    worker-side by :func:`repro.adversarial.search.resolve_protagonist`.
+    """
+
+    genome_json: str
+    seed: int
+    protagonist: Tuple[Tuple[str, object], ...] = (("kind", "tiny"),)
+    antagonist_iters: int = 2
+    eval_episodes: int = 2
+    envs: int = 2
+    #: Name of the registered cell runner (``repro.parallel.worker``).
+    runner: str = "adversarial"
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identity, e.g. ``adv/3f9c2ab41d07/s11``."""
+        digest = hashlib.sha256(self.genome_json.encode("utf-8")).hexdigest()[:12]
+        return f"adv/{digest}/s{self.seed}"
 
 
 @dataclass(frozen=True)

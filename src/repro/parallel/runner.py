@@ -49,15 +49,23 @@ class CellFailure:
     exitcode: Optional[int] = None
     #: ``{"type", "message", "traceback"}`` when the runner raised.
     error: Optional[dict] = None
+    #: How many launches this cell got before being declared failed.
+    attempts: int = 1
+    #: True when the final attempt was terminated by the hung-worker
+    #: watchdog rather than dying on its own.
+    hung: bool = False
 
     def describe(self) -> str:
         """One line: what failed and how."""
+        retries = f" after {self.attempts} attempts" if self.attempts > 1 else ""
         if self.error is not None:
             return (
                 f"{self.cell.cell_id}: {self.error['type']}: "
                 f"{self.error['message']}"
             )
-        return f"{self.cell.cell_id}: worker died (exitcode={self.exitcode})"
+        if self.hung:
+            return f"{self.cell.cell_id}: worker hung (terminated){retries}"
+        return f"{self.cell.cell_id}: worker died (exitcode={self.exitcode}){retries}"
 
 
 @dataclass
@@ -144,9 +152,30 @@ class ParallelRunner:
         workers: Optional[int] = None,
         profile: bool = True,
         start_method: Optional[str] = None,
+        join_timeout_s: Optional[float] = 900.0,
+        max_attempts: int = 2,
+        retry_backoff_s: float = 0.5,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if join_timeout_s is not None and join_timeout_s <= 0:
+            raise ValueError(f"join_timeout_s must be positive, got {join_timeout_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if retry_backoff_s < 0:
+            raise ValueError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        #: Hung-worker watchdog: a worker that neither reports nor exits
+        #: within this budget is terminated (``None`` disables the
+        #: watchdog).  The sweep then retries or records the cell as a
+        #: hung :class:`CellFailure` and *returns the other cells'
+        #: results* — one wedged worker no longer hangs the whole sweep.
+        self.join_timeout_s = join_timeout_s
+        #: Total launches a cell may consume.  Worker *deaths* (crash or
+        #: hang — environmental failures) are retried with exponential
+        #: backoff up to this bound; a runner that raises in-process is
+        #: deterministic and fails immediately without retry.
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
         # Cap at the core count: more workers than cores cannot run
         # concurrently — they just time-slice one another and add process
         # startup/scheduling overhead, turning "parallel" runs slower
@@ -166,15 +195,23 @@ class ParallelRunner:
     def run(self, cells: Sequence[WorkCell]) -> SweepResult:
         """Run the cells; returns merged results in matrix order."""
         started = time.perf_counter()
-        slots: dict = {}  # index -> (cell, process, conn, outcome-or-None)
+        # index -> [cell, process, conn, payload-or-None, attempt, deadline]
+        slots: dict = {}
         outcomes: dict = {}  # index -> CellOutcome | CellFailure
-        next_cell = 0
         cells = list(cells)
-        while next_cell < len(cells) or slots:
-            while next_cell < len(cells) and len(slots) < self.workers:
-                index = next_cell
-                next_cell += 1
-                cell = cells[index]
+        # Launch queue entries: (index, cell, attempt, not_before).  The
+        # initial pass launches in matrix order; crashed/hung workers
+        # re-enter at the back with a backoff-delayed not_before.
+        pending: list = [(i, cell, 1, 0.0) for i, cell in enumerate(cells)]
+        while pending or slots:
+            now = time.monotonic()
+            i = 0
+            while i < len(pending) and len(slots) < self.workers:
+                index, cell, attempt, not_before = pending[i]
+                if not_before > now:
+                    i += 1
+                    continue
+                pending.pop(i)
                 parent_conn, child_conn = self._ctx.Pipe(duplex=False)
                 proc = self._ctx.Process(
                     target=_child_main,
@@ -183,8 +220,18 @@ class ParallelRunner:
                 )
                 proc.start()
                 child_conn.close()
-                slots[index] = [cell, proc, parent_conn, None]
-            self._drain(slots, outcomes)
+                deadline = (
+                    None
+                    if self.join_timeout_s is None
+                    else time.monotonic() + self.join_timeout_s
+                )
+                slots[index] = [cell, proc, parent_conn, None, attempt, deadline]
+            if not slots:
+                # Every queued cell is waiting out its retry backoff.
+                wake = min(entry[3] for entry in pending)
+                time.sleep(max(wake - time.monotonic(), 0.0) + 0.001)
+                continue
+            self._drain(slots, outcomes, pending)
         return SweepResult(
             outcomes=[outcomes[i] for i in range(len(cells))],
             wall_s=time.perf_counter() - started,
@@ -192,17 +239,76 @@ class ParallelRunner:
             mode=f"parallel/{self.start_method}",
         )
 
-    def _drain(self, slots: dict, outcomes: dict) -> None:
-        """Wait for at least one child event; collect whatever is ready."""
+    def _wait_timeout(self, slots: dict, pending: list) -> Optional[float]:
+        """How long ``connection.wait`` may block before the runner must
+        act: the nearest watchdog deadline or retry wake-up."""
+        now = time.monotonic()
+        horizons = [
+            deadline
+            for _c, _p, _conn, _payload, _a, deadline in slots.values()
+            if deadline is not None
+        ]
+        horizons.extend(entry[3] for entry in pending)
+        if not horizons:
+            return None
+        return max(min(horizons) - now, 0.0)
+
+    def _reap(self, proc) -> None:
+        """Bounded shutdown of a finished or condemned worker process.
+
+        ``join`` with a timeout instead of an unbounded join: a child
+        that closed its pipe but wedged on the way out (atexit hook,
+        stuck flush) cannot hang the sweep.  Escalates to ``terminate``
+        and then ``kill`` before the final reaping join.
+        """
+        proc.join(5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(5.0)
+        if proc.is_alive():  # pragma: no cover - needs an unkillable child
+            proc.kill()
+            proc.join()
+
+    def _retry_or_fail(
+        self,
+        index: int,
+        cell: WorkCell,
+        attempt: int,
+        pending: list,
+        outcomes: dict,
+        exitcode: Optional[int],
+        hung: bool,
+    ) -> None:
+        """Queue a dead worker's cell for retry, or record the failure."""
+        if attempt < self.max_attempts:
+            not_before = time.monotonic() + self.retry_backoff_s * (
+                2.0 ** (attempt - 1)
+            )
+            pending.append((index, cell, attempt + 1, not_before))
+        else:
+            outcomes[index] = CellFailure(
+                cell=cell, exitcode=exitcode, attempts=attempt, hung=hung
+            )
+
+    def _drain(self, slots: dict, outcomes: dict, pending: list) -> None:
+        """Wait for at least one child event; collect whatever is ready.
+
+        Also the hung-worker watchdog: waiting is bounded by the nearest
+        slot deadline, and a worker still silent past its deadline is
+        terminated and retried/failed, so the sweep always returns the
+        surviving cells' results.
+        """
         handles = []
-        for cell, proc, conn, payload in slots.values():
+        for cell, proc, conn, payload, attempt, deadline in slots.values():
             if payload is None:
                 handles.append(conn)
             handles.append(proc.sentinel)
-        ready = set(connection.wait(handles))
+        ready = set(
+            connection.wait(handles, timeout=self._wait_timeout(slots, pending))
+        )
         finished = []
         for index, slot in slots.items():
-            cell, proc, conn, payload = slot
+            cell, proc, conn, payload, attempt, deadline = slot
             if payload is None and conn in ready:
                 try:
                     slot[3] = conn.recv()
@@ -213,7 +319,7 @@ class ParallelRunner:
             if proc.sentinel in ready:
                 finished.append(index)
         for index in finished:
-            cell, proc, conn, payload = slots.pop(index)
+            cell, proc, conn, payload, attempt, _deadline = slots.pop(index)
             # The child may have exited between wait() and recv(); pull
             # any payload that is already buffered in the pipe.
             if payload is None and conn.poll():
@@ -221,11 +327,42 @@ class ParallelRunner:
                     payload = conn.recv()
                 except EOFError:
                     payload = None
-            proc.join()
+            self._reap(proc)
             conn.close()
             if payload is None:
-                outcomes[index] = CellFailure(cell=cell, exitcode=proc.exitcode)
+                # The worker died without reporting — an environmental
+                # failure (crash, OOM kill); worth retrying.
+                self._retry_or_fail(
+                    index, cell, attempt, pending, outcomes, proc.exitcode, False
+                )
             elif payload.ok:
+                payload.attempts = attempt
                 outcomes[index] = payload
             else:
-                outcomes[index] = CellFailure(cell=cell, error=payload.error)
+                # The runner raised in-process: deterministic, no retry.
+                outcomes[index] = CellFailure(
+                    cell=cell, error=payload.error, attempts=attempt
+                )
+        now = time.monotonic()
+        expired = [
+            index
+            for index, slot in slots.items()
+            if slot[5] is not None and now >= slot[5]
+        ]
+        for index in expired:
+            cell, proc, conn, payload, attempt, _deadline = slots.pop(index)
+            proc.terminate()
+            self._reap(proc)
+            conn.close()
+            if payload is not None and payload.ok:
+                # Reported but wedged on exit — the result is in hand.
+                payload.attempts = attempt
+                outcomes[index] = payload
+            elif payload is not None:
+                outcomes[index] = CellFailure(
+                    cell=cell, error=payload.error, attempts=attempt
+                )
+            else:
+                self._retry_or_fail(
+                    index, cell, attempt, pending, outcomes, proc.exitcode, True
+                )

@@ -26,12 +26,12 @@ from repro.config import SSDConfig
 from repro.harness.experiment import Experiment
 from repro.harness.report import results_csv_bytes
 from repro.harness.telemetry import windows_csv_bytes
-from repro.parallel.matrix import ExperimentCell, PretrainCell
+from repro.parallel.matrix import AdversarialCell, ExperimentCell, PretrainCell
 from repro.profiling import PROFILER
 
 #: Anything the runner registry can execute: every cell type exposes
 #: ``cell_id`` and ``runner``.
-WorkCell = Union[ExperimentCell, PretrainCell]
+WorkCell = Union[ExperimentCell, PretrainCell, AdversarialCell]
 
 
 @dataclass
@@ -51,6 +51,9 @@ class CellOutcome:
     error: Optional[dict] = None
     wall_s: float = 0.0
     pid: int = 0
+    #: Which launch attempt produced this outcome (1 = first try; >1
+    #: means the parallel runner retried a crashed/hung worker).
+    attempts: int = 1
 
 
 def _run_experiment_cell(cell: ExperimentCell) -> CellOutcome:
@@ -94,16 +97,58 @@ def _run_pretrain_cell(cell: PretrainCell) -> CellOutcome:
     return CellOutcome(cell=cell, ok=True, result=result, telemetry=telemetry)
 
 
+def _run_adversarial_cell(cell: AdversarialCell) -> CellOutcome:
+    """Adversarial runner: score one scenario genome by regret.
+
+    Deferred import for the same reason as pre-training: experiment-only
+    workers must not load the training stack.  Telemetry is one
+    deterministic JSON line of the regret metrics, so serial and
+    parallel searches are byte-comparable.
+    """
+    from repro.adversarial.search import evaluate_cell
+
+    metrics = evaluate_cell(cell)
+    fingerprint = {"cell": cell.cell_id}
+    fingerprint.update(metrics)
+    telemetry = (json.dumps(fingerprint, sort_keys=True) + "\n").encode("utf-8")
+    return CellOutcome(cell=cell, ok=True, result=metrics, telemetry=telemetry)
+
+
 def _crash_cell(cell: WorkCell) -> CellOutcome:  # pragma: no cover
     """Test-only runner: die without reporting (simulates a hard crash)."""
     os._exit(13)
+
+
+def _hang_cell(cell: WorkCell) -> CellOutcome:  # pragma: no cover
+    """Test-only runner: never report (simulates a wedged worker)."""
+    time.sleep(3600.0)
+    raise AssertionError("unreachable")
+
+
+def _flaky_cell(cell: WorkCell) -> CellOutcome:
+    """Test-only runner: hard-crash once, then succeed.
+
+    The cell's ``scenario`` field carries a marker-file path; the first
+    attempt creates it and dies without reporting, later attempts find
+    it and return a fixed payload.  Only meaningful under the parallel
+    runner (a serial run would take the whole process down).
+    """
+    marker = cell.scenario  # type: ignore[union-attr]
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed-once\n")
+        os._exit(17)
+    return CellOutcome(cell=cell, ok=True, result=None, telemetry=b"flaky-ok\n")
 
 
 #: Registered cell runners, selected by the cell's ``runner`` field.
 RUNNERS: Dict[str, Callable[..., CellOutcome]] = {
     "experiment": _run_experiment_cell,
     "pretrain": _run_pretrain_cell,
+    "adversarial": _run_adversarial_cell,
     "crash": _crash_cell,
+    "hang": _hang_cell,
+    "flaky": _flaky_cell,
 }
 
 

@@ -1,0 +1,113 @@
+"""Committed regression cells replay byte-identically (tier-1 gate).
+
+Every cell under ``benchmarks/adversarial_cells/`` was discovered by
+``repro adversarial`` and committed with its replay digest.  This module
+replays each one with the guardrail stack active and asserts:
+
+* the telemetry digest matches the committed value bit for bit,
+* the guardrail/watchdog behaviour (fallback count, collapse-streak
+  bound) matches the record,
+* suspended agents really act through the safe no-op action,
+* replaying twice in-process is stable.
+
+A digest mismatch means the analytic envs, the guardrails, or the
+policy forward pass changed behaviour under these known-hard scenarios.
+If the change is intentional, regenerate the cells:
+``python -m repro adversarial --rounds 3 --population 6 --seed 20260808
+--top 3 --emit-cells benchmarks/adversarial_cells``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.adversarial import (
+    ScenarioGenome,
+    load_cell,
+    make_cell,
+    replay_cell,
+    replay_genome,
+    tiny_protagonist_params,
+    verify_cell,
+    write_cell,
+)
+from repro.adversarial.replay import _safe_action
+from repro.config import SSDConfig
+from repro.core.actionspace import ActionSpace
+from repro.faults.guardrails import GuardrailConfig
+
+CELL_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "adversarial_cells"
+CELL_PATHS = sorted(CELL_DIR.glob("adv-*.json"))
+
+
+def test_cells_are_committed():
+    """The repository must carry at least two discovered scenarios."""
+    assert len(CELL_PATHS) >= 2, f"no regression cells in {CELL_DIR}"
+
+
+@pytest.mark.parametrize("path", CELL_PATHS, ids=lambda p: p.stem)
+def test_cell_replays_byte_identically(path):
+    cell = load_cell(path)
+    problems = verify_cell(cell)
+    assert not problems, "; ".join(problems)
+
+
+@pytest.mark.parametrize("path", CELL_PATHS, ids=lambda p: p.stem)
+def test_cell_guardrail_contract(path):
+    cell = load_cell(path)
+    result = replay_cell(cell)
+    # The committed scenarios were selected to exercise the watchdog.
+    assert result.fallbacks == cell["replay"]["fallbacks"]
+    assert result.max_collapse_streak <= GuardrailConfig().collapse_windows
+    # Suspended windows act through the safe no-op action only.
+    safe = _safe_action(ActionSpace(SSDConfig().channel_write_bandwidth_mbps))
+    suspended_rows = [
+        line for line in result.telemetry if line.split(",")[6] != "normal"
+    ]
+    assert len(suspended_rows) == result.suspended_windows
+    assert all(int(line.split(",")[3]) == safe for line in suspended_rows)
+
+
+def test_committed_cells_exercise_the_watchdog():
+    """At least one committed scenario must drive a tenant into fallback."""
+    assert any(
+        load_cell(path)["replay"]["fallbacks"] > 0 for path in CELL_PATHS
+    )
+
+
+def test_replay_twice_is_stable():
+    cell = load_cell(CELL_PATHS[0])
+    assert replay_cell(cell).digest == replay_cell(cell).digest
+
+
+def test_cell_write_load_round_trip(tmp_path):
+    cell = load_cell(CELL_PATHS[0])
+    genome = ScenarioGenome.from_dict(cell["genome"])
+    params = tiny_protagonist_params(
+        seed=int(cell["replay"]["protagonist"]["seed"]),
+        iterations=int(cell["replay"]["protagonist"]["iterations"]),
+    )
+    replay = replay_genome(
+        genome,
+        params,
+        seed=int(cell["replay"]["seed"]),
+        episodes=int(cell["replay"]["episodes"]),
+    )
+    rebuilt = make_cell(
+        genome,
+        cell["replay"]["protagonist"],
+        replay,
+        seed=int(cell["replay"]["seed"]),
+        episodes=int(cell["replay"]["episodes"]),
+        provenance=cell["provenance"],
+    )
+    path = write_cell(rebuilt, tmp_path)
+    assert load_cell(path) == rebuilt
+    assert rebuilt["replay"]["digest"] == cell["replay"]["digest"]
+
+
+def test_tampered_cell_detected(tmp_path):
+    cell = load_cell(CELL_PATHS[0])
+    cell["replay"]["digest"] = "0" * 64
+    problems = verify_cell(cell)
+    assert problems and "digest" in problems[0]

@@ -1,0 +1,140 @@
+"""Tests for scenario genomes: serialization, determinism, invariants."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adversarial import (
+    GENOME_SCHEMA_VERSION,
+    ScenarioGenome,
+    TenantGene,
+    crossover,
+    mutate,
+    random_genome,
+)
+from repro.config import SSDConfig
+from repro.faults.injector import FaultSpec
+
+NUM_CHANNELS = SSDConfig().num_channels
+
+
+def _fixed_genome():
+    return ScenarioGenome(
+        tenants=(
+            TenantGene("livemaps", 6, phases=((4.0, 1.0), (3.0, 0.0))),
+            TenantGene("batchanalytics", 10),
+        ),
+        faults=(
+            FaultSpec("channel_slowdown", 4.0, 8.0, channel=0, factor=3.0),
+            FaultSpec("gc_storm", 6.0, 6.0, vssd="t1"),
+        ),
+        episode_windows=12,
+    )
+
+
+def test_round_trip_exact():
+    genome = _fixed_genome()
+    again = ScenarioGenome.from_dict(genome.to_dict())
+    assert again == genome
+    assert ScenarioGenome.from_json(genome.canonical_json()) == genome
+
+
+def test_digest_stable_and_canonical():
+    genome = _fixed_genome()
+    assert genome.digest == _fixed_genome().digest
+    # Key order must not matter: the canonical form sorts keys.
+    shuffled = json.loads(genome.canonical_json())
+    assert ScenarioGenome.from_dict(shuffled).digest == genome.digest
+    # Any semantic change moves the digest.
+    import dataclasses
+
+    other = dataclasses.replace(genome, episode_windows=13)
+    assert other.digest != genome.digest
+
+
+def test_future_schema_rejected():
+    data = _fixed_genome().to_dict()
+    data["schema"] = GENOME_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        ScenarioGenome.from_dict(data)
+
+
+def test_specs_and_fault_profile_build():
+    genome = _fixed_genome()
+    specs = genome.specs()
+    assert [spec.channels for spec in specs] == [6, 10]
+    assert [
+        (p.duration_s, p.scale) for p in specs[0].workload.phases
+    ] == [(4.0, 1.0), (3.0, 0.0)]
+    profile = genome.fault_profile()
+    assert profile is not None
+    assert profile.num_tenants == 2
+    # The slowdown on channel 0 hits tenant 0 while active.
+    mult, _extra, _gc = profile.effects(0, 5.0)
+    assert mult < 1.0
+    _m, _e, forced = profile.effects(1, 7.0)
+    assert forced
+
+
+def test_validation_catches_structural_problems():
+    import dataclasses
+
+    genome = _fixed_genome()
+    genome.validate(NUM_CHANNELS)
+    bad_channels = dataclasses.replace(
+        genome, tenants=(genome.tenants[0], TenantGene("batchanalytics", 9))
+    )
+    with pytest.raises(ValueError, match="sum"):
+        bad_channels.validate(NUM_CHANNELS)
+    bad_fault = dataclasses.replace(
+        genome, faults=(FaultSpec("gc_storm", 0.0, 5.0, vssd="t9"),)
+    )
+    with pytest.raises(ValueError, match="t9"):
+        bad_fault.validate(NUM_CHANNELS)
+    late_fault = dataclasses.replace(
+        genome, faults=(FaultSpec("channel_outage", 1e6, 5.0, channel=0),)
+    )
+    with pytest.raises(ValueError, match="horizon"):
+        late_fault.validate(NUM_CHANNELS)
+
+
+def test_random_genome_deterministic_and_valid():
+    a = random_genome(np.random.default_rng(123))
+    b = random_genome(np.random.default_rng(123))
+    assert a == b
+    for seed in range(20):
+        genome = random_genome(np.random.default_rng(seed))
+        genome.validate(NUM_CHANNELS)
+        assert genome.num_channels == NUM_CHANNELS
+        assert all(gene.channels >= 2 for gene in genome.tenants)
+
+
+def test_mutate_deterministic_and_preserves_invariants():
+    rng_seed = 0
+    for seed in range(20):
+        genome = random_genome(np.random.default_rng(seed))
+        child_a = mutate(genome, np.random.default_rng(rng_seed))
+        child_b = mutate(genome, np.random.default_rng(rng_seed))
+        assert child_a == child_b
+        child_a.validate(NUM_CHANNELS)
+        assert child_a.num_channels == NUM_CHANNELS
+
+
+def test_mutation_explores_the_space():
+    """Across many draws, mutation actually changes the genome."""
+    genome = random_genome(np.random.default_rng(5))
+    rng = np.random.default_rng(99)
+    changed = sum(mutate(genome, rng) != genome for _ in range(20))
+    assert changed >= 15
+
+
+def test_crossover_deterministic_and_valid():
+    a = random_genome(np.random.default_rng(1))
+    b = random_genome(np.random.default_rng(2))
+    child_x = crossover(a, b, np.random.default_rng(7))
+    child_y = crossover(a, b, np.random.default_rng(7))
+    assert child_x == child_y
+    child_x.validate(NUM_CHANNELS)
+    # Tenant structure travels wholesale from one parent.
+    assert child_x.tenants in (a.tenants, b.tenants)

@@ -1,0 +1,80 @@
+"""Tests for the regret search: determinism, fairness, parallel parity."""
+
+import numpy as np
+import pytest
+
+from repro.adversarial import (
+    adversarial_search,
+    evaluate_genome,
+    random_genome,
+    tiny_protagonist_params,
+)
+
+#: One under-trained protagonist shared by the whole module (memoized).
+PROTAGONIST = {"kind": "tiny", "seed": 7, "iterations": 1}
+
+#: Micro-search settings: small enough for CI, large enough to evolve.
+SEARCH_KWARGS = dict(
+    rounds=2,
+    population=3,
+    seed=11,
+    antagonist_iters=1,
+    eval_episodes=1,
+    envs=2,
+    episode_windows=8,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return tiny_protagonist_params(seed=7, iterations=1)
+
+
+def test_evaluate_genome_deterministic(params):
+    genome = random_genome(np.random.default_rng(3), episode_windows=8)
+    a = evaluate_genome(
+        genome, params, 55, antagonist_iters=1, eval_episodes=1, envs=2
+    )
+    b = evaluate_genome(
+        genome, params, 55, antagonist_iters=1, eval_episodes=1, envs=2
+    )
+    assert a == b
+    assert a["regret"] == a["antagonist_score"] - a["protagonist_score"]
+
+
+def test_search_deterministic_serial(params):
+    del params  # warm the cache before timing-sensitive fan-out
+    first = adversarial_search(PROTAGONIST, **SEARCH_KWARGS)
+    second = adversarial_search(PROTAGONIST, **SEARCH_KWARGS)
+    assert [c.genome.digest for c in first.candidates] == [
+        c.genome.digest for c in second.candidates
+    ]
+    assert [c.regret for c in first.candidates] == [
+        c.regret for c in second.candidates
+    ]
+    assert first.evaluations == second.evaluations
+    assert first.candidates, "search produced no scored candidates"
+    assert first.top(1)[0].regret == max(c.regret for c in first.candidates)
+
+
+def test_search_parallel_matches_serial(params):
+    del params
+    serial = adversarial_search(PROTAGONIST, **SEARCH_KWARGS)
+    parallel = adversarial_search(PROTAGONIST, workers=2, **SEARCH_KWARGS)
+    assert [(c.genome.digest, c.regret) for c in serial.candidates] == [
+        (c.genome.digest, c.regret) for c in parallel.candidates
+    ]
+
+
+def test_search_rejects_degenerate_settings():
+    with pytest.raises(ValueError):
+        adversarial_search(PROTAGONIST, rounds=0, population=3, seed=0)
+    with pytest.raises(ValueError):
+        adversarial_search(PROTAGONIST, rounds=1, population=1, seed=0)
+
+
+def test_unknown_protagonist_kind_rejected():
+    from repro.adversarial import resolve_protagonist
+
+    with pytest.raises(ValueError, match="nope"):
+        resolve_protagonist({"kind": "nope"})

@@ -14,7 +14,9 @@ import pytest
 
 from repro.config import CLUSTER_ALPHAS, SSDConfig
 from repro.core.fast_env import FastFleetEnv, FastVssdSpec
+from repro.core.fault_profile import WindowFaultProfile
 from repro.core.vector_env import VectorFastFleetEnv, _pow4
+from repro.faults.injector import FaultSpec
 from repro.workloads.catalog import CLUSTER_GROUND_TRUTH, get_spec
 
 
@@ -167,6 +169,116 @@ def test_lockstep_done_flag():
     padded = np.zeros((1, vec.n_max), dtype=np.int64)
     dones = [vec.step(padded)[2] for _ in range(3)]
     assert dones == [False, False, True]
+
+
+def _mixed_fault_profiles(spec_lists):
+    """Per-env fault profiles exercising every supported kind, with the
+    second env deliberately fault-free (``None`` lane)."""
+    profiles = []
+    for k, specs in enumerate(spec_lists):
+        channels = [spec.channels for spec in specs]
+        if k == 1:
+            profiles.append(None)
+            continue
+        faults = [
+            FaultSpec("channel_slowdown", 2.0, 14.0, channel=0, factor=4.0),
+            FaultSpec("channel_outage", 4.0, 10.0, channel=channels[0]),
+            FaultSpec(
+                "latency_spike", 0.0, 20.0, channel=0, extra_latency_us=8000.0
+            ),
+            FaultSpec("gc_storm", 6.0, 12.0, vssd="t0"),
+        ]
+        profiles.append(WindowFaultProfile(faults, channels))
+    return profiles
+
+
+def test_fault_schedule_bit_identical_to_scalar():
+    """Satellite contract: an injected fault schedule leaves env ``k`` of
+    the vector fleet bit-identical to a lone scalar env under the same
+    profile — states, rewards, and every WindowStats field."""
+    spec_lists = [_specs(names) for names in MIXES]
+    profiles = _mixed_fault_profiles(spec_lists)
+    children = np.random.SeedSequence(4321).spawn(len(spec_lists))
+    vec = VectorFastFleetEnv(
+        spec_lists,
+        rngs=[np.random.default_rng(child) for child in children],
+        episode_windows=10,
+        fault_profiles=profiles,
+    )
+    scalars = [
+        FastFleetEnv(
+            [dataclasses.replace(spec) for spec in specs],
+            rng=np.random.default_rng(child),
+            episode_windows=10,
+            fault_profile=profile,
+        )
+        for specs, child, profile in zip(spec_lists, children, profiles)
+    ]
+    states = vec.reset()
+    for k, env in enumerate(scalars):
+        ref = env.reset()
+        for i in range(env.n):
+            assert (states[k, i] == ref[i]).all(), f"reset env {k} tenant {i}"
+    act_rng = np.random.default_rng(11)
+    num_actions = vec.action_space.num_actions
+    for _t in range(10):
+        padded = np.zeros((vec.num_envs, vec.n_max), dtype=np.int64)
+        per_env = []
+        for k, env in enumerate(scalars):
+            actions = {
+                i: int(act_rng.integers(0, num_actions)) for i in range(env.n)
+            }
+            per_env.append(actions)
+            for i, a in actions.items():
+                padded[k, i] = a
+        states, rewards, done, _info = vec.step(padded)
+        for k, env in enumerate(scalars):
+            ref_states, ref_rewards, ref_done, ref_info = env.step(per_env[k])
+            assert done == ref_done
+            for i in range(env.n):
+                assert (states[k, i] == ref_states[i]).all(), f"env {k} tenant {i}"
+                assert rewards[k, i] == ref_rewards[i]
+            for got, want in zip(vec.window_stats(k), ref_info["stats"]):
+                assert got == want, f"env {k} vssd {got.vssd_id}"
+        if done:
+            break
+
+
+def test_fault_schedule_changes_outcomes():
+    """The same streams without the profile produce different telemetry —
+    the fault hook is live, not a no-op."""
+    spec_lists = [_specs(MIXES[0])]
+    profiles = _mixed_fault_profiles(spec_lists)
+    runs = []
+    for use_faults in (True, False):
+        child = np.random.SeedSequence(777).spawn(1)[0]
+        env = FastFleetEnv(
+            [dataclasses.replace(spec) for spec in spec_lists[0]],
+            rng=np.random.default_rng(child),
+            episode_windows=8,
+            fault_profile=profiles[0] if use_faults else None,
+        )
+        env.reset()
+        total = 0.0
+        for _ in range(8):
+            _s, _r, _d, info = env.step({i: 0 for i in range(env.n)})
+            total += sum(s.slo_violation_frac for s in info["stats"])
+        runs.append(total)
+    assert runs[0] != runs[1]
+    assert runs[0] > runs[1]  # faults hurt
+
+
+def test_fault_profile_tenant_mismatch_rejected():
+    specs = _specs(MIXES[0])
+    profile = WindowFaultProfile(
+        [FaultSpec("gc_storm", 0.0, 5.0, vssd="t0")], [4, 4, 4]
+    )
+    with pytest.raises(ValueError):
+        FastFleetEnv(specs, fault_profile=profile)
+    with pytest.raises(ValueError):
+        VectorFastFleetEnv(
+            [specs], rngs=[np.random.default_rng(0)], fault_profiles=[profile]
+        )
 
 
 def test_pow4_matches_scalar_pow():

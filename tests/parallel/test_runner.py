@@ -131,5 +131,96 @@ def test_rejects_bad_worker_count():
         ParallelRunner(workers=0)
 
 
+def test_rejects_bad_hardening_parameters():
+    with pytest.raises(ValueError):
+        ParallelRunner(join_timeout_s=0.0)
+    with pytest.raises(ValueError):
+        ParallelRunner(max_attempts=0)
+    with pytest.raises(ValueError):
+        ParallelRunner(retry_backoff_s=-1.0)
+
+
 def test_outcome_types(parallel_result):
     assert all(isinstance(o, CellOutcome) for o in parallel_result.outcomes)
+
+
+# ----------------------------------------------------------------------
+# Self-healing: retry-with-backoff, hung-worker watchdog
+# ----------------------------------------------------------------------
+def _good_cell(scenario, seed=0):
+    return ExperimentCell(
+        scenario, ("ycsb",), "hardware", seed, duration_s=0.5, measure_after_s=0.1
+    )
+
+
+def test_crashed_worker_retried_then_succeeds(tmp_path):
+    """A worker that hard-crashes once comes back on attempt 2."""
+    marker = tmp_path / "flaky-marker"
+    cells = [
+        _good_cell("good"),
+        ExperimentCell(str(marker), ("ycsb",), "hardware", 0, runner="flaky"),
+    ]
+    result = ParallelRunner(
+        workers=2, max_attempts=2, retry_backoff_s=0.05
+    ).run(cells)
+    assert result.ok
+    flaky = result.outcomes[1]
+    assert isinstance(flaky, CellOutcome)
+    assert flaky.attempts == 2
+    assert flaky.telemetry == b"flaky-ok\n"
+    assert result.outcomes[0].attempts == 1
+    assert marker.exists()
+
+
+def test_crash_every_attempt_fails_with_attempt_count():
+    cells = [ExperimentCell("boom", ("ycsb",), "hardware", 0, runner="crash")]
+    result = ParallelRunner(
+        workers=1, max_attempts=2, retry_backoff_s=0.05
+    ).run(cells)
+    (failure,) = result.failures
+    assert isinstance(failure, CellFailure)
+    assert failure.attempts == 2
+    assert failure.exitcode == 13
+    assert not failure.hung
+    assert "after 2 attempts" in failure.describe()
+
+
+def test_deterministic_exception_is_not_retried():
+    """A runner that raises fails on attempt 1 even with retries allowed."""
+    cells = [ExperimentCell("bad", ("no-such-workload",), "hardware", 0)]
+    result = ParallelRunner(workers=1, max_attempts=3).run(cells)
+    (failure,) = result.failures
+    assert failure.error["type"] == "KeyError"
+    assert failure.attempts == 1
+
+
+def test_hung_worker_terminated_with_partial_results():
+    """The watchdog kills a wedged worker; other cells' results survive
+    and merge byte-identically to a serial run of the good cells."""
+    good = [_good_cell("good", 0), _good_cell("also-good", 1)]
+    cells = [
+        good[0],
+        ExperimentCell("wedge", ("ycsb",), "hardware", 0, runner="hang"),
+        good[1],
+    ]
+    result = ParallelRunner(
+        workers=3, join_timeout_s=1.5, max_attempts=1
+    ).run(cells)
+    assert not result.ok
+    (failure,) = result.failures
+    assert isinstance(failure, CellFailure)
+    assert failure.hung
+    assert failure.attempts == 1
+    assert "hung" in failure.describe()
+    assert len(result.succeeded) == 2
+    assert result.telemetry == run_serial(good).telemetry
+
+
+def test_hung_worker_retried_before_failing():
+    cells = [ExperimentCell("wedge", ("ycsb",), "hardware", 0, runner="hang")]
+    result = ParallelRunner(
+        workers=1, join_timeout_s=0.5, max_attempts=2, retry_backoff_s=0.05
+    ).run(cells)
+    (failure,) = result.failures
+    assert failure.hung
+    assert failure.attempts == 2

@@ -95,5 +95,29 @@ def test_parser_covers_all_commands():
     )
     names = set(sub.choices)
     assert {
-        "run", "compare", "faults", "workloads", "classify", "pretrain", "overheads"
+        "run", "compare", "faults", "workloads", "classify", "pretrain",
+        "overheads", "sweep", "adversarial", "lint",
     } <= names
+
+
+def test_adversarial_command_smoke(capsys, tmp_path):
+    """A 2-round micro-search completes, reports, and emits cells."""
+    json_path = tmp_path / "search.json"
+    cell_dir = tmp_path / "cells"
+    code = main([
+        "adversarial", "--rounds", "2", "--population", "3", "--seed", "0",
+        "--tiny-iterations", "1", "--antagonist-iters", "1",
+        "--eval-episodes", "1", "--episode-windows", "8", "--top", "1",
+        "--emit-cells", str(cell_dir), "--json", str(json_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "evaluations over 2 rounds" in out
+    assert "regret" in out
+    assert json_path.exists()
+    cells = list(cell_dir.glob("adv-*.json"))
+    assert len(cells) == 1
+
+    from repro.adversarial import load_cell, verify_cell
+
+    assert verify_cell(load_cell(cells[0])) == []
