@@ -134,6 +134,12 @@ def _flaky_cell(cell: WorkCell) -> CellOutcome:
     runner (a serial run would take the whole process down).
     """
     marker = cell.scenario  # type: ignore[union-attr]
+    # Every attempt (including the one about to crash) bumps this
+    # counter, so the sweep's merged profile exposes whether a retried
+    # cell's profiler data was absorbed once per *cell* (the contract:
+    # a crashed attempt's profile dies with its process) or leaked in
+    # once per *attempt*.
+    PROFILER.count("flaky.attempts")
     if not os.path.exists(marker):
         with open(marker, "w") as fh:
             fh.write("crashed-once\n")

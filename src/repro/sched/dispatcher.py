@@ -55,6 +55,9 @@ class IoDispatcher:
         self._bus_transfer_us = config.bus_transfer_us
         self._inflight_per_channel = config.inflight_pages_per_channel
         self._channels = ssd.channels
+        # Flat per-channel busy horizons (mutated in place, never rebound)
+        # for the per-pump capacity scan.
+        self._bus_busy = ssd.arrays.bus_busy
 
     # ------------------------------------------------------------------
     # Registration
@@ -130,11 +133,17 @@ class IoDispatcher:
 
     def _pump(self) -> None:
         """Dispatch as many requests as the policy and channels allow."""
+        # Hot loop (every submit and completion lands here): bind the
+        # select/queue lookups once per pump, not per dispatched request.
+        select = self.policy.select
+        queues = self.queues
+        can_dispatch = self._can_dispatch
+        sim = self.sim
         while True:
-            choice = self.policy.select(self.sim.now, self.queues, self._can_dispatch)
+            choice = select(sim.now, queues, can_dispatch)
             if choice is None:
                 break
-            request = self.queues[choice].popleft()
+            request = queues[choice].popleft()
             self._dispatch(request)
         self._schedule_retry_if_blocked()
 
@@ -182,8 +191,7 @@ class IoDispatcher:
         # max(0, .) in busy_horizon_us irrelevant); headroom returns at
         # bus_busy_until - bound + one transfer slot.
         threshold = self.sim.now + bound
-        for channel in self._channels:
-            busy_until = channel._bus_busy_until
+        for busy_until in self._bus_busy:
             if busy_until >= threshold:
                 when = busy_until - bound + xfer
                 if soonest is None or when < soonest:
@@ -214,19 +222,19 @@ class IoDispatcher:
         vssd_id = request.vssd_id
         ftl = self.ftls[vssd_id]
         front = self._is_high_priority(vssd_id)
-        pages_by_channel: dict = {}
-        done = now
         try:
-            lpn = request.lpn
+            # Fused span paths: one call places every page of the request
+            # against the structure-of-arrays columns (see
+            # ``VssdFtl.write_span``) instead of one FTL round-trip per
+            # page.
             if request.op == "write":
-                page_op = ftl.write_page
+                done, pages_by_channel = ftl.write_span(
+                    request.lpn, request.num_pages, front=front
+                )
             else:
-                page_op = ftl.read_page
-            for lpn in range(lpn, lpn + request.num_pages):
-                finish, channel_id = page_op(lpn, front=front)
-                if finish > done:
-                    done = finish
-                pages_by_channel[channel_id] = pages_by_channel.get(channel_id, 0) + 1
+                done, pages_by_channel = ftl.read_span(
+                    request.lpn, request.num_pages, front=front
+                )
         except OutOfSpaceError:
             # Slots are acquired only after all pages are placed, so there
             # is nothing to release here.

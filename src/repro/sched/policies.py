@@ -96,18 +96,30 @@ class PriorityPolicy(SchedulingPolicy):
 
     def select(self, now: float, queues: dict, can_dispatch: CanDispatch) -> Optional[int]:
         """Highest-priority dispatchable head; FIFO within a level."""
+        # Hot path (one call per dispatch attempt): scalar comparisons
+        # instead of a (-priority, submit_time) tuple per queue — same
+        # winner (higher priority, then older submission, then first
+        # registered).
         best = None
-        best_key = None
+        best_prio = 0
+        best_time = 0.0
+        priorities = self._priority
+        medium = Priority.MEDIUM
         for vssd_id, queue in queues.items():
             if not queue:
                 continue
             head = queue[0]
             if not can_dispatch(head):
                 continue
-            # Higher priority wins; older submission breaks ties.
-            key = (-int(self._priority.get(vssd_id, Priority.MEDIUM)), head.submit_time)
-            if best_key is None or key < best_key:
-                best, best_key = vssd_id, key
+            prio = priorities.get(vssd_id, medium)
+            if (
+                best is None
+                or prio > best_prio
+                or (prio == best_prio and head.submit_time < best_time)
+            ):
+                best = vssd_id
+                best_prio = prio
+                best_time = head.submit_time
         return best
 
 

@@ -240,6 +240,17 @@ class Simulator:
         the profiler is touched once per *call*, not per event — with tens
         of thousands of events per decision window, per-event begin/end
         bookkeeping was pure overhead.
+
+        Events sharing a timestamp fire as one *batch*: the clock is
+        written once per distinct time, then every live head carrying
+        that exact time is drained in (time, seq) order.  Simulations
+        produce many such batches — the per-page completions of a
+        multi-page request land on one instant, as do aligned retry and
+        window events.  Firing order is untouched (the same heap pops in
+        the same order); only the per-event clock write and counter
+        bookkeeping are hoisted out.  An event a callback schedules at
+        the current instant joins the running batch, exactly as the
+        per-event loop would have popped it next.
         """
         if time_us < self.now:
             raise ValueError(
@@ -249,27 +260,50 @@ class Simulator:
         fired = 0
         heap = self._heap
         heappop = heapq.heappop
-        while heap:
-            time, _seq, event = heap[0]
-            if event.cancelled:
-                heappop(heap)
-                event.sim = None
-                self._cancelled_in_heap -= 1
-                self._release(event)
-                continue
-            if time > time_us:
-                break
-            heappop(heap)
-            event.sim = None
-            self.now = time
-            self._events_processed += 1
-            event.callback(*event.args)
-            self._release(event)
-            fired += 1
-        self.now = time_us
-        if token:
-            PROFILER.end("sim.event_loop", token)
-            PROFILER.count("sim.events", fired)
+        try:
+            while heap:
+                time, _seq, event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    event.sim = None
+                    self._cancelled_in_heap -= 1
+                    self._release(event)
+                    continue
+                if time > time_us:
+                    break
+                self.now = time
+                while True:
+                    heappop(heap)
+                    event.sim = None
+                    event.callback(*event.args)
+                    self._release(event)
+                    fired += 1
+                    # Advance to the next live head; extend the batch
+                    # while its timestamp is bit-equal to the current
+                    # instant.
+                    event = None
+                    while heap:
+                        head = heap[0]
+                        nxt = head[2]
+                        if nxt.cancelled:
+                            heappop(heap)
+                            nxt.sim = None
+                            self._cancelled_in_heap -= 1
+                            self._release(nxt)
+                            continue
+                        # fleetlint: disable=float-time-equality  batch boundary: events batch iff their float timestamps are bit-equal, the same identity the heap order uses
+                        if head[0] != time:
+                            break
+                        event = nxt
+                        break
+                    if event is None:
+                        break
+        finally:
+            self.now = time_us
+            self._events_processed += fired
+            if token:
+                PROFILER.end("sim.event_loop", token)
+                PROFILER.count("sim.events", fired)
         return fired
 
     def run_until_seconds(self, time_s: float) -> int:

@@ -15,14 +15,24 @@ the figure quoted in Section 3.6.2 of the paper.
 
 Garbage collection occupies a chip (and implicitly the channel's free-block
 accounting) for the duration of the migrate-and-erase sequence.
+
+Structure-of-arrays layout: every channel's busy horizons, effective
+timings, and fault state live in a device-shared
+:class:`repro.ssd.blockstate.ChannelArrays`, and its blocks' state in a
+device-shared :class:`repro.ssd.blockstate.BlockStore` (see that module
+for the layout and its rationale).  The methods below are the object API
+over those columns; hot loops in the FTL and dispatcher index the flat
+arrays directly.  A channel constructed standalone (tests) builds private
+arrays of the same shape, so the timing math is identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.config import SSDConfig
+from repro.ssd.blockstate import BlockStore, ChannelArrays
 from repro.ssd.geometry import BlockState, FlashBlock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,32 +65,53 @@ class ChannelStats:
 class Channel:
     """One flash channel: chips, blocks, a bus, and outstanding-op limits."""
 
-    def __init__(self, channel_id: int, config: SSDConfig, sim: "Simulator") -> None:
+    def __init__(
+        self,
+        channel_id: int,
+        config: SSDConfig,
+        sim: "Simulator",
+        store: Optional[BlockStore] = None,
+        arrays: Optional[ChannelArrays] = None,
+        gid_base: int = 0,
+    ) -> None:
         self.channel_id = channel_id
         self.config = config
         self.sim = sim
+        if arrays is None:
+            arrays = ChannelArrays(config.num_channels, config.chips_per_channel)
+        self.arrays = arrays
+        self._chip_base = channel_id * config.chips_per_channel
+        blocks_per_channel = config.chips_per_channel * config.blocks_per_chip
+        if store is None:
+            store = BlockStore(blocks_per_channel, config.pages_per_block)
+            gid_base = 0
+        self.store = store
+        self.gid_base = gid_base
         self.blocks: list[FlashBlock] = [
-            FlashBlock(channel_id, chip, index, config.pages_per_block)
+            FlashBlock(
+                channel_id,
+                chip,
+                index,
+                config.pages_per_block,
+                store,
+                gid_base + chip * config.blocks_per_chip + index,
+            )
             for chip in range(config.chips_per_channel)
             for index in range(config.blocks_per_chip)
         ]
-        self._chip_busy_until = [0.0] * config.chips_per_channel
-        self._bus_busy_until = 0.0
+        # The store's gid→view list is appended in construction order;
+        # the device builds channels in channel_id order, so views land
+        # at their gid offsets.
+        store.blocks.extend(self.blocks)
         self._next_write_chip = 0
         self.outstanding = 0
         self.in_gc = False
         self._gc_until = 0.0
         self.stats = ChannelStats()
-        # Fault-injection state (repro.faults): 1.0 / 0.0 / False means
-        # healthy, and the timing math below is then bit-identical to the
-        # fault-free code path.
-        self.fault_slowdown = 1.0
-        self.fault_extra_latency_us = 0.0
-        self.offline = False
         self._recompute_timing()
 
     def _recompute_timing(self) -> None:
-        """Cache slowdown-scaled op timings.
+        """Cache slowdown-scaled op timings in the channel arrays.
 
         ``service_read``/``service_write`` run once per page on the I/O
         critical path; multiplying config constants by the (almost always
@@ -90,11 +121,54 @@ class Channel:
         every fault transition.
         """
         cfg = self.config
-        slowdown = self.fault_slowdown
-        self._eff_read_us = cfg.page_read_us * slowdown
-        self._eff_write_us = cfg.page_write_us * slowdown
-        self._eff_xfer_us = cfg.bus_transfer_us * slowdown
-        self._eff_gc_xfer_us = cfg.bus_transfer_us * cfg.gc_bus_share * slowdown
+        arrays = self.arrays
+        cid = self.channel_id
+        slowdown = arrays.slowdown[cid]
+        arrays.eff_read_us[cid] = cfg.page_read_us * slowdown
+        arrays.eff_write_us[cid] = cfg.page_write_us * slowdown
+        arrays.eff_xfer_us[cid] = cfg.bus_transfer_us * slowdown
+        arrays.eff_gc_xfer_us[cid] = cfg.bus_transfer_us * cfg.gc_bus_share * slowdown
+
+    # ------------------------------------------------------------------
+    # Array-backed state (compatibility properties)
+    # ------------------------------------------------------------------
+    @property
+    def _bus_busy_until(self) -> float:
+        return self.arrays.bus_busy[self.channel_id]
+
+    @_bus_busy_until.setter
+    def _bus_busy_until(self, value: float) -> None:
+        self.arrays.bus_busy[self.channel_id] = value
+
+    @property
+    def _chip_busy_until(self) -> List[float]:
+        """Per-chip busy horizons (a copy of this channel's slice)."""
+        base = self._chip_base
+        return self.arrays.chip_busy[base : base + self.config.chips_per_channel]
+
+    @property
+    def fault_slowdown(self) -> float:
+        return self.arrays.slowdown[self.channel_id]
+
+    @fault_slowdown.setter
+    def fault_slowdown(self, value: float) -> None:
+        self.arrays.slowdown[self.channel_id] = value
+
+    @property
+    def fault_extra_latency_us(self) -> float:
+        return self.arrays.extra_latency_us[self.channel_id]
+
+    @fault_extra_latency_us.setter
+    def fault_extra_latency_us(self, value: float) -> None:
+        self.arrays.extra_latency_us[self.channel_id] = value
+
+    @property
+    def offline(self) -> bool:
+        return self.arrays.offline[self.channel_id]
+
+    @offline.setter
+    def offline(self, value: bool) -> None:
+        self.arrays.offline[self.channel_id] = value
 
     # ------------------------------------------------------------------
     # Fault state
@@ -146,18 +220,17 @@ class Channel:
     # ------------------------------------------------------------------
     def busy_horizon_us(self) -> float:
         """Queued bus work ahead of a newly dispatched page (us)."""
-        return max(0.0, self._bus_busy_until - self.sim.now)
+        return max(0.0, self.arrays.bus_busy[self.channel_id] - self.sim.now)
 
     @property
     def bus_busy_until(self) -> float:
         """Absolute sim time (us) until which queued bus work extends.
 
-        Exposed for hot-path capacity scans: callers comparing many
-        channels against a horizon bound read this once and do the
-        arithmetic inline instead of paying a method call per channel
-        (see ``IoDispatcher._next_capacity_time`` / ``VssdFtl._pick_frontier``).
+        Exposed for hot-path capacity scans; flat-array callers read
+        ``ssd.arrays.bus_busy`` directly instead (see
+        ``IoDispatcher._next_capacity_time`` / ``VssdFtl.write_span``).
         """
-        return self._bus_busy_until
+        return self.arrays.bus_busy[self.channel_id]
 
     def has_capacity(self) -> bool:
         """True if the channel can absorb another page within its queue
@@ -214,29 +287,32 @@ class Channel:
         """
         # Hot path (one call per page read): max() is spelled as inline
         # comparisons — same values, no builtin call per timing update.
+        arrays = self.arrays
+        cid = self.channel_id
         now = self.sim.now
-        read_us = self._eff_read_us
-        xfer_us = self._eff_xfer_us
-        extra_us = self.fault_extra_latency_us
-        chip_busy = self._chip_busy_until
-        sense_start = chip_busy[chip_id]
+        read_us = arrays.eff_read_us[cid]
+        xfer_us = arrays.eff_xfer_us[cid]
+        extra_us = arrays.extra_latency_us[cid]
+        chip_busy = arrays.chip_busy
+        ci = self._chip_base + chip_id
+        sense_start = chip_busy[ci]
         if now > sense_start:
             sense_start = now
         sense_done = sense_start + read_us
-        bus_busy = self._bus_busy_until
+        bus_busy = arrays.bus_busy[cid]
         if front:
             # Head-of-queue insertion: wait for at most one in-progress
             # transfer instead of the whole backlog.
             bus_available = min(bus_busy, now + xfer_us)
             xfer_start = max(sense_done, bus_available)
             done = xfer_start + xfer_us + extra_us
-            self._bus_busy_until = max(bus_busy, now) + xfer_us + extra_us
+            arrays.bus_busy[cid] = max(bus_busy, now) + xfer_us + extra_us
         else:
             xfer_start = sense_done if sense_done > bus_busy else bus_busy
             done = xfer_start + xfer_us + extra_us
-            self._bus_busy_until = done
-        if done > chip_busy[chip_id]:
-            chip_busy[chip_id] = done
+            arrays.bus_busy[cid] = done
+        if done > chip_busy[ci]:
+            chip_busy[ci] = done
         self.stats.pages_read += 1
         self.stats.busy_us += read_us + xfer_us + extra_us
         return done
@@ -254,26 +330,29 @@ class Channel:
         """
         # Hot path (one call per page program): same inline-comparison
         # treatment as service_read.
+        arrays = self.arrays
+        cid = self.channel_id
         now = self.sim.now
-        xfer_time = self._eff_gc_xfer_us if background else self._eff_xfer_us
-        write_us = self._eff_write_us
-        extra_us = self.fault_extra_latency_us
-        bus_busy = self._bus_busy_until
+        xfer_time = arrays.eff_gc_xfer_us[cid] if background else arrays.eff_xfer_us[cid]
+        write_us = arrays.eff_write_us[cid]
+        extra_us = arrays.extra_latency_us[cid]
+        bus_busy = arrays.bus_busy[cid]
         if front and not background:
             # Head-of-queue insertion (see service_read).
             bus_available = min(bus_busy, now + xfer_time)
             xfer_done = max(now, bus_available) + xfer_time
-            self._bus_busy_until = max(bus_busy, now) + xfer_time
+            arrays.bus_busy[cid] = max(bus_busy, now) + xfer_time
         else:
             xfer_start = now if now > bus_busy else bus_busy
             xfer_done = xfer_start + xfer_time
-            self._bus_busy_until = xfer_done
-        chip_busy = self._chip_busy_until
-        program_start = chip_busy[chip_id]
+            arrays.bus_busy[cid] = xfer_done
+        chip_busy = arrays.chip_busy
+        ci = self._chip_base + chip_id
+        program_start = chip_busy[ci]
         if xfer_done > program_start:
             program_start = xfer_done
         done = program_start + write_us + extra_us
-        chip_busy[chip_id] = done
+        chip_busy[ci] = done
         self.stats.pages_written += 1
         self.stats.busy_us += write_us + xfer_time + extra_us
         return done
@@ -290,15 +369,17 @@ class Channel:
         GC on the channel completes.
         """
         cfg = self.config
-        erase_us = erases * cfg.block_erase_us * self.fault_slowdown
-        erase_start = max(self.sim.now, self._chip_busy_until[chip_id])
+        arrays = self.arrays
+        cid = self.channel_id
+        slowdown = arrays.slowdown[cid]
+        erase_us = erases * cfg.block_erase_us * slowdown
+        ci = self._chip_base + chip_id
+        erase_start = max(self.sim.now, arrays.chip_busy[ci])
         erase_done = erase_start + erase_us
-        self._chip_busy_until[chip_id] = erase_done
-        bus_time = (
-            migrate_reads * cfg.bus_transfer_us * cfg.gc_bus_share * self.fault_slowdown
-        )
-        self._bus_busy_until = max(self.sim.now, self._bus_busy_until) + bus_time
-        done = max(erase_done, self._bus_busy_until)
+        arrays.chip_busy[ci] = erase_done
+        bus_time = migrate_reads * cfg.bus_transfer_us * cfg.gc_bus_share * slowdown
+        arrays.bus_busy[cid] = max(self.sim.now, arrays.bus_busy[cid]) + bus_time
+        done = max(erase_done, arrays.bus_busy[cid])
         self.stats.gc_pages_migrated += migrate_reads
         self.stats.gc_erases += erases
         self.stats.busy_us += erase_us + bus_time

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.config import SSDConfig
+from repro.ssd.blockstate import BlockStore, ChannelArrays
 from repro.ssd.channel import Channel, ChannelStats
 from repro.ssd.geometry import BlockState, FlashBlock
 
@@ -18,12 +19,33 @@ class Ssd:
     The device exposes channel-level allocation (the unit of hardware
     isolation) and block-level ownership transfer (the unit of ghost-
     superblock harvesting).
+
+    All per-block and per-channel mutable state lives in two device-wide
+    structure-of-arrays stores (``store``/``arrays`` — see
+    :mod:`repro.ssd.blockstate`); channels and blocks are views over
+    them.  Block gids are channel-major, so one channel's blocks occupy
+    the contiguous gid range ``[c * bpc, (c + 1) * bpc)``.
     """
 
     def __init__(self, config: SSDConfig, sim: "Simulator") -> None:
         self.config = config
         self.sim = sim
-        self.channels = [Channel(c, config, sim) for c in range(config.num_channels)]
+        blocks_per_channel = config.chips_per_channel * config.blocks_per_chip
+        self.store = BlockStore(
+            config.num_channels * blocks_per_channel, config.pages_per_block
+        )
+        self.arrays = ChannelArrays(config.num_channels, config.chips_per_channel)
+        self.channels = [
+            Channel(
+                c,
+                config,
+                sim,
+                store=self.store,
+                arrays=self.arrays,
+                gid_base=c * blocks_per_channel,
+            )
+            for c in range(config.num_channels)
+        ]
 
     # ------------------------------------------------------------------
     # Allocation
@@ -137,12 +159,16 @@ class Ssd:
         harvesting moves write traffic between tenants' blocks, so wear
         tracking shows whether any channel or tenant ages prematurely.
         """
-        counts = [
-            block.erase_count
-            for channel in self.channels
-            for block in channel.blocks
-            if vssd_id is None or block.owner == vssd_id
-        ]
+        store = self.store
+        if vssd_id is None:
+            counts = [int(c) for c in store.erase_count]
+        else:
+            owner = store.owner
+            counts = [
+                int(store.erase_count[gid])
+                for gid in range(store.n_blocks)
+                if owner[gid] == vssd_id
+            ]
         if not counts:
             return {"blocks": 0, "min": 0, "max": 0, "mean": 0.0, "spread": 0}
         total = sum(counts)

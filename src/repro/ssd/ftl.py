@@ -235,6 +235,12 @@ class WriteRegion:
             id(block) for queue in self._open.values() for block in queue
         }
 
+    def frontier_gids(self) -> set:
+        """Gid set of currently open blocks, for column-scan GC paths."""
+        return {
+            block.gid for queue in self._open.values() for block in queue
+        }
+
     def release_erased(self, block: FlashBlock) -> None:
         """Route a freshly erased block per region policy."""
         self._discard_open(block)
@@ -304,10 +310,25 @@ class VssdFtl:
         # L2P mapping as parallel arrays indexed by LPN (grown on demand):
         # the dict-of-PagePointer layout paid a hash probe plus a
         # PagePointer allocation per programmed page, which dominated the
-        # write path.  ``_l2p_block[lpn] is None`` marks an unmapped LPN.
-        self._l2p_block: list = []
+        # write path.  Physical locations are stored as block gids into
+        # the device's BlockStore (``_l2p_gid[lpn] < 0`` marks an
+        # unmapped LPN), so the hot paths never touch block objects.
+        self._l2p_gid: list = []
         self._l2p_page: list = []
         self._mapped = 0
+        # Hoisted structure-of-arrays references (stable for the device's
+        # lifetime; all mutated in place, never rebound).
+        self._store = ssd.store
+        self._arrays = ssd.arrays
+        self._blocks_per_chip = self.config.blocks_per_chip
+        self._blocks_per_channel = (
+            self.config.chips_per_channel * self.config.blocks_per_chip
+        )
+        self._chan_stats = [channel.stats for channel in ssd.channels]
+        # Sorted own-region channel list for unmapped reads, keyed by the
+        # region version (sorted() per unmapped read was measurable).
+        self._unmapped_channels: list = []
+        self._unmapped_version = -1
         self.own_region = WriteRegion(
             f"own:{vssd_id}", kind="own",
             max_open_per_channel=self.config.chips_per_channel,
@@ -418,12 +439,13 @@ class VssdFtl:
         Compatibility/introspection view over the array-backed mapping —
         O(mapped pages) to build, so hot paths use the arrays directly.
         """
-        blocks = self._l2p_block
+        gids = self._l2p_gid
         pages = self._l2p_page
+        views = self._store.blocks
         return {
-            lpn: PagePointer(block, pages[lpn])
-            for lpn, block in enumerate(blocks)
-            if block is not None
+            lpn: PagePointer(views[gid], pages[lpn])
+            for lpn, gid in enumerate(gids)
+            if gid >= 0
         }
 
     # ------------------------------------------------------------------
@@ -449,24 +471,334 @@ class VssdFtl:
         Returns ``(completion_time_us, channel_id)``.  ``front`` requests
         priority arbitration on the channel bus (Set_Priority HIGH).
         """
-        l2p = self._l2p_block
-        block = l2p[lpn] if lpn < len(l2p) else None
-        if block is None:
+        l2p = self._l2p_gid
+        gid = l2p[lpn] if lpn < len(l2p) else -1
+        if gid < 0:
             return self._read_unmapped()
+        block = self._store.blocks[gid]
         channel_id = block.channel_id
         done = self.ssd.channels[channel_id].service_read(block.chip_id, front=front)
         self.stats.host_reads += 1
         return done, channel_id
 
+    # ------------------------------------------------------------------
+    # Fused span I/O (the dispatcher's batch path)
+    # ------------------------------------------------------------------
+    def write_span(self, lpn: int, num_pages: int, front: bool = False) -> tuple:
+        """Write ``num_pages`` consecutive logical pages in one fused pass.
+
+        Returns ``(done_us, pages_by_channel)`` where ``done_us`` is the
+        completion time of the slowest page and ``pages_by_channel`` maps
+        channel id → pages placed there (insertion-ordered by first use,
+        exactly as the per-page loop built it).
+
+        This is a transliteration of ``write_page`` per page —
+        ``_pick_frontier`` round-robin + capacity scan,
+        ``WriteRegion.frontier_block`` steady state, ``FlashBlock.program``,
+        ``Channel.service_write``, then ``_maybe_gc`` — with every
+        steady-state step inlined against the structure-of-arrays columns
+        so the common case touches no method calls and no per-page
+        objects.  Uncommon steps (frontier refill, channel exhaustion,
+        urgent GC) fall back to the original methods mid-span.  The
+        byte-identical telemetry gate and the differential test in
+        ``tests/test_hotpath_equivalence.py`` hold the two paths together.
+        """
+        store = self._store
+        arrays = self._arrays
+        state_col = store.state
+        wp_col = store.write_ptr
+        vc_col = store.valid_count
+        lpns2d = store.page_lpns
+        bus_busy = arrays.bus_busy
+        chip_busy = arrays.chip_busy
+        offline = arrays.offline
+        eff_write = arrays.eff_write_us
+        eff_xfer = arrays.eff_xfer_us
+        extra_lat = arrays.extra_latency_us
+        chan_stats = self._chan_stats
+        chips = self.config.chips_per_channel
+        ppb = self.config.pages_per_block
+        full_state = BlockState.FULL
+        open_state = BlockState.OPEN
+        # sim.now is constant for the whole span: nothing here fires
+        # events, and schedule() never advances the clock.
+        now = self.ssd.sim.now
+        bound = self._qd_bound_us
+        own_region = self.own_region
+        own_free = own_region._free
+        own_bpc = self._own_blocks_per_channel
+        gc_threshold = self.gc_threshold
+        harvest_regions = self.harvest_regions
+        vssd = self.vssd_id
+        l2p_gid = self._l2p_gid
+        l2p_page = self._l2p_page
+        end = lpn + num_pages
+        if end > len(l2p_gid):
+            grow = end - len(l2p_gid)
+            l2p_gid.extend([-1] * grow)
+            l2p_page.extend([0] * grow)
+        pages_by_channel: dict = {}
+        done = now
+        host_writes = 0
+        try:
+            for cur in range(lpn, end):
+                # Prior mapping is read *before* frontier picking (urgent
+                # GC during picking may touch the L2P), matching
+                # ``_allocate_and_program``.
+                old_gid = l2p_gid[cur]
+                old_page = l2p_page[cur]
+                # -- _pick_frontier, inlined ---------------------------
+                rv = own_region.version
+                for hregion in harvest_regions:
+                    rv += hregion.version + (1000003 if hregion.reclaiming else 0)
+                if self._slots_version != rv:
+                    self._rebuild_slots()
+                slots = self._slots
+                block = None
+                if slots:
+                    n = len(slots)
+                    start = self._write_rr
+                    idx = start % n
+                    choice = None
+                    for k in range(n):
+                        region, channel_id = slots[idx]
+                        idx += 1
+                        if idx == n:
+                            idx = 0
+                        if (
+                            not offline[channel_id]
+                            and bus_busy[channel_id] - now < bound
+                        ):
+                            choice = (region, channel_id, k)
+                            break
+                    if choice is None:
+                        best = slots[0]
+                        best_key = bus_busy[best[1]] - now
+                        if best_key < 0.0:
+                            best_key = 0.0
+                        for slot in slots:
+                            horizon = bus_busy[slot[1]] - now
+                            if horizon < 0.0:
+                                horizon = 0.0
+                            if horizon < best_key:
+                                best, best_key = slot, horizon
+                        region, channel_id = best
+                        self._write_rr = start + 1
+                    else:
+                        region, channel_id, k = choice
+                        self._write_rr = start + k + 1
+                    # -- frontier_block steady state, inlined ----------
+                    open_queue = region._open.get(channel_id)
+                    if (
+                        open_queue
+                        and len(open_queue) >= region.max_open_per_channel
+                    ):
+                        head = open_queue[0]
+                        if state_col[head.gid] is not full_state:
+                            open_queue.rotate(-1)
+                            block = head
+                    if block is None:
+                        block = region.frontier_block(channel_id, vssd)
+                if block is None:
+                    # Channel exhausted or no slots: retry through the
+                    # full picking loop, then urgent GC, exactly as the
+                    # per-page object path does.
+                    block = self._pick_frontier()
+                    if block is None:
+                        if not self._in_gc:
+                            self._urgent_gc()
+                            block = self._pick_frontier()
+                        if block is None:
+                            raise OutOfSpaceError(
+                                f"vSSD {self.vssd_id}: no programmable block available"
+                            )
+                gid = block.gid
+                channel_id = block.channel_id
+                chip_id = block.chip_id
+                # -- FlashBlock.program, inlined -----------------------
+                page = wp_col[gid]
+                if page >= ppb:
+                    raise RuntimeError(f"block {block.block_id} is full")
+                lpns2d[gid, page] = cur
+                vc_col[gid] += 1
+                nxt = page + 1
+                wp_col[gid] = nxt
+                state_col[gid] = full_state if nxt == ppb else open_state
+                l2p_gid[cur] = gid
+                l2p_page[cur] = page
+                if old_gid >= 0:
+                    # -- FlashBlock.invalidate, inlined ----------------
+                    if lpns2d[old_gid, old_page] == -1:
+                        raise RuntimeError(
+                            f"double invalidate of page {old_page} in block "
+                            f"{store.blocks[old_gid].block_id}"
+                        )
+                    lpns2d[old_gid, old_page] = -1
+                    vc_col[old_gid] -= 1
+                else:
+                    self._mapped += 1
+                # -- Channel.service_write, inlined --------------------
+                xfer = eff_xfer[channel_id]
+                b = bus_busy[channel_id]
+                if front:
+                    nx = now + xfer
+                    bus_available = b if b < nx else nx
+                    m = now if now > bus_available else bus_available
+                    xfer_done = m + xfer
+                    nb = b if b > now else now
+                    bus_busy[channel_id] = nb + xfer
+                else:
+                    xs = now if now > b else b
+                    xfer_done = xs + xfer
+                    bus_busy[channel_id] = xfer_done
+                ci = channel_id * chips + chip_id
+                ps = chip_busy[ci]
+                if xfer_done > ps:
+                    ps = xfer_done
+                write_us = eff_write[channel_id]
+                extra = extra_lat[channel_id]
+                fin = ps + write_us + extra
+                chip_busy[ci] = fin
+                st = chan_stats[channel_id]
+                st.pages_written += 1
+                st.busy_us += write_us + xfer + extra
+                if fin > done:
+                    done = fin
+                cnt = pages_by_channel.get(channel_id)
+                pages_by_channel[channel_id] = 1 if cnt is None else cnt + 1
+                host_writes += 1
+                # -- _maybe_gc, inlined (see the method for the policy) --
+                if not self._in_gc:
+                    owned = own_bpc.get(channel_id, 0)
+                    ran_gc = False
+                    if owned > 0:
+                        queue = own_free.get(channel_id)
+                        free = len(queue) if queue else 0
+                        if free / owned < gc_threshold:
+                            self.run_gc(channel_id)
+                            ran_gc = True
+                    if not ran_gc:
+                        for hregion in harvest_regions:
+                            if (
+                                not hregion.reclaiming
+                                and channel_id in hregion._channels
+                                and hregion.free_block_count_on(channel_id) == 0
+                            ):
+                                self.recycle_region(hregion, channel_id)
+                                break
+        finally:
+            # Host-write counters are read only at window boundaries, so
+            # one exact integer add per span replaces one per page; the
+            # finally keeps partially-placed spans (out-of-space) counted
+            # exactly as the per-page path would have.
+            if host_writes:
+                self.stats.host_writes += host_writes
+        return done, pages_by_channel
+
+    def read_span(self, lpn: int, num_pages: int, front: bool = False) -> tuple:
+        """Read ``num_pages`` consecutive logical pages in one fused pass.
+
+        Returns ``(done_us, pages_by_channel)``; see :meth:`write_span`.
+        Transliterates ``read_page`` per page — mapped reads inline
+        ``Channel.service_read``; unmapped reads inline
+        ``_read_unmapped`` (own-channel round-robin, chip round-robin,
+        and no ``front`` arbitration, as ever).
+        """
+        store = self._store
+        arrays = self._arrays
+        views = store.blocks
+        bus_busy = arrays.bus_busy
+        chip_busy = arrays.chip_busy
+        eff_read = arrays.eff_read_us
+        eff_xfer = arrays.eff_xfer_us
+        extra_lat = arrays.extra_latency_us
+        chan_stats = self._chan_stats
+        chips = self.config.chips_per_channel
+        now = self.ssd.sim.now
+        channels = self.ssd.channels
+        l2p_gid = self._l2p_gid
+        length = len(l2p_gid)
+        pages_by_channel: dict = {}
+        done = now
+        host_reads = 0
+        unmapped = 0
+        try:
+            for cur in range(lpn, lpn + num_pages):
+                gid = l2p_gid[cur] if cur < length else -1
+                if gid < 0:
+                    # -- _read_unmapped, inlined -----------------------
+                    chs = self._own_channels_sorted() or self.write_channels()
+                    if not chs:
+                        raise OutOfSpaceError(
+                            f"vSSD {self.vssd_id} has no channels to read from"
+                        )
+                    channel_id = chs[self._unmapped_rr % len(chs)]
+                    self._unmapped_rr += 1
+                    channel = channels[channel_id]
+                    chip_id = channel._next_write_chip
+                    channel._next_write_chip = (chip_id + 1) % chips
+                    use_front = False
+                    unmapped += 1
+                else:
+                    view = views[gid]
+                    channel_id = view.channel_id
+                    chip_id = view.chip_id
+                    use_front = front
+                # -- Channel.service_read, inlined ---------------------
+                read_us = eff_read[channel_id]
+                xfer = eff_xfer[channel_id]
+                extra = extra_lat[channel_id]
+                ci = channel_id * chips + chip_id
+                ss = chip_busy[ci]
+                if now > ss:
+                    ss = now
+                sense_done = ss + read_us
+                b = bus_busy[channel_id]
+                if use_front:
+                    nx = now + xfer
+                    bus_available = b if b < nx else nx
+                    xs = sense_done if sense_done > bus_available else bus_available
+                    fin = xs + xfer + extra
+                    nb = b if b > now else now
+                    bus_busy[channel_id] = nb + xfer + extra
+                else:
+                    xs = sense_done if sense_done > b else b
+                    fin = xs + xfer + extra
+                    bus_busy[channel_id] = fin
+                if fin > chip_busy[ci]:
+                    chip_busy[ci] = fin
+                st = chan_stats[channel_id]
+                st.pages_read += 1
+                st.busy_us += read_us + xfer + extra
+                host_reads += 1
+                if fin > done:
+                    done = fin
+                cnt = pages_by_channel.get(channel_id)
+                pages_by_channel[channel_id] = 1 if cnt is None else cnt + 1
+        finally:
+            if host_reads:
+                self.stats.host_reads += host_reads
+            if unmapped:
+                self.stats.unmapped_reads += unmapped
+        return done, pages_by_channel
+
+    def _own_channels_sorted(self) -> list:
+        """Sorted own-region channels, cached by region version."""
+        own = self.own_region
+        if self._unmapped_version != own.version:
+            self._unmapped_channels = sorted(own._channels)
+            self._unmapped_version = own.version
+        return self._unmapped_channels
+
     def page_location(self, lpn: int) -> Optional[PagePointer]:
         """Physical location of ``lpn``, or None if never written."""
-        l2p = self._l2p_block
+        l2p = self._l2p_gid
         if lpn >= len(l2p) or lpn < 0:
             return None
-        block = l2p[lpn]
-        if block is None:
+        gid = l2p[lpn]
+        if gid < 0:
             return None
-        return PagePointer(block, self._l2p_page[lpn])
+        return PagePointer(self._store.blocks[gid], self._l2p_page[lpn])
 
     def warm_fill(self, lpns: Iterable[int]) -> int:
         """Program pages without consuming simulated time.
@@ -476,22 +808,130 @@ class VssdFtl:
         exercised during measurement).  Mapping and block state change;
         channel timing and host-write statistics do not.
         """
+        store = self._store
+        arrays = self._arrays
+        state_col = store.state
+        wp_col = store.write_ptr
+        vc_col = store.valid_count
+        lpns2d = store.page_lpns
+        bus_busy = arrays.bus_busy
+        offline = arrays.offline
+        full_state = BlockState.FULL
+        open_state = BlockState.OPEN
+        ppb = self.config.pages_per_block
+        now = self.ssd.sim.now
+        bound = self._qd_bound_us
+        own_region = self.own_region
+        harvest_regions = self.harvest_regions
+        vssd = self.vssd_id
+        l2p_gid = self._l2p_gid
+        l2p_page = self._l2p_page
         count = 0
         for lpn in lpns:
-            self._allocate_and_program(lpn)
+            # Same fused pick+program sequence as ``write_span`` (which
+            # see), minus channel timing, host statistics, and GC checks —
+            # warming changes mapping and block state only.
+            if lpn >= len(l2p_gid):
+                grow = lpn + 1 - len(l2p_gid)
+                l2p_gid.extend([-1] * grow)
+                l2p_page.extend([0] * grow)
+            old_gid = l2p_gid[lpn]
+            old_page = l2p_page[lpn]
+            rv = own_region.version
+            for hregion in harvest_regions:
+                rv += hregion.version + (1000003 if hregion.reclaiming else 0)
+            if self._slots_version != rv:
+                self._rebuild_slots()
+            slots = self._slots
+            block = None
+            if slots:
+                n = len(slots)
+                start = self._write_rr
+                idx = start % n
+                choice = None
+                for k in range(n):
+                    region, channel_id = slots[idx]
+                    idx += 1
+                    if idx == n:
+                        idx = 0
+                    if (
+                        not offline[channel_id]
+                        and bus_busy[channel_id] - now < bound
+                    ):
+                        choice = (region, channel_id, k)
+                        break
+                if choice is None:
+                    best = slots[0]
+                    best_key = bus_busy[best[1]] - now
+                    if best_key < 0.0:
+                        best_key = 0.0
+                    for slot in slots:
+                        horizon = bus_busy[slot[1]] - now
+                        if horizon < 0.0:
+                            horizon = 0.0
+                        if horizon < best_key:
+                            best, best_key = slot, horizon
+                    region, channel_id = best
+                    self._write_rr = start + 1
+                else:
+                    region, channel_id, k = choice
+                    self._write_rr = start + k + 1
+                open_queue = region._open.get(channel_id)
+                if (
+                    open_queue
+                    and len(open_queue) >= region.max_open_per_channel
+                ):
+                    head = open_queue[0]
+                    if state_col[head.gid] is not full_state:
+                        open_queue.rotate(-1)
+                        block = head
+                if block is None:
+                    block = region.frontier_block(channel_id, vssd)
+            if block is None:
+                block = self._pick_frontier()
+                if block is None:
+                    if not self._in_gc:
+                        self._urgent_gc()
+                        block = self._pick_frontier()
+                    if block is None:
+                        raise OutOfSpaceError(
+                            f"vSSD {self.vssd_id}: no programmable block available"
+                        )
+            gid = block.gid
+            page = wp_col[gid]
+            if page >= ppb:
+                raise RuntimeError(f"block {block.block_id} is full")
+            lpns2d[gid, page] = lpn
+            vc_col[gid] += 1
+            nxt = page + 1
+            wp_col[gid] = nxt
+            state_col[gid] = full_state if nxt == ppb else open_state
+            l2p_gid[lpn] = gid
+            l2p_page[lpn] = page
+            if old_gid >= 0:
+                if lpns2d[old_gid, old_page] == -1:
+                    raise RuntimeError(
+                        f"double invalidate of page {old_page} in block "
+                        f"{store.blocks[old_gid].block_id}"
+                    )
+                lpns2d[old_gid, old_page] = -1
+                vc_col[old_gid] -= 1
+            else:
+                self._mapped += 1
             count += 1
         return count
 
     def trim_all(self) -> int:
         """Invalidate every mapped page (vSSD deallocation, Section 3.7)."""
         count = 0
-        blocks = self._l2p_block
+        gids = self._l2p_gid
         pages = self._l2p_page
-        for lpn, block in enumerate(blocks):
-            if block is None:
+        views = self._store.blocks
+        for lpn, gid in enumerate(gids):
+            if gid < 0:
                 continue
-            block.invalidate(pages[lpn])
-            blocks[lpn] = None
+            views[gid].invalidate(pages[lpn])
+            gids[lpn] = -1
             count += 1
         self._mapped = 0
         return count
@@ -520,12 +960,12 @@ class VssdFtl:
         target_region: Optional[WriteRegion] = None,
     ) -> tuple:
         """Place ``lpn`` on a frontier block; returns ``(block, page)``."""
-        l2p_block = self._l2p_block
-        if lpn >= len(l2p_block):
-            grow = lpn + 1 - len(l2p_block)
-            l2p_block.extend([None] * grow)
+        l2p_gid = self._l2p_gid
+        if lpn >= len(l2p_gid):
+            grow = lpn + 1 - len(l2p_gid)
+            l2p_gid.extend([-1] * grow)
             self._l2p_page.extend([0] * grow)
-        old_block = l2p_block[lpn]
+        old_gid = l2p_gid[lpn]
         old_page = self._l2p_page[lpn]
         block = self._pick_frontier(for_gc=for_gc, target_region=target_region)
         if block is None:
@@ -537,10 +977,10 @@ class VssdFtl:
                     f"vSSD {self.vssd_id}: no programmable block available"
                 )
         page = block.program(lpn)
-        l2p_block[lpn] = block
+        l2p_gid[lpn] = block.gid
         self._l2p_page[lpn] = page
-        if old_block is not None:
-            old_block.invalidate(old_page)
+        if old_gid >= 0:
+            self._store.blocks[old_gid].invalidate(old_page)
         else:
             self._mapped += 1
         return block, page
@@ -616,8 +1056,11 @@ class VssdFtl:
             # page over up to num_channels slots, and two method calls
             # per slot dominated the write path (measured ~15% of the
             # event loop before inlining).  max(0, busy - now) < bound
-            # reduces to busy - now < bound because bound > 0.
-            channels = self.ssd.channels
+            # reduces to busy - now < bound because bound > 0.  The scan
+            # reads the flat channel arrays, not channel objects.
+            arrays = self._arrays
+            bus_busy = arrays.bus_busy
+            offline = arrays.offline
             now = self.ssd.sim.now
             bound = self._qd_bound_us
             idx = start % n
@@ -626,8 +1069,7 @@ class VssdFtl:
                 idx += 1
                 if idx == n:
                     idx = 0
-                channel = channels[channel_id]
-                if not channel.offline and channel._bus_busy_until - now < bound:
+                if not offline[channel_id] and bus_busy[channel_id] - now < bound:
                     choice = (region, channel_id, k)
                     break
             if choice is None:
@@ -717,17 +1159,35 @@ class VssdFtl:
         erased = 0
         token = PROFILER.begin()
         try:
-            frontier_ids = region.frontier_blocks()
+            # Column scan over the one channel's gid slice; membership,
+            # writer, and HBT filters as in _harvest_region_blocks (which
+            # see for why membership must come from the region).
+            store = self._store
+            state_col = store.state
+            writer_col = store.writer
+            harvested_col = store.harvested
+            vc_col = store.valid_count
+            views = store.blocks
+            member_ids = region._member_ids
+            frontier_gids = region.frontier_gids()
             in_region = region.purpose == "capacity"
-            victims = [
-                block
-                for block in self._harvest_region_blocks(region)
-                if block.channel_id == channel_id
-                and block.state is BlockState.FULL
-                and id(block) not in frontier_ids
-                and not (in_region and block.valid_count >= block.pages_per_block)
-            ]
-            victims.sort(key=lambda b: b.valid_count)
+            vssd = self.vssd_id
+            full = BlockState.FULL
+            ppb = store.pages_per_block
+            bpc = self._blocks_per_channel
+            base = channel_id * bpc
+            victims = []
+            for gid in range(base, base + bpc):
+                if (
+                    writer_col[gid] == vssd
+                    and harvested_col[gid]
+                    and state_col[gid] is full
+                    and gid not in frontier_gids
+                    and not (in_region and vc_col[gid] >= ppb)
+                    and id(views[gid]) in member_ids
+                ):
+                    victims.append(views[gid])
+            victims.sort(key=lambda b: vc_col[b.gid])
             for victim in victims[: self.GC_BATCH_BLOCKS]:
                 erased += self._collect_block(
                     victim, region, target_region=region if in_region else None
@@ -741,25 +1201,49 @@ class VssdFtl:
         return erased
 
     def _select_own_victim(self, channel_id: int) -> Optional[FlashBlock]:
-        """Best own-pool victim: HBT-flagged first, then fewest valid."""
-        frontier_ids = self.own_region.frontier_blocks()
-        best = None
-        best_key = None
-        for block in self.ssd.channels[channel_id].blocks:
-            if block.owner != self.vssd_id:
+        """Best own-pool victim: HBT-flagged first, then fewest valid.
+
+        Column scan over the channel's contiguous gid slice (blocks are
+        gid-dense per channel); runs once per collected block, and the
+        per-block property chain it replaces was the bulk of ``ftl.gc``.
+        The ``(hbt, valid)`` tuple key is packed into one int —
+        harvested keys occupy ``[0, ppb]``, regular keys
+        ``[ppb + 1, 2 * ppb + 1]`` — preserving the exact tuple order.
+        """
+        store = self._store
+        state_col = store.state
+        owner_col = store.owner
+        writer_col = store.writer
+        harvested_col = store.harvested
+        vc_col = store.valid_count
+        frontier_gids = self.own_region.frontier_gids()
+        vssd = self.vssd_id
+        full = BlockState.FULL
+        ppb = store.pages_per_block
+        bpc = self._blocks_per_channel
+        base = channel_id * bpc
+        best = -1
+        best_key = 2 * ppb + 2  # above any packed key: first hit wins
+        for gid in range(base, base + bpc):
+            if state_col[gid] is not full:
                 continue
-            if block.writer not in (self.vssd_id, None):
+            if owner_col[gid] != vssd:
                 continue
-            if block.state is not BlockState.FULL:
+            writer = writer_col[gid]
+            if writer is not None and writer != vssd:
                 continue
-            if id(block) in frontier_ids:
+            if gid in frontier_gids:
                 continue
-            if not block.harvested_flag and block.valid_count >= block.pages_per_block:
-                continue
-            key = (0 if block.harvested_flag else 1, block.valid_count)
-            if best_key is None or key < best_key:
-                best, best_key = block, key
-        return best
+            valid = vc_col[gid]
+            if harvested_col[gid]:
+                key = valid
+            else:
+                if valid >= ppb:
+                    continue
+                key = ppb + 1 + valid
+            if key < best_key:
+                best, best_key = gid, key
+        return store.blocks[best] if best >= 0 else None
 
     def _harvest_region_blocks(self, region: WriteRegion) -> list:
         """All OPEN/FULL blocks this FTL wrote inside a harvest region.
@@ -769,15 +1253,21 @@ class VssdFtl:
         would let one region's GC erase the other's blocks and re-add
         them to the wrong free pool.
         """
+        store = self._store
+        writer_col = store.writer
+        harvested_col = store.harvested
+        views = store.blocks
+        member_ids = region._member_ids
+        vssd = self.vssd_id
+        bpc = self._blocks_per_channel
         blocks = []
         for channel_id in region.channels():
-            for block in self.ssd.channels[channel_id].blocks:
-                if (
-                    block.writer == self.vssd_id
-                    and block.harvested_flag
-                    and region.contains(block)
-                ):
-                    blocks.append(block)
+            base = channel_id * bpc
+            for gid in range(base, base + bpc):
+                if writer_col[gid] == vssd and harvested_col[gid]:
+                    view = views[gid]
+                    if id(view) in member_ids:
+                        blocks.append(view)
         return blocks
 
     def collect_blocks(self, blocks: list, region: WriteRegion) -> int:

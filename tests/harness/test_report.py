@@ -90,3 +90,37 @@ def test_comparison_table(results):
     table = comparison_table(results)
     assert "policy" in table.splitlines()[0]
     assert len(table.splitlines()) == 3
+
+
+def test_zero_request_cell_propagates_none_percentiles(tmp_path):
+    """A vSSD that completed zero requests has no percentiles, and every
+    aggregation layer must carry that as empty/n-a — never a 0.0 that
+    would read as a perfect latency."""
+    result = ExperimentResult(
+        policy="fleetio", duration_s=10.0, measure_start_s=0.0,
+        total_bandwidth_mbps=1000.0,
+    )
+    result.vssds["idle"] = VssdResult(
+        name="idle", workload="ycsb", category="latency", completed=0,
+        mean_bw_mbps=0.0, mean_latency_us=0.0, p95_latency_us=None,
+        p99_latency_us=None, p999_latency_us=None, slo_latency_us=None,
+        slo_violation_frac=0.0, write_amplification=1.0, gc_runs=0,
+    )
+    results = {"fleetio": result}
+    # CSV: percentile cells are empty strings, and they survive a
+    # write/load round trip as empty (not "None", not "0.0").
+    path = tmp_path / "results.csv"
+    results_to_csv(results, path)
+    (row,) = load_results_csv(path)
+    assert row["completed"] == "0"
+    assert row["p95_latency_us"] == ""
+    assert row["p99_latency_us"] == ""
+    assert row["p999_latency_us"] == ""
+    # Category aggregation: no values means no mean, not 0.0.
+    assert result.mean_of_p99s("latency") is None
+    # Charts/tables: the unmeasured vSSD is excluded or shown as n/a.
+    chart = p99_chart(results, "idle")
+    assert "0.00ms" not in chart
+    table = comparison_table(results)
+    assert "n/a" in table
+    assert result.vssds["idle"].summary_row().count("n/a") == 1

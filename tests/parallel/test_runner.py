@@ -224,3 +224,34 @@ def test_hung_worker_retried_before_failing():
     (failure,) = result.failures
     assert failure.hung
     assert failure.attempts == 2
+
+
+def test_retried_worker_profile_absorbed_once(tmp_path):
+    """A crash-then-succeed cell's profiler data merges once per cell.
+
+    The flaky runner bumps the ``flaky.attempts`` counter on *every*
+    attempt, including the one that dies without reporting.  If a
+    retried attempt's profile ever survived into the merged sweep
+    profile (absorb once per attempt instead of once per cell), the
+    counter would read 2 here.
+    """
+    from repro.profiling import Profiler
+
+    marker = tmp_path / "flaky-profile-marker"
+    cells = [
+        ExperimentCell(str(marker), ("ycsb",), "hardware", 0, runner="flaky"),
+    ]
+    result = ParallelRunner(
+        workers=1, max_attempts=2, retry_backoff_s=0.05
+    ).run(cells)
+    assert result.ok
+    (outcome,) = result.outcomes
+    assert outcome.attempts == 2  # the crash really happened
+    # The sweep-level merge sees one profile per cell...
+    assert result.profile["counters"]["flaky.attempts"] == 1
+    # ...and the pretrain-style per-outcome absorb loop agrees.
+    parent = Profiler()
+    for o in result.outcomes:
+        if isinstance(o, CellOutcome):
+            parent.absorb(o.profile)
+    assert parent.counters()["flaky.attempts"] == 1

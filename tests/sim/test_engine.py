@@ -231,3 +231,80 @@ def test_cancelled_head_discarded_by_run_until(sim):
     sim.run_until(5.0)
     assert fired == ["live"]
     assert sim.pending_events == 0
+
+
+def test_stale_cancel_after_compaction_is_noop(sim):
+    """Handles to compaction-collected events are inert until reuse.
+
+    Compaction parks cancelled events in the free list with
+    ``time = _DEAD`` (or, past the pool cap, leaves them to the GC with
+    ``cancelled`` still set); a second ``cancel()`` through a retained
+    handle must not decrement the live count again or touch any live
+    event.
+    """
+    doomed = [sim.schedule(100.0 + i, lambda: None) for i in range(200)]
+    keep = sim.schedule(5000.0, lambda: None)
+    for event in doomed:
+        event.cancel()
+    assert sim.heap_compactions >= 1
+    for event in doomed:  # stale handles: parked or collected objects
+        event.cancel()
+    # pending_events is heap size minus the cancelled count, so a
+    # double-decrement would show up here as a value above 1.
+    assert sim.pending_events == 1
+    assert not keep.cancelled
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_pool_recycling_stress_no_aliasing(sim):
+    """Randomized churn across all three Event release paths.
+
+    Drives fired-event recycling, cancelled-head discards inside
+    ``run_until``'s batch drain, and mid-callback compactions against
+    heavy free-list reuse, with callbacks cancelling pending events and
+    scheduling same-instant followers (which join the running batch and
+    recycle freshly parked objects).  A recycled Event whose stale heap
+    tuple survived — the aliasing the free list must never produce —
+    would fire the wrong id, fire twice, or skew the counts.
+    """
+    import random
+
+    rng = random.Random(1234)
+    fired = []
+    expected = set()  # ids that must fire exactly once
+    pending = {}  # id -> Event handle, dropped on fire/cancel
+    next_id = [0]
+
+    def spawn(delay):
+        i = next_id[0]
+        next_id[0] += 1
+        pending[i] = sim.schedule(delay, on_fire, i)
+        expected.add(i)
+
+    def on_fire(i):
+        fired.append(i)
+        pending.pop(i, None)  # drop the handle as it is recycled
+        # Cancel a few random pending events (can trigger compaction
+        # mid-batch) ...
+        count = min(len(pending), rng.randrange(3))
+        for victim in rng.sample(sorted(pending), count):
+            pending.pop(victim).cancel()
+            expected.discard(victim)
+        # ... and schedule followers, half at this exact instant.
+        if next_id[0] < 1500:
+            for _ in range(rng.randrange(3)):
+                spawn(0.0 if rng.random() < 0.5 else rng.uniform(1.0, 50.0))
+
+    for _ in range(300):
+        spawn(rng.uniform(0.0, 100.0))
+    # A cancel storm with the heap hot forces early compactions.
+    for victim in rng.sample(sorted(pending), 150):
+        pending.pop(victim).cancel()
+        expected.discard(victim)
+    sim.run_until(1_000_000.0)
+    assert len(fired) == len(set(fired))  # nothing fired twice
+    assert sorted(fired) == sorted(expected)  # cancelled never fire
+    assert sim.pending_events == 0
+    assert sim.events_processed == len(fired)
+    assert sim.heap_compactions >= 1

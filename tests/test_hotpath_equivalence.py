@@ -195,6 +195,117 @@ def test_zipf_sample_matches_generator_choice():
     assert rng_fast.bit_generator.state == rng_ref.bit_generator.state
 
 
+# -- SoA span paths vs per-page object paths ------------------------------
+#
+# ``write_span``/``read_span`` inline frontier picking, programming, bus
+# arbitration, and GC triggering against the structure-of-arrays columns;
+# ``write_page``/``read_page`` are the retained per-page object reference.
+# A randomized mixed workload (overwrites, unmapped reads, trims, enough
+# churn to trigger GC) must leave twin devices in bit-identical state.
+
+def _twin_ftls():
+    from repro.config import SSDConfig
+    from repro.ssd import Ssd, VssdFtl
+    from repro.ssd.hbt import HarvestedBlockTable
+
+    config = SSDConfig(
+        num_channels=4,
+        chips_per_channel=2,
+        blocks_per_chip=8,
+        pages_per_block=16,
+        min_superblock_blocks=2,
+    )
+    twins = []
+    for _ in range(2):
+        sim = Simulator()
+        ssd = Ssd(config, sim)
+        ftl = VssdFtl(0, ssd, hbt=HarvestedBlockTable())
+        ftl.adopt_blocks(ssd.allocate_channels(0, [0, 1]))
+        twins.append((sim, ftl))
+    return twins
+
+
+def _ref_span(ftl, op, lpn, num_pages, front):
+    """The retired dispatcher loop: one ``*_page`` call per page."""
+    page_io = ftl.write_page if op == "write" else ftl.read_page
+    done = ftl.ssd.sim.now
+    pages_by_channel: dict = {}
+    for cur in range(lpn, lpn + num_pages):
+        page_done, channel_id = page_io(cur, front=front)
+        if page_done > done:
+            done = page_done
+        pages_by_channel[channel_id] = pages_by_channel.get(channel_id, 0) + 1
+    return done, pages_by_channel
+
+
+def _ftl_state(ftl):
+    """Every piece of mutable state the span paths touch, bit-exact."""
+    store = ftl._store
+    arrays = ftl._arrays
+    stats = ftl.stats
+    return {
+        "l2p_gid": list(ftl._l2p_gid),
+        "l2p_page": list(ftl._l2p_page),
+        "page_lpns": store.page_lpns.tobytes(),
+        "erase_count": store.erase_count.tobytes(),
+        "state": list(store.state),
+        "owner": list(store.owner),
+        "writer": list(store.writer),
+        "harvested": list(store.harvested),
+        "write_ptr": list(store.write_ptr),
+        "valid_count": list(store.valid_count),
+        "bus_busy": _bits(arrays.bus_busy),
+        "chip_busy": _bits(arrays.chip_busy),
+        "mapped": ftl._mapped,
+        "write_rr": ftl._write_rr,
+        "unmapped_rr": ftl._unmapped_rr,
+        "ftl_stats": (
+            stats.host_reads, stats.host_writes, stats.unmapped_reads,
+            stats.gc_reads, stats.gc_writes, stats.gc_runs,
+            stats.blocks_erased,
+        ),
+        "chan_stats": [
+            (s.pages_read, s.pages_written, s.gc_pages_migrated,
+             s.gc_erases, _bits([s.busy_us]), _bits([s.gc_busy_us]))
+            for s in ftl._chan_stats
+        ],
+    }
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_span_paths_match_per_page_object_paths(seed):
+    """Differential: SoA spans vs the per-page reference, GC included."""
+    rng = np.random.default_rng(seed)
+    (sim_fast, fast), (sim_ref, ref) = _twin_ftls()
+    working_set = 96  # < owned capacity, so overwrites force GC churn
+    for _ in range(500):
+        roll = rng.random()
+        lpn = int(rng.integers(0, working_set))
+        num_pages = int(rng.integers(1, 9))
+        front = bool(rng.random() < 0.25)
+        if roll < 0.70:
+            got = fast.write_span(lpn, num_pages, front=front)
+            want = _ref_span(ref, "write", lpn, num_pages, front)
+        elif roll < 0.98:
+            got = fast.read_span(lpn, num_pages, front=front)
+            want = _ref_span(ref, "read", lpn, num_pages, front)
+        else:
+            assert fast.trim_all() == ref.trim_all()
+            got = want = None
+        if got is not None:
+            assert _bits([got[0]]) == _bits([want[0]])  # completion time
+            assert got[1] == want[1]  # pages per channel
+            assert list(got[1]) == list(want[1])  # same insertion order
+        # Advance both clocks identically so busy horizons drain.
+        step = float(rng.integers(0, 60))
+        sim_fast.now += step
+        sim_ref.now += step
+    # The sequence must actually have exercised the uncommon paths.
+    assert ref.stats.gc_runs > 0
+    assert ref.stats.unmapped_reads > 0
+    assert _ftl_state(fast) == _ftl_state(ref)
+
+
 @pytest.mark.parametrize("workload", ["ycsb", "terasort", "vdi-web"])
 def test_size_sampling_matches_generator_choice(workload):
     spec = get_spec(workload)
