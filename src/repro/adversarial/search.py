@@ -81,7 +81,9 @@ def tiny_protagonist_params(
             rollout_batch=96,
             envs=1,
         )
-        _TINY_CACHE[key] = {k: v.copy() for k, v in result.net.params.items()}
+        _TINY_CACHE[key] = {  # fleetlint: disable=parallel-shared-mutation  deterministic per-key memo; a forked worker refills its private copy with identical bytes, nothing needs merging
+            k: v.copy() for k, v in result.net.params.items()
+        }
     return _TINY_CACHE[key]
 
 

@@ -14,7 +14,13 @@ Run it with ``python -m repro lint`` or through :func:`run_lint`.
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.context import DETERMINISTIC_CORE, ModuleContext, module_package
-from repro.analysis.engine import LintReport, lint_paths, lint_source, run_lint
+from repro.analysis.engine import (
+    LintReport,
+    lint_paths,
+    lint_source,
+    lint_sources,
+    run_lint,
+)
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import Rule, all_rules, get_rule, register
 from repro.analysis.suppressions import Suppression, parse_suppressions
@@ -32,6 +38,7 @@ __all__ = [
     "get_rule",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "module_package",
     "parse_suppressions",
     "register",

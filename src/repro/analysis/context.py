@@ -10,7 +10,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Type
 
 #: Packages (and top-level modules) under ``repro`` whose behaviour must be
 #: a pure function of (config, seed): everything the simulated clock or the
@@ -64,6 +64,26 @@ def module_package(path: str) -> Optional[str]:
     return rest[0]
 
 
+def module_name(path: str) -> Optional[str]:
+    """The dotted module name a file defines, for call-graph identity.
+
+    >>> module_name("src/repro/sim/engine.py")
+    'repro.sim.engine'
+    >>> module_name("src/repro/sim/__init__.py")
+    'repro.sim'
+    >>> module_name("scripts/tool.py") is None
+    True
+    """
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    if "repro" not in parts:
+        return None
+    idx = parts.index("repro")
+    rest = [PurePosixPath(p).stem for p in parts[idx:]]
+    if rest and rest[-1] == "__init__":
+        rest = rest[:-1]
+    return ".".join(rest) if rest else None
+
+
 class _ImportMap(ast.NodeVisitor):
     """Maps local names to canonical dotted module paths.
 
@@ -99,6 +119,15 @@ class ModuleContext:
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
     imports: Dict[str, str] = field(default_factory=dict)
+    #: Flat AST node list, built once and shared by every rule (the rule
+    #: engine used to re-run ``ast.walk`` per rule per module).
+    _walk_cache: Optional[List[ast.AST]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Per-node-type views over ``_walk_cache``.
+    _type_cache: Dict[Tuple[Type[ast.AST], ...], List[ast.AST]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def from_source(cls, path: str, source: str) -> "ModuleContext":
@@ -114,10 +143,38 @@ class ModuleContext:
             imports=mapper.names,
         )
 
+    def walk(self) -> List[ast.AST]:
+        """Every AST node in the module, computed once and cached.
+
+        Rules iterate this shared list instead of calling ``ast.walk``
+        themselves, so N rules cost one tree traversal, not N.
+        """
+        if self._walk_cache is None:
+            self._walk_cache = list(ast.walk(self.tree))
+        return self._walk_cache
+
+    def nodes(self, *types: Type[ast.AST]) -> List[ast.AST]:
+        """The module's nodes of the given type(s), from the shared walk.
+
+        Per-type lists are memoized, so the common shape — several rules
+        each scanning every ``ast.Call`` — reads one precomputed list.
+        """
+        key: Tuple[Type[ast.AST], ...] = tuple(types)
+        cached = self._type_cache.get(key)
+        if cached is None:
+            cached = [n for n in self.walk() if isinstance(n, key)]
+            self._type_cache[key] = cached
+        return cached
+
     @property
     def package(self) -> Optional[str]:
         """The ``repro`` subpackage this module belongs to, if any."""
         return module_package(self.path)
+
+    @property
+    def module(self) -> Optional[str]:
+        """The dotted module name this file defines, if it is in-tree."""
+        return module_name(self.path)
 
     @property
     def is_core(self) -> bool:

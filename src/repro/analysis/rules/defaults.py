@@ -39,9 +39,8 @@ class MutableDefaultArgRule(Rule):
     description = "no mutable default argument values (list/dict/set literals or calls)"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
+        for node in module.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
             yield from self._check_function(module, node)
 
     def _check_function(

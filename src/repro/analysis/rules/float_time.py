@@ -54,9 +54,8 @@ class FloatTimeEqualityRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.is_core:
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Compare):
-                continue
+        for node in module.nodes(ast.Compare):
+            assert isinstance(node, ast.Compare)
             operands = [node.left, *node.comparators]
             for op, left, right in zip(node.ops, operands, operands[1:]):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):

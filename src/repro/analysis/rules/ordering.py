@@ -88,7 +88,7 @@ class UnorderedIterationRule(Rule):
             return
         tracker = _SetTracker()
         tracker.visit(module.tree)
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             iters: List[ast.expr] = []
             if isinstance(node, ast.For):
                 iters.append(node.iter)

@@ -96,9 +96,8 @@ class UnseededRngRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.is_core:
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in module.nodes(ast.Call):
+            assert isinstance(node, ast.Call)
             target = module.resolve(node.func)
             if target is None:
                 continue

@@ -1,0 +1,190 @@
+"""rng-stream-leak: named RNG streams must stay inside their subsystem.
+
+The determinism contract gives every consumer of randomness its own
+named stream (``streams.get("workload:ycsb")``) so draw order is fixed
+by construction.  That guarantee breaks when a stream's Generator
+becomes ambient state:
+
+1. a module-level binding of a named-stream Generator (or of a
+   ``RandomStreams`` hub itself) is process-global RNG state — import
+   order then decides draw order;
+2. a function that *returns* (or yields) a named-stream Generator to a
+   caller in another package exports the stream out of its subsystem —
+   the remote draws interleave with the home subsystem's in an order no
+   longer fixed by the stream name;
+3. the same stream name drawn via ``.get("...")`` in two different
+   packages: two call paths whose relative order nothing pins.
+
+Construction-time handoff (building a workload generator with an
+``rng=`` argument) is the sanctioned pattern and is not flagged: the
+callee owns the stream from then on, there is no second draw path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, ProjectContext
+from repro.analysis.dataflow import Env, TagAnalysis, literal_str
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ProjectRule, register
+
+#: The streams hub class; receivers of this type make ``.get`` a
+#: stream accessor.
+_STREAMS_CLASS = "repro.sim.random.RandomStreams"
+
+#: Modules allowed to return Generators: the accessor itself.
+_HOME_MODULES = frozenset({"repro.sim.random"})
+
+
+def _stream_tagger(
+    project: ProjectContext, fn: FunctionInfo
+) -> Callable[[ast.expr, Env], FrozenSet[str]]:
+    """Seed callback tagging ``<RandomStreams>.get("name")`` results."""
+    locals_ = project._local_types(fn)
+
+    def seed(node: ast.expr, env: Env) -> FrozenSet[str]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+        ):
+            return frozenset()
+        receiver = project.receiver_type(fn, node.func.value, locals_)
+        if receiver != _STREAMS_CLASS:
+            return frozenset()
+        name = literal_str(node.args[0])
+        return frozenset({f"stream:{name if name is not None else '<dynamic>'}"})
+
+    return seed
+
+
+@register
+class StreamLeakRule(ProjectRule):
+    name = "rng-stream-leak"
+    description = (
+        "named-stream Generators must not escape their subsystem: no "
+        "module-level stream state, no cross-package stream returns, no "
+        "same-name draws from two packages"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        yield from self._module_level_streams(project)
+        get_sites: Dict[str, List[Tuple[FunctionInfo, ast.Call]]] = {}
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            yield from self._function_findings(project, fn, get_sites)
+        yield from self._cross_package_draws(project, get_sites)
+
+    # ------------------------------------------------------------------
+
+    def _module_level_streams(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Module-scope bindings of streams hubs or named-stream gets."""
+        for ctx in project.modules:
+            if ctx.module is None:
+                continue
+            for stmt in ctx.tree.body:
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = stmt.value
+                if value is None or not isinstance(value, ast.Call):
+                    continue
+                hub = project._resolve_class_expr(ctx, value.func)
+                is_get = (
+                    isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "get"
+                    and isinstance(value.func.value, ast.Call)
+                    and project._resolve_class_expr(ctx, value.func.value.func)
+                    == _STREAMS_CLASS
+                )
+                if hub == _STREAMS_CLASS or is_get:
+                    what = (
+                        "a named-stream Generator"
+                        if is_get
+                        else "a RandomStreams hub"
+                    )
+                    yield self.finding(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset + 1,
+                        f"module-level binding of {what} is process-global RNG "
+                        "state; construct streams inside the owning object and "
+                        "pass Generators down explicitly",
+                    )
+
+    def _function_findings(
+        self,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        get_sites: Dict[str, List[Tuple[FunctionInfo, ast.Call]]],
+    ) -> Iterator[Finding]:
+        """Per-function pass: record get-sites, flag stream returns."""
+        has_get = any(
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "get"
+            for n in ast.walk(fn.node)
+        )
+        if not has_get:
+            return
+        result = TagAnalysis(_stream_tagger(project, fn)).run(fn.node)
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and node.args
+                and project.receiver_type(fn, node.func.value) == _STREAMS_CLASS
+            ):
+                name = literal_str(node.args[0])
+                if name is not None:
+                    get_sites.setdefault(name, []).append((fn, node))
+        if not result.returned or fn.module in _HOME_MODULES:
+            return
+        # Returned a tagged stream: flag when some caller lives in a
+        # different package (the stream crosses a subsystem boundary).
+        home = fn.package
+        for caller in sorted(project.callers(fn.qualname)):
+            caller_fn = project.functions[caller]
+            if caller_fn.package != home:
+                streams = ", ".join(sorted(result.returned))
+                yield self.finding(
+                    fn.context,
+                    fn.node.lineno,
+                    fn.node.col_offset + 1,
+                    f"{fn.name}() returns {streams} to "
+                    f"{caller_fn.qualname} in package "
+                    f"'{caller_fn.package}'; a named stream drawn outside its "
+                    "subsystem has no fixed draw order — pass values, not the "
+                    "Generator",
+                )
+                break
+
+    def _cross_package_draws(
+        self,
+        project: ProjectContext,
+        get_sites: Dict[str, List[Tuple[FunctionInfo, ast.Call]]],
+    ) -> Iterator[Finding]:
+        """The same stream name accessed from two packages."""
+        for name in sorted(get_sites):
+            sites = get_sites[name]
+            packages = sorted({fn.package or "?" for fn, _ in sites})
+            if len(packages) < 2:
+                continue
+            home = packages[0]
+            for fn, call in sites:
+                if fn.package == home:
+                    continue
+                yield self.finding(
+                    fn.context,
+                    call.lineno,
+                    call.col_offset + 1,
+                    f"stream '{name}' is drawn from both package '{home}' and "
+                    f"package '{fn.package}'; two unordered call paths share "
+                    "one stream — give each consumer its own named stream",
+                )

@@ -82,7 +82,7 @@ class UnitMixingRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.is_core:
             return
-        for node in ast.walk(module.tree):
+        for node in module.nodes(ast.BinOp, ast.Compare, ast.FunctionDef):
             if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
                 yield from self._check_pair(module, node, node.left, node.right, "+/-")
             elif isinstance(node, ast.Compare):

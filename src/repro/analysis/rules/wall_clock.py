@@ -49,9 +49,8 @@ class SimWallClockRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         if not module.is_core:
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in module.nodes(ast.Call):
+            assert isinstance(node, ast.Call)
             target = module.resolve(node.func)
             if target in _BANNED_CALLS:
                 yield self.finding(

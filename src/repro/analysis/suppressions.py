@@ -1,9 +1,19 @@
 """Inline suppressions: ``# fleetlint: disable=<rule>[,<rule>...]  reason``.
 
-A suppression silences matching findings on its own line only, and the
-trailing reason is mandatory — a suppression without one is itself
-reported under the ``bad-suppression`` meta-rule, so "why is this OK?"
-is always answered in the source.
+A suppression silences matching findings on the statement it annotates,
+and the trailing reason is mandatory — a suppression without one is
+itself reported under the ``bad-suppression`` meta-rule, so "why is this
+OK?" is always answered in the source.
+
+Placement grammar:
+
+* trailing a single-line statement — covers that line;
+* on a line of its own — covers the statement starting on the next line
+  (its full multi-line extent);
+* trailing *any* physical line of a multi-line statement (including the
+  closing ``)`` black likes to put on its own line) — covers the whole
+  statement's line span, so reformatting a long expression can no longer
+  orphan its suppression.
 
 Markers are recognized in real comment tokens only (via ``tokenize``),
 so prose or string literals that merely mention the marker syntax are
@@ -12,11 +22,12 @@ never misparsed.
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.findings import Finding, Severity
 
@@ -34,19 +45,31 @@ _SUPPRESSION_RE = re.compile(
 class Suppression:
     """One inline suppression comment.
 
-    A marker trailing a statement covers that line; a marker on a line
-    of its own covers the next line (the statement it annotates).
+    ``start``/``end`` bound the 1-indexed line span this marker covers:
+    the annotated statement's full extent when the statement is known,
+    otherwise the marker's own line (trailing) or the next line
+    (standalone).
     """
 
     line: int
     rules: Tuple[str, ...]
     reason: str
     standalone: bool = False
+    start: int = 0
+    end: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start == 0:
+            target = self.line + 1 if self.standalone else self.line
+            object.__setattr__(self, "start", target)
+        if self.end == 0:
+            object.__setattr__(self, "end", max(self.start, self.line))
 
     def covers(self, rule: str, line: int) -> bool:
         """Whether this suppression silences ``rule`` on ``line``."""
-        target = self.line + 1 if self.standalone else self.line
-        return line == target and (rule in self.rules or "all" in self.rules)
+        if not (self.start <= line <= self.end):
+            return False
+        return rule in self.rules or "all" in self.rules
 
 
 @dataclass
@@ -77,17 +100,59 @@ def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
     return comments
 
 
-def parse_suppressions(path: str, lines: List[str]) -> SuppressionSet:
+def _statement_spans(tree: Optional[ast.AST]) -> List[Tuple[int, int]]:
+    """(lineno, end_lineno) for every statement, innermost-last.
+
+    Sorted by ascending span width so the *smallest* statement containing
+    a marker line wins: a suppression trailing a simple statement inside
+    a long function covers that statement alone, never the whole body.
+    """
+    if tree is None:
+        return []
+    spans = [
+        (node.lineno, node.end_lineno or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.stmt)
+    ]
+    spans.sort(key=lambda span: (span[1] - span[0], span[0]))
+    return spans
+
+
+def _span_for(
+    lineno: int, standalone: bool, spans: List[Tuple[int, int]]
+) -> Tuple[int, int]:
+    """The line span a marker at ``lineno`` covers."""
+    if standalone:
+        # Cover the statement *starting* just below the marker (skipping
+        # further comment-only lines is unnecessary: markers annotate the
+        # statement they sit on top of).
+        for start, end in spans:
+            if start == lineno + 1:
+                return start, end
+        return lineno + 1, lineno + 1
+    # Trailing marker: smallest statement whose extent contains the line.
+    for start, end in spans:
+        if start <= lineno <= end:
+            return start, end
+    return lineno, lineno
+
+
+def parse_suppressions(
+    path: str, lines: List[str], tree: Optional[ast.AST] = None
+) -> SuppressionSet:
     """Scan a module's source for suppression markers.
 
     ``lines`` is the module's source split into lines (as held by
-    :class:`~repro.analysis.context.ModuleContext`).  Markers with an
+    :class:`~repro.analysis.context.ModuleContext`); pass the parsed
+    ``tree`` as well so markers trailing a continuation line of a
+    multi-line statement cover the whole statement.  Markers with an
     empty reason or naming an unknown rule yield ``bad-suppression``
     findings instead of silently (not) applying.
     """
     from repro.analysis.registry import is_known_rule
 
     result = SuppressionSet()
+    spans = _statement_spans(tree)
     for lineno, col, text in _comment_tokens("\n".join(lines)):
         if not _MARKER_RE.search(text):
             continue
@@ -120,7 +185,10 @@ def parse_suppressions(path: str, lines: List[str]) -> SuppressionSet:
             )
             continue
         standalone = 1 <= lineno <= len(lines) and lines[lineno - 1].lstrip().startswith("#")
-        result.suppressions.append(Suppression(lineno, rules, reason, standalone))
+        start, end = _span_for(lineno, standalone, spans)
+        result.suppressions.append(
+            Suppression(lineno, rules, reason, standalone, start=start, end=end)
+        )
     return result
 
 

@@ -12,11 +12,13 @@ Commands:
 * ``sweep`` — fan a policies × seeds matrix across worker processes.
 * ``adversarial`` — regret-driven scenario search (policy hardening).
 * ``lint`` — fleetlint determinism & unit-safety static analysis.
+* ``detsan`` — compare determinism-sanitizer traces; localize divergence.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import TYPE_CHECKING, Optional, Sequence
@@ -313,6 +315,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         measure_after_s=args.warmup,
         num_channels=args.channels,
     )
+    if args.detsan:
+        # Set before any worker forks so every child records checkpoints.
+        os.environ["REPRO_DETSAN"] = "1"
     cells = matrix.cells()
     warmed = warm_policy_cache(cells)
     if warmed:
@@ -350,6 +355,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.telemetry_out, "wb") as handle:
             handle.write(sweep.telemetry)
         print(f"wrote merged telemetry to {args.telemetry_out}")
+    if args.detsan:
+        from repro.analysis.detsan import write_traces
+
+        paths = write_traces(sweep.detsan_traces(), args.detsan)
+        print(f"wrote {len(paths)} detsan traces to {args.detsan}")
     if args.verify_serial:
         serial = run_serial(cells)
         match = serial.telemetry == sweep.telemetry
@@ -469,7 +479,30 @@ def cmd_lint(args: argparse.Namespace) -> int:
         strict=args.strict,
         rules=args.rules.split(",") if args.rules else None,
         verbose=args.verbose,
+        changed_only=args.changed_only,
     )
+
+
+def cmd_detsan(args: argparse.Namespace) -> int:
+    """Compare two determinism-sanitizer traces."""
+    from repro.analysis.detsan import DetsanTrace, compare
+
+    path_a, path_b = args.compare
+    trace_a = DetsanTrace.load(path_a)
+    trace_b = DetsanTrace.load(path_b)
+    label_a = trace_a.label or path_a
+    label_b = trace_b.label or path_b
+    divergence = compare(trace_a, trace_b)
+    if divergence is None:
+        windows = len(trace_a.windows())
+        print(
+            f"identical: {label_a} == {label_b} "
+            f"({windows} windows, {len(trace_a.checkpoints)} checkpoints)"
+        )
+        return 0
+    print(f"comparing {label_a} vs {label_b}")
+    print(divergence.render())
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -610,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="relaunches granted to a crashed or hung worker (0 = fail fast)",
     )
+    sweep.add_argument(
+        "--detsan", default=None, metavar="DIR",
+        help="record determinism-sanitizer checkpoints and write per-cell "
+             "traces here (implies REPRO_DETSAN=1 in every worker)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     adversarial = sub.add_parser(
@@ -701,7 +739,23 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true",
         help="also show suppressed and baselined findings",
     )
+    lint.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files git reports as changed (module rules only; "
+             "the whole-program pass needs the full file set)",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    detsan = sub.add_parser(
+        "detsan",
+        help="compare determinism-sanitizer traces; localize the first "
+             "divergent (subsystem, window)",
+    )
+    detsan.add_argument(
+        "--compare", nargs=2, required=True, metavar=("A", "B"),
+        help="two trace files written by 'sweep --detsan'",
+    )
+    detsan.set_defaults(func=cmd_detsan)
     return parser
 
 

@@ -46,6 +46,10 @@ HARVEST_SHARE = 0.7
 HOME_SHARE_LOSS = 0.25
 #: Baseline tail latency (us) at low load for a small read.
 BASE_TAIL_US = 500.0
+#: Tail-latency multiplier per scheduling priority (the dict the window
+#: loop used to rebuild per agent per window; vector_env carries the
+#: same table as ``_PRIORITY_TAIL_MULT``).
+PRIORITY_TAIL_MULT = {Priority.LOW: 1.6, Priority.MEDIUM: 1.0, Priority.HIGH: 0.5}
 #: Achievable fraction of a channel's nominal bandwidth once GC, the
 #: read/write mix, and turnaround overheads are paid.  Calibrated against
 #: the discrete-event substrate so states and rewards in both
@@ -282,9 +286,7 @@ class FastFleetEnv:
             tail = BASE_TAIL_US * (
                 1.0 + 2.5 * congestion**4 + self.interference_coef * foreign
             )
-            tail *= {Priority.LOW: 1.6, Priority.MEDIUM: 1.0, Priority.HIGH: 0.5}[
-                self.priority[i]
-            ]
+            tail *= PRIORITY_TAIL_MULT[self.priority[i]]
             if fault_fx is not None:
                 tail = tail + fault_fx[i][1]
             write_frac = 1.0 - spec.workload.read_ratio

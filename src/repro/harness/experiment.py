@@ -37,6 +37,7 @@ from repro.workloads.drivers import make_driver
 from repro.workloads.model import WorkloadModel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.detsan import DetsanRecorder
     from repro.clustering.classifier import WorkloadTypeClassifier
     from repro.faults.injector import FaultSpec
     from repro.rl.nets import PolicyValueNet
@@ -131,6 +132,8 @@ class Experiment:
         self.manager: Optional[AdaptiveManager] = None
         self._built = False
         self._measure_start_s = 0.0
+        #: Recorder attached by the last detsan-instrumented run().
+        self.detsan: Optional["DetsanRecorder"] = None
 
     # ------------------------------------------------------------------
     # Build
@@ -354,8 +357,19 @@ class Experiment:
         self,
         duration_s: float = 30.0,
         measure_after_s: float = 6.0,
+        detsan: Optional["DetsanRecorder"] = None,
     ) -> ExperimentResult:
-        """Run the experiment and collect per-vSSD and device metrics."""
+        """Run the experiment and collect per-vSSD and device metrics.
+
+        With a :class:`~repro.analysis.detsan.DetsanRecorder` (passed
+        explicitly or implied by the ``REPRO_DETSAN`` environment
+        variable), the run is chunked at decision-window boundaries and
+        a read-only checkpoint is recorded at each.  Chunking is
+        behavior-identical to one straight ``run_until``: the clock
+        lands exactly on every boundary either way, events with
+        timestamps inside a chunk fire in the same (time, seq) order,
+        and checkpoints neither draw randomness nor schedule events.
+        """
         self.build()
         sim = self.virt.sim
         self._measure_start_s = sim.now_seconds + measure_after_s
@@ -367,8 +381,26 @@ class Experiment:
             self.controller.start()
         elif self.manager is not None:
             self.manager.start()
-        end_s = sim.now_seconds + duration_s
-        sim.run_until_seconds(end_s)
+        start_s = sim.now_seconds
+        end_s = start_s + duration_s
+        if detsan is None:
+            from repro.analysis.detsan import DetsanRecorder, detsan_enabled
+
+            if detsan_enabled():
+                detsan = DetsanRecorder(label=f"{self.policy}/s{self.seed}")
+        if detsan is None:
+            sim.run_until_seconds(end_s)
+        else:
+            interval_s = self.rl_config.decision_interval_s
+            window = 0
+            while True:
+                boundary_s = min(start_s + (window + 1) * interval_s, end_s)
+                sim.run_until_seconds(boundary_s)
+                detsan.checkpoint(window, self)
+                window += 1
+                if boundary_s >= end_s:
+                    break
+            self.detsan = detsan
         return self._collect(end_s)
 
     def schedule_workload_switch(self, plan_name: str, new_workload: str, at_s: float) -> None:

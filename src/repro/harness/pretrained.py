@@ -128,7 +128,7 @@ def get_pretrained_net(
         ).net
         if use_disk_cache:
             _atomic_replace(lambda tmp: net.save(str(tmp)), cache_file)
-    _net_cache[key] = net
+    _net_cache[key] = net  # fleetlint: disable=parallel-shared-mutation  read-through cache keyed by config hash; workers refill their fork-private copy from the on-disk cache, contents are deterministic
     return net
 
 
@@ -156,5 +156,5 @@ def get_classifier(seed: int = 0, use_disk_cache: bool = True) -> WorkloadTypeCl
             _atomic_replace(
                 lambda tmp: tmp.write_bytes(pickle.dumps(classifier)), cache_file
             )
-    _classifier_cache[seed] = classifier
+    _classifier_cache[seed] = classifier  # fleetlint: disable=parallel-shared-mutation  read-through cache keyed by seed; fork-private, refilled deterministically from disk
     return classifier

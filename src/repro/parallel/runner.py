@@ -111,6 +111,18 @@ class SweepResult:
         """``cell_id -> ExperimentResult`` for the successful cells."""
         return {o.cell.cell_id: o.result for o in self.succeeded}
 
+    def detsan_traces(self) -> dict:
+        """``cell_id -> serialized detsan trace`` for instrumented cells.
+
+        Empty unless the sweep ran with ``REPRO_DETSAN`` set (workers
+        inherit the variable through fork/spawn).
+        """
+        return {
+            o.cell.cell_id: o.detsan
+            for o in self.succeeded
+            if o.detsan is not None
+        }
+
 
 def _child_main(
     cell: WorkCell, profile: bool, conn: connection.Connection

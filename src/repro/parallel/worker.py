@@ -22,6 +22,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Union
 
+from repro.analysis.detsan import DetsanRecorder, detsan_enabled
 from repro.config import SSDConfig
 from repro.harness.experiment import Experiment
 from repro.harness.report import results_csv_bytes
@@ -54,6 +55,11 @@ class CellOutcome:
     #: Which launch attempt produced this outcome (1 = first try; >1
     #: means the parallel runner retried a crashed/hung worker).
     attempts: int = 1
+    #: Serialized detsan trace (``DetsanTrace.to_bytes``) when the cell
+    #: ran with the determinism sanitizer enabled.  Kept separate from
+    #: ``telemetry`` so instrumented runs stay byte-identical to bare
+    #: ones on the digest-gated channel.
+    detsan: Optional[bytes] = None
 
 
 def _run_experiment_cell(cell: ExperimentCell) -> CellOutcome:
@@ -66,11 +72,20 @@ def _run_experiment_cell(cell: ExperimentCell) -> CellOutcome:
     experiment = Experiment(
         cell.plans(), cell.policy, ssd_config=config, seed=cell.seed
     )
-    result = experiment.run(cell.duration_s, cell.measure_after_s)
+    recorder = None
+    if detsan_enabled():
+        recorder = DetsanRecorder(label=cell.cell_id)
+    result = experiment.run(cell.duration_s, cell.measure_after_s, detsan=recorder)
     telemetry = results_csv_bytes({cell.policy: result}) + windows_csv_bytes(
         {name: monitor.window_history for name, monitor in experiment.monitors.items()}
     )
-    return CellOutcome(cell=cell, ok=True, result=result, telemetry=telemetry)
+    return CellOutcome(
+        cell=cell,
+        ok=True,
+        result=result,
+        telemetry=telemetry,
+        detsan=recorder.trace.to_bytes() if recorder is not None else None,
+    )
 
 
 def _run_pretrain_cell(cell: PretrainCell) -> CellOutcome:

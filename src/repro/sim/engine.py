@@ -309,3 +309,23 @@ class Simulator:
     def run_until_seconds(self, time_s: float) -> int:
         """Like :meth:`run_until`, with the boundary given in seconds."""
         return self.run_until(time_s * 1_000_000.0)
+
+    def detsan_state(self) -> dict:
+        """A read-only engine snapshot for the determinism sanitizer.
+
+        Captures the clock, the fired-event count, and the live heap as
+        sorted ``(time, seq)`` pairs — enough to pin "same events, same
+        order, same times" without touching engine state.  Sorting makes
+        the snapshot independent of heap-internal layout, which can
+        legitimately differ after a compaction.
+        """
+        live = sorted(
+            (entry[0], entry[1])
+            for entry in self._heap
+            if not entry[2].cancelled
+        )
+        return {
+            "now": self.now,
+            "events_processed": self._events_processed,
+            "pending": live,
+        }

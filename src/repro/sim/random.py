@@ -43,6 +43,19 @@ class RandomStreams:
         """Derive a child stream factory (e.g. per experiment repetition)."""
         return RandomStreams(seed=_stable_hash(f"{self._seed}:{name}"))
 
+    def detsan_states(self) -> "dict[str, dict]":
+        """Per-stream bit-generator state, keyed by stream name.
+
+        The state dict encodes the exact draw position, so the
+        determinism sanitizer can checkpoint "who has drawn how much"
+        without consuming a single value.  Streams are returned in
+        creation order (dict order), which is itself deterministic.
+        """
+        return {
+            name: dict(gen.bit_generator.state)
+            for name, gen in self._streams.items()
+        }
+
 
 def _stable_hash(text: str) -> int:
     """A deterministic 63-bit hash (Python's ``hash`` is salted per run)."""

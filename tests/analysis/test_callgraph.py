@@ -1,0 +1,245 @@
+"""Unit tests for the whole-program call graph and the tag dataflow.
+
+These are the two engines under the project rules; testing them directly
+keeps rule fixtures honest (a fixture that stops flagging should fail
+*here* first, at the resolution step that broke).
+"""
+
+import ast
+
+from repro.analysis.callgraph import ProjectContext
+from repro.analysis.context import ModuleContext, module_name
+from repro.analysis.dataflow import TagAnalysis, literal_str
+
+
+def project(sources):
+    return ProjectContext(
+        ModuleContext.from_source(path, text) for path, text in sources.items()
+    )
+
+
+class TestModuleName:
+    def test_source_file(self):
+        assert module_name("src/repro/sim/engine.py") == "repro.sim.engine"
+
+    def test_package_init(self):
+        assert module_name("src/repro/sim/__init__.py") == "repro.sim"
+
+    def test_outside_tree(self):
+        assert module_name("scripts/tool.py") is None
+
+
+class TestCallResolution:
+    def test_direct_import_call(self):
+        p = project(
+            {
+                "src/repro/a/util.py": "def helper():\n    return 1\n",
+                "src/repro/b/use.py": (
+                    "from repro.a.util import helper\n"
+                    "\n"
+                    "def go():\n"
+                    "    return helper()\n"
+                ),
+            }
+        )
+        assert p.callees("repro.b.use.go") == frozenset({"repro.a.util.helper"})
+        assert p.callers("repro.a.util.helper") == frozenset({"repro.b.use.go"})
+
+    def test_reexport_chasing(self):
+        p = project(
+            {
+                "src/repro/a/util.py": "def helper():\n    return 1\n",
+                "src/repro/a/__init__.py": "from repro.a.util import helper\n",
+                "src/repro/b/use.py": (
+                    "from repro.a import helper\n"
+                    "\n"
+                    "def go():\n"
+                    "    return helper()\n"
+                ),
+            }
+        )
+        assert "repro.a.util.helper" in p.callees("repro.b.use.go")
+
+    def test_self_method_call(self):
+        p = project(
+            {
+                "src/repro/a/thing.py": (
+                    "class Thing:\n"
+                    "    def outer(self):\n"
+                    "        return self.inner()\n"
+                    "\n"
+                    "    def inner(self):\n"
+                    "        return 1\n"
+                ),
+            }
+        )
+        assert p.callees("repro.a.thing.Thing.outer") == frozenset(
+            {"repro.a.thing.Thing.inner"}
+        )
+
+    def test_method_via_typed_param(self):
+        p = project(
+            {
+                "src/repro/a/thing.py": (
+                    "class Thing:\n"
+                    "    def inner(self):\n"
+                    "        return 1\n"
+                ),
+                "src/repro/b/use.py": (
+                    "from repro.a.thing import Thing\n"
+                    "\n"
+                    "def go(t: Thing):\n"
+                    "    return t.inner()\n"
+                ),
+            }
+        )
+        assert "repro.a.thing.Thing.inner" in p.callees("repro.b.use.go")
+
+    def test_method_via_self_attr_chain(self):
+        p = project(
+            {
+                "src/repro/a/thing.py": (
+                    "class Engine:\n"
+                    "    def tick(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "class Holder:\n"
+                    "    def __init__(self):\n"
+                    "        self.engine = Engine()\n"
+                    "\n"
+                    "    def go(self):\n"
+                    "        return self.engine.tick()\n"
+                ),
+            }
+        )
+        assert "repro.a.thing.Engine.tick" in p.callees("repro.a.thing.Holder.go")
+
+    def test_inherited_method_resolves_to_base(self):
+        p = project(
+            {
+                "src/repro/a/thing.py": (
+                    "class Base:\n"
+                    "    def shared(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "class Child(Base):\n"
+                    "    def go(self):\n"
+                    "        return self.shared()\n"
+                ),
+            }
+        )
+        assert "repro.a.thing.Base.shared" in p.callees("repro.a.thing.Child.go")
+
+    def test_reachable_is_transitive(self):
+        p = project(
+            {
+                "src/repro/a/m.py": (
+                    "def a():\n"
+                    "    return b()\n"
+                    "\n"
+                    "def b():\n"
+                    "    return c()\n"
+                    "\n"
+                    "def c():\n"
+                    "    return 1\n"
+                    "\n"
+                    "def island():\n"
+                    "    return 2\n"
+                ),
+            }
+        )
+        reached = p.reachable(["repro.a.m.a"])
+        assert "repro.a.m.c" in reached
+        assert "repro.a.m.island" not in reached
+
+    def test_unknown_calls_under_approximate(self):
+        p = project(
+            {
+                "src/repro/a/m.py": (
+                    "def go(fn):\n"
+                    "    return fn() + unknown_global()\n"
+                ),
+            }
+        )
+        assert p.callees("repro.a.m.go") == frozenset()
+
+
+def run_tags(body, seed_name="tainted"):
+    """Run TagAnalysis over a function body; ``tainted()`` seeds a tag."""
+    src = "def fn(arg):\n" + "".join(f"    {line}\n" for line in body)
+    fn = ast.parse(src).body[0]
+
+    def seed(node, env):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == seed_name
+        ):
+            return frozenset({"T"})
+        return frozenset()
+
+    return TagAnalysis(seed).run(fn)
+
+
+class TestTagDataflow:
+    def test_assignment_propagates(self):
+        result = run_tags(["x = tainted()", "y = x"])
+        assert result.tags_of("y") == frozenset({"T"})
+
+    def test_strong_update_clears(self):
+        result = run_tags(["x = tainted()", "x = 1"])
+        assert result.tags_of("x") == frozenset()
+
+    def test_branches_join(self):
+        result = run_tags(
+            ["if arg:", "    x = tainted()", "else:", "    x = 1", "y = x"]
+        )
+        assert result.tags_of("y") == frozenset({"T"})
+
+    def test_loop_carried_tag(self):
+        # The tag is assigned late in the body and read early; one pass
+        # would miss it, the two-pass loop body catches it.
+        result = run_tags(
+            ["for i in arg:", "    y = x if i else None", "    x = tainted()"]
+        )
+        assert result.tags_of("y") == frozenset({"T"})
+
+    def test_return_is_recorded(self):
+        result = run_tags(["x = tainted()", "return x"])
+        assert result.returned == frozenset({"T"})
+
+    def test_call_arg_use_is_recorded(self):
+        result = run_tags(["x = tainted()", "sink(x)"])
+        assert any(u.kind == "call-arg" and u.tag == "T" for u in result.uses)
+
+    def test_store_on_self_is_recorded(self):
+        src = (
+            "def fn(self):\n"
+            "    x = tainted()\n"
+            "    self.kept = x\n"
+        )
+        fn = ast.parse(src).body[0]
+
+        def seed(node, env):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "tainted"
+            ):
+                return frozenset({"T"})
+            return frozenset()
+
+        result = TagAnalysis(seed).run(fn)
+        assert result.stored_on_self.get("kept") == {"T"}
+
+    def test_untagged_stays_clean(self):
+        result = run_tags(["x = 1", "y = x + 2"])
+        assert result.tags_of("y") == frozenset()
+
+
+class TestLiteralStr:
+    def test_plain_string(self):
+        assert literal_str(ast.parse("'abc'", mode="eval").body) == "abc"
+
+    def test_fstring_is_dynamic(self):
+        assert literal_str(ast.parse("f'a{b}'", mode="eval").body) is None

@@ -215,3 +215,120 @@ class TestSelfLint:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "fleetlint:" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Multi-line statement suppression spans
+# ----------------------------------------------------------------------
+class TestSuppressionSpans:
+    def test_trailing_marker_covers_whole_statement(self):
+        # The finding fires on line 3 (the time.time() call); the marker
+        # sits on line 2, the first physical line of the statement.
+        src = (
+            "import time\n"
+            "value = (  # fleetlint: disable=sim-wall-clock  span fixture\n"
+            "    time.time()\n"
+            ")\n"
+        )
+        report = lint_source(src)
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["sim-wall-clock"]
+
+    def test_marker_on_last_line_covers_earlier_lines(self):
+        src = (
+            "import time\n"
+            "value = (\n"
+            "    time.time()\n"
+            ")  # fleetlint: disable=sim-wall-clock  span fixture\n"
+        )
+        report = lint_source(src)
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["sim-wall-clock"]
+
+    def test_span_is_the_smallest_containing_statement(self):
+        # The marker is on the body assignment inside the with-block; it
+        # must not bleed over to the sibling statement below.
+        src = (
+            "import time\n"
+            "with open('x') as fh:\n"
+            "    a = (\n"
+            "        time.time()\n"
+            "    )  # fleetlint: disable=sim-wall-clock  span fixture\n"
+            "    b = time.time()\n"
+        )
+        report = lint_source(src)
+        assert [f.rule for f in report.findings] == ["sim-wall-clock"]
+        assert [f.line for f in report.findings] == [6]
+        assert [f.line for f in report.suppressed] == [4]
+
+    def test_standalone_marker_covers_following_statement(self):
+        src = (
+            "import time\n"
+            "# fleetlint: disable=sim-wall-clock  span fixture\n"
+            "value = (\n"
+            "    time.time()\n"
+            ")\n"
+        )
+        report = lint_source(src)
+        assert not report.findings
+        assert [f.rule for f in report.suppressed] == ["sim-wall-clock"]
+
+
+# ----------------------------------------------------------------------
+# --changed-only
+# ----------------------------------------------------------------------
+class TestChangedOnly:
+    def _git(self, cwd, *argv):
+        subprocess.run(
+            ["git", *argv],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            env={
+                **os.environ,
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+            },
+        )
+
+    def test_lints_only_git_dirty_files(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "sim"
+        src.mkdir(parents=True)
+        (src / "clean.py").write_text(FLAGGED)
+        (src / "dirty.py").write_text("x = 1\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        (src / "dirty.py").write_text(FLAGGED)
+
+        full = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert full.files == 2
+        changed = lint_paths([tmp_path / "src"], root=tmp_path, changed_only=True)
+        assert changed.files == 1
+        assert {f.path for f in changed.findings} == {"src/repro/sim/dirty.py"}
+
+    def test_untracked_files_count_as_changed(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "sim"
+        src.mkdir(parents=True)
+        (src / "old.py").write_text("x = 1\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        (src / "new.py").write_text(FLAGGED)
+
+        changed = lint_paths([tmp_path / "src"], root=tmp_path, changed_only=True)
+        assert changed.files == 1
+        assert {f.path for f in changed.findings} == {"src/repro/sim/new.py"}
+
+    def test_outside_git_falls_back_to_everything(self, tmp_path, monkeypatch):
+        # /tmp is not a repo; _changed_files must return None and the
+        # lint must cover all files rather than silently skipping them.
+        src = tmp_path / "src" / "repro" / "sim"
+        src.mkdir(parents=True)
+        (src / "a.py").write_text(FLAGGED)
+        (src / "b.py").write_text("x = 1\n")
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-git-dir"))
+        report = lint_paths([tmp_path / "src"], root=tmp_path, changed_only=True)
+        assert report.files == 2
