@@ -60,6 +60,43 @@ CROSSOVER_RATE = 0.3
 # ----------------------------------------------------------------------
 _TINY_CACHE: Dict[Tuple[int, int], Dict[str, np.ndarray]] = {}
 
+#: Protagonist-reuse counters: a candidate evaluation that finds the
+#: params already materialized (memo or disk) is a hit; only misses pay
+#: the tiny pre-train.  Module-level so smoke tests can assert reuse
+#: without enabling the profiler.
+PROTAGONIST_STATS = {"hits": 0, "misses": 0, "disk_hits": 0}
+
+
+def _count_protagonist(name: str) -> None:
+    """Per-process reuse bookkeeping (smoke tests read it profiler-free)."""
+    PROTAGONIST_STATS[name] += 1  # fleetlint: disable=parallel-shared-mutation  per-process observability counter; candidate outcomes, not this dict, carry the search's results across workers
+
+
+def _tiny_cache_path(seed: int, iterations: int) -> Any:
+    """On-disk home of the tiny protagonist for this configuration.
+
+    Keyed like the full pre-trained artifact (RL config defaults +
+    sampler version) so a training-stack change invalidates stale
+    params instead of silently reusing them.
+    """
+    from dataclasses import asdict
+
+    from repro.core.pretrain import SAMPLER_VERSION
+    from repro.harness.pretrained import _cache_dir, _config_hash
+
+    digest = _config_hash(
+        {
+            "seed": seed,
+            "iterations": iterations,
+            "episode_windows": 8,
+            "rollout_batch": 96,
+            "envs": 1,
+            "rl_config": asdict(RLConfig()),
+            "sampler_version": SAMPLER_VERSION,
+        }
+    )
+    return _cache_dir() / f"tiny_protagonist_{digest}.npz"
+
 
 def tiny_protagonist_params(
     seed: int = 7, iterations: int = 2
@@ -70,10 +107,21 @@ def tiny_protagonist_params(
     CI smokes cannot afford that, so this trains a deliberately
     under-cooked policy (which also gives the antagonist headroom and
     the search a signal).  Memoized per (seed, iterations) within the
-    process.
+    process and cached on disk beside the pre-trained policy, so
+    spawned workers and later invocations skip the training too.
     """
     key = (seed, iterations)
-    if key not in _TINY_CACHE:
+    if key in _TINY_CACHE:
+        _count_protagonist("hits")
+        return _TINY_CACHE[key]
+    path = _tiny_cache_path(seed, iterations)
+    if path.exists():
+        with np.load(path, allow_pickle=False) as data:
+            params = {name: data[name].copy() for name in data.files}
+        _count_protagonist("hits")
+        _count_protagonist("disk_hits")
+    else:
+        _count_protagonist("misses")
         result = pretrain(
             iterations=iterations,
             seed=seed,
@@ -81,9 +129,11 @@ def tiny_protagonist_params(
             rollout_batch=96,
             envs=1,
         )
-        _TINY_CACHE[key] = {  # fleetlint: disable=parallel-shared-mutation  deterministic per-key memo; a forked worker refills its private copy with identical bytes, nothing needs merging
-            k: v.copy() for k, v in result.net.params.items()
-        }
+        params = {k: v.copy() for k, v in result.net.params.items()}
+        from repro.harness.pretrained import _atomic_replace
+
+        _atomic_replace(lambda tmp: np.savez(tmp, **params), path)
+    _TINY_CACHE[key] = params  # fleetlint: disable=parallel-shared-mutation  deterministic per-key memo; a forked worker refills its private copy with identical bytes, nothing needs merging
     return _TINY_CACHE[key]
 
 
@@ -375,6 +425,12 @@ def adversarial_search(
         raise ValueError("need rounds >= 1 and population >= 2")
     num_channels = num_channels or SSDConfig().num_channels
     protagonist_spec = tuple(sorted(protagonist.items(), key=lambda kv: kv[0]))
+    # Resolve the protagonist once, up front: every candidate shares the
+    # warmed copy — forked workers inherit the memo copy-on-write, pooled
+    # workers keep theirs across candidates, and spawn-mode workers load
+    # the disk artifact this call just wrote — so no candidate ever
+    # re-trains or re-fetches the policy under test.
+    resolve_protagonist(dict(protagonist))
     rng = np.random.default_rng(seed)
     pop = [
         random_genome(rng, num_channels=num_channels, episode_windows=episode_windows)
@@ -402,7 +458,9 @@ def adversarial_search(
             for genome in fresh
         ]
         if workers is not None and workers > 1:
-            sweep = ParallelRunner(workers=workers, profile=False).run(cells)
+            # Persistent pool: workers outlive candidates, so each
+            # worker resolves the protagonist at most once per search.
+            sweep = ParallelRunner(workers=workers, profile=False, pool=True).run(cells)
         else:
             sweep = run_serial(cells, profile=False)
         for genome, outcome in zip(fresh, sweep.outcomes):

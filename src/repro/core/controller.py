@@ -41,6 +41,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.virt.manager import StorageVirtualizer
     from repro.virt.vssd import Vssd
 
+PROFILER.declare("rl.decision_window")  # report rows even when this section never fires
+
 
 class FleetIoController:
     """Glues per-vSSD RL agents to the storage virtualizer."""

@@ -24,6 +24,8 @@ from repro.sched.request import IoRequest
 if TYPE_CHECKING:  # pragma: no cover
     from repro.virt.vssd import Vssd
 
+PROFILER.declare("monitor.window")  # report rows even when this section never fires
+
 
 @dataclass(frozen=True)
 class WindowStats:
@@ -152,7 +154,7 @@ class VssdMonitor:
             queue_delay_us=self._queue_delay_sum / completed if completed else 0.0,
             rw_ratio=self._reads / completed if completed else 0.5,
             avail_capacity_frac=min(ftl.free_pages() / total_pages, 1.0),
-            in_gc=self.vssd.ftl.ssd.any_in_gc(self._observed_channels()),
+            in_gc=self._any_observed_in_gc(),
             cur_priority=int(self.vssd.priority),
             completed=completed,
             reads=self._reads,
@@ -180,11 +182,23 @@ class VssdMonitor:
         self._violations = 0
         return stats
 
-    def _observed_channels(self) -> list:
-        channels = set(self.vssd.channel_ids)
+    def _any_observed_in_gc(self) -> bool:
+        """GC active on any channel this vSSD touches (own or harvested)?
+
+        A pure boolean over ``Channel.in_gc`` flags: duplicates and
+        visit order cannot change the answer, so the channel ids are
+        probed directly — the per-window dedup set and sorted list the
+        old ``_observed_channels`` built existed only to feed ``any``.
+        """
+        channels = self.vssd.ftl.ssd.channels
+        for channel_id in self.vssd.channel_ids:
+            if channels[channel_id].in_gc:
+                return True
         for gsb in self.vssd.harvested_gsbs:
-            channels.update(gsb.channel_ids)
-        return sorted(channels)
+            for block in gsb.blocks:
+                if channels[block.channel_id].in_gc:
+                    return True
+        return False
 
     # ------------------------------------------------------------------
     # Run-level metrics

@@ -43,6 +43,8 @@ from repro.rl.policy import CategoricalPolicy
 from repro.rl.ppo import PpoTrainer
 from repro.workloads.catalog import CLUSTER_GROUND_TRUTH, TRAINING_WORKLOADS, get_spec
 
+PROFILER.declare("pretrain.collect", "pretrain.update", "pretrain.eval")  # report rows even when this section never fires
+
 #: Version of the collocation sampler.  Part of the pre-trained policy's
 #: cache key: a change to how training mixes are drawn (e.g. the v2
 #: remainder-channel fix) produces a different artifact from the same
@@ -454,7 +456,11 @@ def _pretrain_best_parallel(
         PretrainCell(seed=seed, iterations=iterations, options=options)
         for seed in seeds
     ]
-    sweep = ParallelRunner(workers=workers).run(cells)
+    # Persistent pool: with more seeds than workers, a long-lived worker
+    # runs several seeds, paying process startup and the training-stack
+    # import once instead of per seed.  Selection stays seed-ordered, so
+    # the winner is unchanged.
+    sweep = ParallelRunner(workers=workers, pool=True).run(cells)
     best: Optional[PretrainResult] = None
     for outcome in sweep.outcomes:
         if isinstance(outcome, CellFailure):

@@ -27,6 +27,7 @@ from repro.faults.guardrails import GuardrailConfig, Guardrails
 from repro.faults.injector import FaultInjector
 from repro.baselines.adaptive import AdaptiveManager
 from repro.baselines.ssdkeeper import SsdKeeperAllocator
+from repro.harness import snapshots
 from repro.harness.metrics import ExperimentResult, VssdResult, bandwidth_series
 from repro.profiling import PROFILER
 from repro.sched.policies import PriorityPolicy, TokenBucketStridePolicy
@@ -45,6 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.virt.vssd import Vssd
     from repro.workloads.drivers import _DriverBase
     from repro.workloads.spec import WorkloadSpec
+
+PROFILER.declare("harness.build", "harness.warm", "harness.collect")  # report rows even when this section never fires
 
 POLICIES = ("hardware", "ssdkeeper", "adaptive", "software", "fleetio")
 
@@ -93,6 +96,7 @@ class Experiment:
         fleetio_kwargs: Optional[dict] = None,
         faults: Optional["list[FaultSpec]"] = None,
         guardrails: Union[bool, GuardrailConfig, Guardrails, None] = None,
+        snapshots: Optional[bool] = None,
     ) -> None:
         if not plans:
             raise ValueError("need at least one vSSD plan")
@@ -124,6 +128,10 @@ class Experiment:
         elif isinstance(guardrails, GuardrailConfig):
             guardrails = Guardrails(guardrails)
         self.guardrails: Optional[Guardrails] = guardrails
+        # Warm-state snapshot reuse: None defers to REPRO_SNAPSHOTS (the
+        # ``repro sweep --snapshots on|off`` escape hatch sets the env),
+        # True/False force it per experiment.
+        self.snapshots = snapshots
         self.injector: Optional[FaultInjector] = None
         self.virt: Optional[StorageVirtualizer] = None
         self.monitors: dict = {}
@@ -158,6 +166,12 @@ class Experiment:
         )
         self.virt = StorageVirtualizer(config=self.config, policy=sched_policy)
         allocation = self._plan_allocation()
+        mode = self._snapshots_mode()
+        cached = None
+        key = None
+        if mode != "off":
+            key = snapshots.warm_cache_key(self, allocation)
+            cached = snapshots.cache_get(key, mode)
         for plan, channels in zip(self.plans, allocation):
             isolation = self._plan_isolation(plan)
             kwargs = {}
@@ -181,7 +195,18 @@ class Experiment:
             )
             self.monitors[plan.name] = monitor
             self._attach_driver(plan, vssd)
-            self._warm(plan, vssd)
+            if cached is None:
+                self._warm(plan, vssd)
+        if cached is not None:
+            # A restored device is bit-identical to a cold build+warm: the
+            # snapshot holds every column the warm mutated plus the RNG
+            # draw positions, and nothing before this point scheduled an
+            # engine event or drew randomness.
+            snapshots.restore_experiment(self, cached)
+        elif key is not None:
+            snap = snapshots.capture_experiment(self)
+            if snap is not None:
+                snapshots.cache_put(key, snap, mode)
         if uses_fleetio:
             self._build_fleetio()
         elif self.policy == "adaptive":
@@ -195,6 +220,15 @@ class Experiment:
             self.injector = FaultInjector(self.virt, monitors=self._fault_monitors())
             self.injector.arm(self.faults)
         self._built = True
+
+    def _snapshots_mode(self) -> str:
+        """Effective warm-snapshot mode: constructor flag over env."""
+        if self.snapshots is False:
+            return "off"
+        mode = snapshots.snapshots_mode()
+        if self.snapshots is True and mode == "off":
+            mode = "mem"
+        return mode
 
     def _fault_monitors(self) -> dict:
         """Name -> monitor map for monitor-targeted faults.

@@ -1,0 +1,346 @@
+"""Warm-state snapshot cache: amortize device build+warm across runs.
+
+A single run spends ~23% of its wall clock constructing the device and
+warm-filling every vSSD to :data:`~repro.harness.experiment.WARM_FRACTION`
+occupancy, and the high-volume consumers (``repro sweep``, adversarial
+candidate evaluation, ``pretrain_best`` seed fan-out) repeat a
+near-identical warm phase for every cell.  This module captures the
+post-warm simulator state — BlockStore/ChannelArrays columns, per-vSSD
+FTL state, engine clock, and RNG draw positions — as cheap numpy copies
+plus plain lists, and restores it into a freshly constructed (but
+unwarmed) experiment so the restored run is bit-identical to a cold
+build+warm run.
+
+Cache layers, selected by the ``REPRO_SNAPSHOTS`` environment variable:
+
+* ``off``/``0`` — disabled (the escape hatch behind
+  ``repro sweep --snapshots off``).
+* default (``mem``) — in-process dict only; hits come from repeated
+  cells inside one process (serial sweeps, persistent pool workers).
+* ``disk`` — additionally persists ``warmstate_<key>.npz`` beside the
+  pretrained policy/classifier caches, so separate processes and later
+  invocations skip the warm too.  Opt-in so test runs never write
+  cache files as a side effect.
+
+Keys cover everything that shapes the warm state: the full SSD config,
+the root seed (stream states are seed-derived), the warm fraction, the
+pretraining ``SAMPLER_VERSION``, and each plan's derived warm spec
+(workload, name, channel allocation, isolation, blocks-per-channel).
+Policies that derive identical allocations (hardware/adaptive/fleetio
+over the same plans and seed) share one snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.profiling import PROFILER
+from repro.ssd.blockstate import BlockState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+
+    from repro.harness.experiment import Experiment
+
+PROFILER.declare("snapshot.save", "snapshot.restore")
+
+#: Module-level hit/miss counters, readable even when profiling is off
+#: (the adversarial smoke test asserts hits > 0 without a profiler).
+STATS = {"hits": 0, "misses": 0, "disk_hits": 0, "stores": 0}
+
+#: In-process snapshot store.  Entries are fully detached copies (every
+#: restore copies *out* of them), so one entry serves many experiments.
+_MEMORY_CACHE: dict = {}
+#: Bound on distinct warm states held in memory; a sweep over one plan
+#: matrix needs one entry per (allocation, seed) pair.
+_MEMORY_CACHE_MAX = 16
+
+#: ``BlockState`` column encoding for the on-disk layer (int8 index).
+_BLOCK_STATES = tuple(BlockState)
+_BLOCK_STATE_INDEX = {state: i for i, state in enumerate(_BLOCK_STATES)}
+#: ``None`` sentinel for Optional[int] columns (owner/writer).  Real
+#: values are small non-negative ids plus the -1 placeholder vSSD, so
+#: int32-min can never collide.
+_NONE = int(np.iinfo(np.int32).min)
+
+
+def snapshots_mode() -> str:
+    """Resolve ``REPRO_SNAPSHOTS`` to ``off``, ``mem``, or ``disk``."""
+    value = os.environ.get("REPRO_SNAPSHOTS", "mem").strip().lower()
+    if value in ("off", "0", "no", "false"):
+        return "off"
+    if value == "disk":
+        return "disk"
+    return "mem"
+
+
+def reset_stats() -> None:
+    """Zero the hit/miss counters (per-measurement bookkeeping)."""
+    for name in STATS:
+        STATS[name] = 0  # fleetlint: disable=parallel-shared-mutation  test/bench bookkeeping reset, never called from a worker
+
+
+def _bump(name: str) -> None:
+    """Count a cache event in both the local STATS and the profiler.
+
+    STATS is deliberately per-process observability (smoke tests read it
+    without enabling profiling); the PROFILER counter is the channel that
+    crosses process boundaries via each cell's absorbed profile delta.
+    """
+    STATS[name] += 1  # fleetlint: disable=parallel-shared-mutation  per-process observability only; the cross-process channel is the profiler counter absorbed per cell
+    PROFILER.count(f"snapshot.{name}")
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-process snapshot (tests and cache-pressure relief)."""
+    _MEMORY_CACHE.clear()
+
+
+# ---------------------------------------------------------------------
+# Cache key
+# ---------------------------------------------------------------------
+def warm_cache_key(experiment: "Experiment", allocation: list) -> str:
+    """Hash everything that shapes the post-warm state.
+
+    The *policy* is deliberately absent: two policies that derive the
+    same allocation and isolation warm identically, so they share a
+    snapshot.  The manager/controller built after the warm never feeds
+    back into it.
+    """
+    from dataclasses import asdict
+
+    from repro.core.pretrain import SAMPLER_VERSION
+    from repro.harness.experiment import WARM_FRACTION
+
+    plans = []
+    for plan, channels in zip(experiment.plans, allocation):
+        isolation = experiment._plan_isolation(plan)
+        blocks_per_channel = None
+        if isolation == "software":
+            sharers = sum(
+                1
+                for p in experiment.plans
+                if experiment._plan_isolation(p) == "software"
+            )
+            blocks_per_channel = experiment.config.blocks_per_channel // max(
+                sharers, 1
+            )
+        plans.append(
+            {
+                "workload": plan.workload,
+                "name": plan.name,
+                "channels": list(channels),
+                "isolation": isolation,
+                "blocks_per_channel": blocks_per_channel,
+            }
+        )
+    payload = {
+        "config": asdict(experiment.config),
+        "seed": experiment.seed,
+        "warm_fraction": WARM_FRACTION,
+        "sampler_version": SAMPLER_VERSION,
+        "plans": plans,
+    }
+    from repro.harness.pretrained import _config_hash
+
+    return _config_hash(payload)
+
+
+# ---------------------------------------------------------------------
+# Capture / restore
+# ---------------------------------------------------------------------
+def capture_experiment(experiment: "Experiment") -> Optional[dict]:
+    """Snapshot a just-built, just-warmed experiment; None if unsafe.
+
+    Unsafe means the build deviated from the plain warm contract — a
+    pending engine event (callbacks cannot be copied) or an attached
+    harvest region (blocks shared with the gSB manager).  Neither can
+    happen in the stock build path; returning None instead of raising
+    keeps exotic future builds correct-but-uncached.
+    """
+    virt = experiment.virt
+    token = PROFILER.begin()
+    try:
+        engine = virt.sim.snapshot()
+        ftls = {
+            plan.name: virt.vssd_by_name(plan.name).ftl.snapshot()
+            for plan in experiment.plans
+        }
+    except ValueError:
+        return None
+    snap = {
+        "engine": engine,
+        "streams": experiment.streams.snapshot(),
+        "store": virt.ssd.store.snapshot(),
+        "arrays": virt.ssd.arrays.snapshot(),
+        "ftls": ftls,
+    }
+    PROFILER.end("snapshot.save", token)
+    return snap
+
+
+def restore_experiment(experiment: "Experiment", snap: dict) -> None:
+    """Overlay a warm snapshot onto a freshly built, unwarmed experiment.
+
+    Everything restores in place (hot loops hoist references to the SoA
+    columns) and the restore only reads from ``snap``, so one cached
+    snapshot can be restored into any number of experiments.
+    """
+    token = PROFILER.begin()
+    virt = experiment.virt
+    virt.sim.restore(snap["engine"])
+    experiment.streams.restore(snap["streams"])
+    virt.ssd.store.restore(snap["store"])
+    virt.ssd.arrays.restore(snap["arrays"])
+    for plan in experiment.plans:
+        virt.vssd_by_name(plan.name).ftl.restore(snap["ftls"][plan.name])
+    PROFILER.end("snapshot.restore", token)
+
+
+# ---------------------------------------------------------------------
+# Cache layers
+# ---------------------------------------------------------------------
+def cache_get(key: str, mode: str) -> Optional[dict]:
+    """Look up a warm snapshot by key (memory first, then disk)."""
+    snap = _MEMORY_CACHE.get(key)
+    if snap is not None:
+        _bump("hits")
+        return snap
+    if mode == "disk":
+        path = _snapshot_path(key)
+        if path.exists():
+            try:
+                snap = _decode_npz(path)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                snap = None  # corrupt/stale file: fall through to a miss
+            if snap is not None:
+                _memory_put(key, snap)
+                _bump("hits")
+                _bump("disk_hits")
+                return snap
+    _bump("misses")
+    return None
+
+
+def cache_put(key: str, snap: dict, mode: str) -> None:
+    """Store a warm snapshot in memory (and on disk under ``disk``)."""
+    _memory_put(key, snap)
+    _bump("stores")
+    if mode == "disk":
+        from repro.harness.pretrained import _atomic_replace
+
+        path = _snapshot_path(key)
+        if not path.exists():
+            _atomic_replace(lambda tmp: _encode_npz(snap, tmp), path)
+
+
+def _memory_put(key: str, snap: dict) -> None:
+    if key not in _MEMORY_CACHE and len(_MEMORY_CACHE) >= _MEMORY_CACHE_MAX:
+        _MEMORY_CACHE.pop(next(iter(_MEMORY_CACHE)))  # fleetlint: disable=parallel-shared-mutation  fork-private LRU eviction of a deterministic read-through cache; nothing to merge back
+    _MEMORY_CACHE[key] = snap  # fleetlint: disable=parallel-shared-mutation  read-through cache keyed by a config hash; pool workers fill their fork-private copy, contents are deterministic per key
+
+
+def _snapshot_path(key: str) -> "Path":
+    from repro.harness.pretrained import _cache_dir
+
+    return _cache_dir() / f"warmstate_{key}.npz"
+
+
+# ---------------------------------------------------------------------
+# On-disk encoding (.npz: big columns as arrays, the rest as JSON)
+# ---------------------------------------------------------------------
+def _encode_npz(snap: dict, path: "Path") -> None:
+    """Encode a snapshot as an uncompressed ``.npz``.
+
+    The page->LPN matrix and L2P arrays dominate (one int32 per page);
+    they go in as arrays.  Everything structured-but-small (engine
+    clock, RNG states, region deque orders, stats) rides in a single
+    JSON string — Python's JSON keeps the 128-bit PCG64 state integers
+    exact.
+    """
+    store = snap["store"]
+    entries = {
+        "page_lpns": store["page_lpns"],
+        "erase_count": store["erase_count"],
+        "state": np.array(
+            [_BLOCK_STATE_INDEX[s] for s in store["state"]], dtype=np.int8
+        ),
+        "owner": _encode_optional(store["owner"]),
+        "writer": _encode_optional(store["writer"]),
+        "harvested": np.array(store["harvested"], dtype=bool),
+        "write_ptr": np.array(store["write_ptr"], dtype=np.int32),
+        "valid_count": np.array(store["valid_count"], dtype=np.int32),
+    }
+    plan_names = sorted(snap["ftls"])
+    ftl_meta = {}
+    for index, name in enumerate(plan_names):
+        ftl = dict(snap["ftls"][name])
+        entries[f"l2p_gid_{index}"] = np.array(ftl.pop("l2p_gid"), dtype=np.int32)
+        entries[f"l2p_page_{index}"] = np.array(ftl.pop("l2p_page"), dtype=np.int32)
+        ftl_meta[name] = ftl
+    meta = {
+        "version": 1,
+        "engine": snap["engine"],
+        "streams": snap["streams"],
+        "arrays": snap["arrays"],
+        "ftls": ftl_meta,
+        "plan_names": plan_names,
+    }
+    entries["meta"] = np.array(json.dumps(meta))
+    with open(path, "wb") as handle:
+        np.savez(handle, **entries)
+
+
+def _decode_npz(path: "Path") -> dict:
+    """Decode ``_encode_npz`` output back into a snapshot dict."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"][()]))
+        if meta.get("version") != 1:
+            raise ValueError(f"unknown warm-state version in {path}")
+        store = {
+            "page_lpns": data["page_lpns"].copy(),
+            "erase_count": data["erase_count"].copy(),
+            "state": [_BLOCK_STATES[i] for i in data["state"]],
+            "owner": _decode_optional(data["owner"]),
+            "writer": _decode_optional(data["writer"]),
+            "harvested": [bool(v) for v in data["harvested"]],
+            "write_ptr": [int(v) for v in data["write_ptr"]],
+            "valid_count": [int(v) for v in data["valid_count"]],
+        }
+        ftls = {}
+        for index, name in enumerate(meta["plan_names"]):
+            ftl = dict(meta["ftls"][name])
+            # JSON stringifies int dict keys; the live dicts use ints.
+            ftl["own_blocks_per_channel"] = {
+                int(ch): count
+                for ch, count in ftl["own_blocks_per_channel"].items()
+            }
+            region = ftl["own_region"]
+            region["free"] = {int(ch): gids for ch, gids in region["free"].items()}
+            region["open"] = {int(ch): gids for ch, gids in region["open"].items()}
+            ftl["l2p_gid"] = [int(v) for v in data[f"l2p_gid_{index}"]]
+            ftl["l2p_page"] = [int(v) for v in data[f"l2p_page_{index}"]]
+            ftls[name] = ftl
+    return {
+        "engine": meta["engine"],
+        "streams": meta["streams"],
+        "store": store,
+        "arrays": meta["arrays"],
+        "ftls": ftls,
+    }
+
+
+def _encode_optional(column: list) -> np.ndarray:
+    """Optional[int] list -> int32 array with an int32-min None mark."""
+    return np.array(
+        [_NONE if value is None else value for value in column], dtype=np.int32
+    )
+
+
+def _decode_optional(array: np.ndarray) -> list:
+    """Inverse of :func:`_encode_optional`."""
+    return [None if value == _NONE else int(value) for value in array]

@@ -136,6 +136,29 @@ def _child_main(
     conn.close()
 
 
+def _pool_worker_main(conn: connection.Connection) -> None:
+    """Persistent worker body: drain a queue of cells over one pipe.
+
+    The process outlives individual cells, so its in-process caches —
+    the warm-state snapshot cache above all — amortize across every
+    cell it runs.  ``run_cell``'s before/after profiler delta keeps
+    per-cell profiles correct in a long-lived process.  A ``None``
+    message (or a closed pipe) is the shutdown signal.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, cell, attempt, profile = message
+        outcome = run_cell(cell, profile=profile)
+        outcome.attempts = attempt
+        conn.send((index, outcome))
+    conn.close()
+
+
 def run_serial(
     cells: Sequence[WorkCell], profile: bool = True
 ) -> SweepResult:
@@ -167,6 +190,7 @@ class ParallelRunner:
         join_timeout_s: Optional[float] = 900.0,
         max_attempts: int = 2,
         retry_backoff_s: float = 0.5,
+        pool: bool = False,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -203,9 +227,20 @@ class ParallelRunner:
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
+        #: Persistent-pool mode: long-lived workers process a queue of
+        #: cells instead of one process per cell.  Each worker's
+        #: in-process warm-state snapshot cache then serves every cell
+        #: it runs, amortizing device build+warm across the sweep.
+        #: Crash isolation, retry-with-backoff, and the hung-worker
+        #: watchdog are preserved: a dead worker takes only its current
+        #: cell down (retried), and a replacement worker rebuilds its
+        #: cache on first use.
+        self.pool = pool
 
     def run(self, cells: Sequence[WorkCell]) -> SweepResult:
         """Run the cells; returns merged results in matrix order."""
+        if self.pool:
+            return self._run_pool(cells)
         started = time.perf_counter()
         # index -> [cell, process, conn, payload-or-None, attempt, deadline]
         slots: dict = {}
@@ -378,3 +413,175 @@ class ParallelRunner:
                 self._retry_or_fail(
                     index, cell, attempt, pending, outcomes, proc.exitcode, True
                 )
+
+    # ------------------------------------------------------------------
+    # Persistent pool
+    # ------------------------------------------------------------------
+    def _spawn_pool_worker(self, serial: int) -> list:
+        """Start one long-lived worker; returns its mutable slot.
+
+        Slot layout: ``[proc, conn, assignment, deadline]`` where
+        ``assignment`` is ``(index, cell, attempt)`` while the worker is
+        busy and None while idle.
+        """
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn,),
+            name=f"repro-pool-{serial}",
+        )
+        proc.start()
+        child_conn.close()
+        return [proc, parent_conn, None, None]
+
+    def _run_pool(self, cells: Sequence[WorkCell]) -> SweepResult:
+        """Queue the cells through persistent workers, matrix order.
+
+        Determinism is unchanged from fork mode: outcomes are keyed by
+        matrix index and merged in that order, so which worker ran a
+        cell (and in what sequence) never shows in the result bytes.
+        """
+        started = time.perf_counter()
+        cells = list(cells)
+        outcomes: dict = {}  # index -> CellOutcome | CellFailure
+        pending: list = [(i, cell, 1, 0.0) for i, cell in enumerate(cells)]
+        workers: dict = {}  # wid -> [proc, conn, assignment, deadline]
+        next_wid = 0
+        target = min(self.workers, max(len(cells), 1))
+        while pending or any(slot[2] is not None for slot in workers.values()):
+            now = time.monotonic()
+            i = 0
+            while i < len(pending):
+                index, cell, attempt, not_before = pending[i]
+                if not_before > now:
+                    i += 1
+                    continue
+                wid = next(
+                    (w for w, slot in workers.items() if slot[2] is None), None
+                )
+                if wid is None:
+                    if len(workers) >= target:
+                        break
+                    wid = next_wid
+                    next_wid += 1
+                    workers[wid] = self._spawn_pool_worker(wid)
+                pending.pop(i)
+                slot = workers[wid]
+                slot[1].send((index, cell, attempt, self.profile))
+                slot[2] = (index, cell, attempt)
+                slot[3] = (
+                    None
+                    if self.join_timeout_s is None
+                    else time.monotonic() + self.join_timeout_s
+                )
+            if all(slot[2] is None for slot in workers.values()):
+                if pending:
+                    # Every queued cell is waiting out its retry backoff.
+                    wake = min(entry[3] for entry in pending)
+                    time.sleep(max(wake - time.monotonic(), 0.0) + 0.001)
+                continue
+            self._drain_pool(workers, outcomes, pending)
+        for slot in workers.values():
+            proc, conn = slot[0], slot[1]
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass  # already dead; _reap below collects it
+            conn.close()
+            self._reap(proc)
+        return SweepResult(
+            outcomes=[outcomes[i] for i in range(len(cells))],
+            wall_s=time.perf_counter() - started,
+            workers=self.workers,
+            mode=f"pool/{self.start_method}",
+        )
+
+    def _pool_wait_timeout(self, workers: dict, pending: list) -> Optional[float]:
+        """Bound on blocking: nearest assignment deadline or retry wake."""
+        horizons = [slot[3] for slot in workers.values() if slot[3] is not None]
+        horizons.extend(entry[3] for entry in pending)
+        if not horizons:
+            return None
+        return max(min(horizons) - time.monotonic(), 0.0)
+
+    def _drain_pool(self, workers: dict, outcomes: dict, pending: list) -> None:
+        """Collect results, dead workers, and watchdog expiries.
+
+        Mirrors :meth:`_drain`'s semantics on long-lived workers: a
+        worker death is environmental (its cell is retried with
+        backoff), an in-process runner error is deterministic (no
+        retry), and a worker silent past its deadline is terminated.
+        Dead and condemned workers just leave the pool — the assignment
+        loop spawns replacements while work remains.
+        """
+        handles = []
+        for slot in workers.values():
+            if slot[2] is not None:
+                handles.append(slot[1])
+            handles.append(slot[0].sentinel)
+        ready = set(
+            connection.wait(
+                handles, timeout=self._pool_wait_timeout(workers, pending)
+            )
+        )
+        dead = []
+        for wid, slot in workers.items():
+            proc, conn, assignment, _deadline = slot
+            if assignment is not None and conn in ready:
+                try:
+                    index, payload = conn.recv()
+                except (EOFError, OSError):
+                    dead.append(wid)  # closed pipe: sentinel path handles it
+                    continue
+                if payload.ok:
+                    outcomes[index] = payload
+                else:
+                    # In-process raise: deterministic, fail without retry.
+                    outcomes[index] = CellFailure(
+                        cell=assignment[1],
+                        error=payload.error,
+                        attempts=assignment[2],
+                    )
+                slot[2] = None
+                slot[3] = None
+            if proc.sentinel in ready and wid not in dead:
+                dead.append(wid)
+        for wid in dead:
+            proc, conn, assignment, _deadline = workers.pop(wid)
+            # A buffered result may have raced the worker's death.
+            payload = None
+            if assignment is not None and conn.poll():
+                try:
+                    index, payload = conn.recv()
+                except (EOFError, OSError):
+                    payload = None
+            self._reap(proc)
+            conn.close()
+            if assignment is None:
+                continue
+            index, cell, attempt = assignment
+            if payload is not None and payload.ok:
+                outcomes[index] = payload
+            elif payload is not None:
+                outcomes[index] = CellFailure(
+                    cell=cell, error=payload.error, attempts=attempt
+                )
+            else:
+                self._retry_or_fail(
+                    index, cell, attempt, pending, outcomes, proc.exitcode, False
+                )
+        now = time.monotonic()
+        expired = [
+            wid
+            for wid, slot in workers.items()
+            if slot[3] is not None and now >= slot[3]
+        ]
+        for wid in expired:
+            proc, conn, assignment, _deadline = workers.pop(wid)
+            proc.terminate()
+            self._reap(proc)
+            conn.close()
+            index, cell, attempt = assignment
+            self._retry_or_fail(
+                index, cell, attempt, pending, outcomes, proc.exitcode, True
+            )

@@ -185,8 +185,11 @@ def _profile_delta(before: dict, after: dict) -> dict:
         prior = before.get("timers", {}).get(name, {"calls": 0, "total_ns": 0})
         calls = entry["calls"] - prior["calls"]
         total_ns = entry["total_ns"] - prior["total_ns"]
-        if calls or total_ns:
-            timers[name] = {"calls": calls, "total_ns": total_ns}
+        # Zero-delta rows are kept on purpose: a declared timer that never
+        # fired in this cell (e.g. harness.warm on a snapshot hit) must
+        # still appear with calls=0, so A/B profile tables (snapshots on
+        # vs off, serial vs pool) keep identical row sets and diff cleanly.
+        timers[name] = {"calls": calls, "total_ns": total_ns}
     counters = {}
     for name, value in after.get("counters", {}).items():
         delta = value - before.get("counters", {}).get(name, 0)

@@ -48,12 +48,16 @@ class Profiler:
     immediately, so disabled instrumentation costs two cheap calls.
     """
 
-    __slots__ = ("enabled", "_timers", "_counters")
+    __slots__ = ("enabled", "_timers", "_counters", "_declared")
 
     def __init__(self) -> None:
         self.enabled = False
         self._timers: dict = {}
         self._counters: dict = {}
+        # Registered timer names: emitted by snapshot() with calls=0 when
+        # never hit, so A/B profile tables (e.g. snapshots on vs off)
+        # keep the same rows and diff cleanly.
+        self._declared: set = set()
 
     # -- lifecycle -----------------------------------------------------
     def enable(self) -> None:
@@ -65,9 +69,23 @@ class Profiler:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all accumulated timers and counters."""
+        """Drop all accumulated timers and counters.
+
+        Declared timer names survive a reset — they are a static
+        registry of what *can* be timed, not recorded data.
+        """
         self._timers.clear()
         self._counters.clear()
+
+    def declare(self, *names: str) -> None:
+        """Register timer names that reports must always show.
+
+        Modules declare their section names at import time; timers that
+        never fire in a given run then still appear in :meth:`snapshot`
+        (and every table built from it) with ``calls=0`` instead of
+        silently vanishing, keeping A/B tables row-aligned.
+        """
+        self._declared.update(names)
 
     @contextmanager
     def enabled_scope(self) -> "Iterator[Profiler]":
@@ -159,14 +177,19 @@ class Profiler:
             self._counters[name] = self._counters.get(name, 0) + value
 
     def snapshot(self) -> dict:
-        """A plain-dict copy, safe to pickle/JSON-serialize and merge."""
-        return {
-            "timers": {
-                name: {"calls": s.calls, "total_ns": s.total_ns}
-                for name, s in self._timers.items()
-            },
-            "counters": dict(self._counters),
+        """A plain-dict copy, safe to pickle/JSON-serialize and merge.
+
+        Declared-but-unhit timers are included with zero calls so
+        downstream tables stay row-aligned across variant runs.
+        """
+        timers = {
+            name: {"calls": s.calls, "total_ns": s.total_ns}
+            for name, s in self._timers.items()
         }
+        for name in sorted(self._declared):  # sorted: set order is salted
+            if name not in timers:
+                timers[name] = {"calls": 0, "total_ns": 0}
+        return {"timers": timers, "counters": dict(self._counters)}
 
     def report(self) -> str:
         """Human-readable per-section table of this profiler's data."""
@@ -204,7 +227,7 @@ def format_profile(snapshot: dict, total_label: Optional[str] = None) -> str:
             total_ns = timers[total_label]["total_ns"] or None
         width = max(len(name) for name in timers)
         lines.append(f"{'section':>{width}s} {'calls':>10s} {'total(s)':>10s} {'mean(us)':>10s}")
-        for name in sorted(timers, key=lambda n: -timers[n]["total_ns"]):
+        for name in sorted(timers, key=lambda n: (-timers[n]["total_ns"], n)):
             entry = timers[name]
             mean_us = entry["total_ns"] / entry["calls"] / 1e3 if entry["calls"] else 0.0
             row = (

@@ -20,6 +20,8 @@ from repro.rl.nets import PolicyValueNet
 from repro.rl.optim import Adam
 from repro.rl.policy import log_softmax
 
+PROFILER.declare("rl.ppo_update")  # report rows even when this section never fires
+
 
 @dataclass
 class PpoUpdateStats:

@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.ssd.device import Ssd
     from repro.ssd.ftl import VssdFtl
 
+PROFILER.declare("ftl.io")  # report rows even when this section never fires
+
 
 class IoDispatcher:
     """Connects per-vSSD virtual queues to the shared SSD's channels."""

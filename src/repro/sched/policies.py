@@ -146,6 +146,10 @@ class TokenBucketStridePolicy(SchedulingPolicy):
         self._work_conserving = work_conserving
         self._buckets: dict = {}
         self._stride = StrideScheduler()
+        #: Scratch list reused across ``select`` calls (one call per
+        #: dispatch attempt — a fresh list per call was a visible slice
+        #: of the software policy's pump).  ``pick`` only iterates it.
+        self._eligible: list = []
 
     def register_vssd(
         self,
@@ -168,7 +172,8 @@ class TokenBucketStridePolicy(SchedulingPolicy):
 
     def select(self, now: float, queues: dict, can_dispatch: CanDispatch) -> Optional[int]:
         """Stride-pick among heads whose buckets hold enough tokens."""
-        eligible = []
+        eligible = self._eligible
+        del eligible[:]
         for vssd_id, queue in queues.items():
             if not queue:
                 continue

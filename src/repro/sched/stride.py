@@ -63,18 +63,21 @@ class StrideScheduler:
 
     def pick(self, eligible: Optional[Iterable[Hashable]] = None) -> Optional[Hashable]:
         """Return the eligible client with the smallest pass and charge it."""
-        pool = self._tickets.keys() if eligible is None else [
-            c for c in eligible if c in self._tickets
-        ]
+        # Called once per dispatch attempt: filter unregistered clients
+        # inline rather than building an intermediate list per call.
+        tickets = self._tickets
+        passes = self._pass
         best = None
         best_pass = None
-        for client in pool:
-            p = self._pass[client]
+        for client in tickets.keys() if eligible is None else eligible:
+            if eligible is not None and client not in tickets:
+                continue
+            p = passes[client]
             if best_pass is None or p < best_pass:
                 best, best_pass = client, p
         if best is None:
             return None
-        self._pass[best] += self._stride[best]
+        passes[best] += self._stride[best]
         return best
 
     def peek_pass(self, client: Hashable) -> float:

@@ -29,14 +29,19 @@ overwrite) handles once they fire — every in-tree caller already does.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Optional
 
 from repro.profiling import PROFILER
 
+PROFILER.declare("sim.event_loop")  # report rows even when this section never fires
+
 #: Park time for pooled (fired/cancelled-and-collected) events.  Negative
 #: times are unschedulable, so no live event can ever carry this value.
 _DEAD = -1.0
+
+
+def _never() -> None:  # pragma: no cover - placeholder, immediately cleared
+    raise AssertionError("a parked pool event must never fire")
 
 
 class Event:
@@ -107,7 +112,10 @@ class Simulator:
         #: short run).
         self.now = 0.0
         self._heap: list = []  # (time, seq, Event) tuples
-        self._seq = itertools.count()
+        #: Next scheduling sequence number.  A plain int (rather than
+        #: ``itertools.count``) so the warm-state snapshot can capture
+        #: and restore the exact position.
+        self._next_seq = 0
         self._events_processed = 0
         self._cancelled_in_heap = 0
         self._compactions = 0
@@ -143,7 +151,8 @@ class Simulator:
         if delay_us < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_us})")
         time = self.now + delay_us
-        seq = next(self._seq)
+        seq = self._next_seq
+        self._next_seq = seq + 1
         pool = self._pool
         if pool:
             event = pool.pop()
@@ -309,6 +318,51 @@ class Simulator:
     def run_until_seconds(self, time_s: float) -> int:
         """Like :meth:`run_until`, with the boundary given in seconds."""
         return self.run_until(time_s * 1_000_000.0)
+
+    def snapshot(self) -> dict:
+        """Capture the engine's scalar state for warm-state reuse.
+
+        Only legal while the heap is *empty*: pending events hold
+        callback closures that cannot be copied meaningfully, and the
+        post-warm capture point (the only snapshot producer) schedules
+        nothing.  The free-list size is captured so a restored engine
+        recycles :class:`Event` objects on exactly the same schedule as
+        the original — pooled-handle aliasing behaviour included.
+        """
+        if self._heap:
+            raise ValueError(
+                f"cannot snapshot an engine with {len(self._heap)} heap "
+                "entries; callbacks are not copyable"
+            )
+        return {
+            "now": self.now,
+            "next_seq": self._next_seq,
+            "events_processed": self._events_processed,
+            "compactions": self._compactions,
+            "pool_size": len(self._pool),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset the engine to a :meth:`snapshot`'s state.
+
+        The target engine must itself have an empty heap (a freshly
+        built one always does): restore replaces scalars and re-parks
+        ``pool_size`` dead events, it cannot re-create pending events.
+        """
+        if self._heap:
+            raise ValueError(
+                f"cannot restore over {len(self._heap)} pending heap entries"
+            )
+        self.now = snapshot["now"]
+        self._next_seq = snapshot["next_seq"]
+        self._events_processed = snapshot["events_processed"]
+        self._compactions = snapshot["compactions"]
+        self._cancelled_in_heap = 0
+        del self._pool[:]
+        for _ in range(snapshot["pool_size"]):
+            dead = Event(_DEAD, 0, _never, ())
+            dead.callback = None
+            self._pool.append(dead)
 
     def detsan_state(self) -> dict:
         """A read-only engine snapshot for the determinism sanitizer.

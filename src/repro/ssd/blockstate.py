@@ -105,6 +105,42 @@ class BlockStore:
         #: owning channels construct their block lists.
         self.blocks: List["FlashBlock"] = []
 
+    def snapshot(self) -> dict:
+        """Copy every mutable column (cheap: two array copies + lists).
+
+        The ``blocks`` view list is deliberately excluded — views are
+        identity-stable ``(store, gid)`` pairs recreated by construction,
+        not state.  List elements are immutable (ints, bools, ``None``,
+        ``BlockState`` singletons), so shallow list copies fully detach
+        the snapshot from the live store.
+        """
+        return {
+            "page_lpns": self.page_lpns.copy(),
+            "erase_count": self.erase_count.copy(),
+            "state": list(self.state),
+            "owner": list(self.owner),
+            "writer": list(self.writer),
+            "harvested": list(self.harvested),
+            "write_ptr": list(self.write_ptr),
+            "valid_count": list(self.valid_count),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Overwrite the columns *in place* from a :meth:`snapshot`.
+
+        In-place (``copyto`` / slice assignment) because hot loops hoist
+        references to these columns; rebinding the attributes would
+        silently detach every FTL and dispatcher that holds one.
+        """
+        np.copyto(self.page_lpns, snapshot["page_lpns"])
+        np.copyto(self.erase_count, snapshot["erase_count"])
+        self.state[:] = snapshot["state"]
+        self.owner[:] = snapshot["owner"]
+        self.writer[:] = snapshot["writer"]
+        self.harvested[:] = snapshot["harvested"]
+        self.write_ptr[:] = snapshot["write_ptr"]
+        self.valid_count[:] = snapshot["valid_count"]
+
 
 class ChannelArrays:
     """Flattened per-channel timing/fault state for ``num_channels``.
@@ -143,3 +179,26 @@ class ChannelArrays:
         self.extra_latency_us: List[float] = [0.0] * num_channels
         self.slowdown: List[float] = [1.0] * num_channels
         self.offline: List[bool] = [False] * num_channels
+
+    #: Mutable per-channel columns, in a fixed order shared by
+    #: :meth:`snapshot` and :meth:`restore` (and the on-disk encoding).
+    COLUMNS = (
+        "bus_busy",
+        "chip_busy",
+        "eff_read_us",
+        "eff_write_us",
+        "eff_xfer_us",
+        "eff_gc_xfer_us",
+        "extra_latency_us",
+        "slowdown",
+        "offline",
+    )
+
+    def snapshot(self) -> dict:
+        """Copy every timing/fault column as a plain list."""
+        return {name: list(getattr(self, name)) for name in self.COLUMNS}
+
+    def restore(self, snapshot: dict) -> None:
+        """Overwrite the columns in place (hot loops hoist references)."""
+        for name in self.COLUMNS:
+            getattr(self, name)[:] = snapshot[name]

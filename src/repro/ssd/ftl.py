@@ -36,7 +36,10 @@ from repro.ssd.geometry import BlockState, FlashBlock, PagePointer
 from repro.ssd.hbt import HarvestedBlockTable
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.ssd.blockstate import BlockStore
     from repro.ssd.device import Ssd
+
+PROFILER.declare("ftl.gc")  # report rows even when this section never fires
 
 
 class OutOfSpaceError(RuntimeError):
@@ -280,6 +283,58 @@ class WriteRegion:
         self.version += 1
         return drained
 
+    def snapshot(self) -> dict:
+        """Capture membership and frontier order as plain gid lists.
+
+        Blocks are encoded by gid (their identity in the device's
+        :class:`~repro.ssd.blockstate.BlockStore`), preserving per-channel
+        deque order exactly — frontier rotation is order-sensitive, so a
+        restored region must pop and rotate the same blocks in the same
+        sequence.
+        """
+        return {
+            "free": {
+                channel: [block.gid for block in queue]
+                for channel, queue in self._free.items()
+            },
+            "open": {
+                channel: [block.gid for block in queue]
+                for channel, queue in self._open.items()
+            },
+            "channels": sorted(self._channels),
+            "free_pages": self._free_pages,
+            "version": self.version,
+            "reclaiming": self.reclaiming,
+        }
+
+    def restore(self, snapshot: dict, store: "BlockStore") -> None:
+        """Rebuild queues and the identity set from a :meth:`snapshot`.
+
+        ``store.blocks`` views are identity-stable per gid, so the
+        rebuilt ``_member_ids`` set matches what incremental updates
+        would have produced.  Block *state* (writer, write pointer, page
+        map) is the store's to restore; this only rebuilds the region's
+        bookkeeping around it.
+        """
+        views = store.blocks
+        self._free = {
+            channel: deque(views[gid] for gid in gids)
+            for channel, gids in snapshot["free"].items()
+        }
+        self._open = {
+            channel: deque(views[gid] for gid in gids)
+            for channel, gids in snapshot["open"].items()
+        }
+        self._channels = set(snapshot["channels"])
+        self._member_ids = {
+            id(block)
+            for queue in list(self._free.values()) + list(self._open.values())
+            for block in queue
+        }
+        self._free_pages = snapshot["free_pages"]
+        self.version = snapshot["version"]
+        self.reclaiming = snapshot["reclaiming"]
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"WriteRegion({self.region_id}, kind={self.kind}, "
@@ -447,6 +502,72 @@ class VssdFtl:
             for lpn, gid in enumerate(gids)
             if gid >= 0
         }
+
+    # ------------------------------------------------------------------
+    # Warm-state snapshot/restore
+    # ------------------------------------------------------------------
+    #: FtlStats counters captured by :meth:`snapshot`, in a fixed order
+    #: shared with the on-disk encoding.
+    STATS_FIELDS = (
+        "host_reads",
+        "host_writes",
+        "unmapped_reads",
+        "gc_reads",
+        "gc_writes",
+        "gc_runs",
+        "blocks_erased",
+    )
+
+    def snapshot(self) -> dict:
+        """Capture this FTL's post-warm state as plain lists and ints.
+
+        Only supported before any gSB traffic: harvest regions hold
+        references to blocks shared with the gSB manager, which a cheap
+        columnar snapshot cannot re-link.  The warm-state cache only
+        snapshots right after build+warm, where no gSB can exist yet.
+        """
+        if self.harvest_regions:
+            raise ValueError(
+                "cannot snapshot an FTL with attached harvest regions"
+            )
+        if self._in_gc:
+            raise ValueError("cannot snapshot an FTL mid-GC")
+        return {
+            "l2p_gid": list(self._l2p_gid),
+            "l2p_page": list(self._l2p_page),
+            "mapped": self._mapped,
+            "write_rr": self._write_rr,
+            "unmapped_rr": self._unmapped_rr,
+            "own_blocks_per_channel": dict(self._own_blocks_per_channel),
+            "stats": {name: getattr(self.stats, name) for name in self.STATS_FIELDS},
+            "own_region": self.own_region.snapshot(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset to a :meth:`snapshot`, in place where hot loops hoist.
+
+        The lazily rebuilt caches (striping slots, unmapped channel
+        order, channel count) are invalidated rather than restored —
+        their rebuild is deterministic, so first use after a restore
+        produces exactly what incremental updates would have.
+        """
+        if self.harvest_regions:
+            raise ValueError(
+                "cannot restore over an FTL with attached harvest regions"
+            )
+        self._l2p_gid[:] = snapshot["l2p_gid"]
+        self._l2p_page[:] = snapshot["l2p_page"]
+        self._mapped = snapshot["mapped"]
+        self._write_rr = snapshot["write_rr"]
+        self._unmapped_rr = snapshot["unmapped_rr"]
+        self._own_blocks_per_channel = dict(snapshot["own_blocks_per_channel"])
+        for name in self.STATS_FIELDS:
+            setattr(self.stats, name, snapshot["stats"][name])
+        self.own_region.restore(snapshot["own_region"], self._store)
+        self._in_gc = False
+        self._slots_version = -1
+        self._unmapped_version = -1
+        self._chan_count_version = -1
 
     # ------------------------------------------------------------------
     # Host I/O

@@ -32,6 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.ssd.hbt import HarvestedBlockTable
     from repro.virt.vssd import Vssd
 
+PROFILER.declare("gsb.pool")  # report rows even when this section never fires
+
 
 @dataclass
 class GsbManagerStats:

@@ -66,6 +66,24 @@ def test_search_parallel_matches_serial(params):
     ]
 
 
+def test_search_candidates_share_warm_protagonist(params):
+    """Candidate evaluation must not re-warm the protagonist per
+    candidate: the search resolves it once up front, and every cell
+    evaluation after that is a cache hit (memo or disk artifact)."""
+    del params
+    from repro.adversarial.search import PROTAGONIST_STATS
+
+    before = dict(PROTAGONIST_STATS)
+    result = adversarial_search(PROTAGONIST, **SEARCH_KWARGS)
+    assert result.evaluations > 0
+    hits = PROTAGONIST_STATS["hits"] - before["hits"]
+    misses = PROTAGONIST_STATS["misses"] - before["misses"]
+    # One resolve per candidate evaluation plus the up-front one, all
+    # served from the warm cache; nothing re-trains mid-search.
+    assert hits > 0
+    assert misses == 0
+
+
 def test_search_rejects_degenerate_settings():
     with pytest.raises(ValueError):
         adversarial_search(PROTAGONIST, rounds=0, population=3, seed=0)

@@ -1,0 +1,304 @@
+"""Warm-state snapshot/restore: bit-exactness and cache-key coverage.
+
+The snapshot layer may only exist because it provably changes nothing:
+an experiment restored from a warm snapshot must be indistinguishable —
+telemetry rows, RNG draw positions, engine scalars, detsan checkpoints —
+from one that paid the cold build+warm.  These tests pin that contract
+on a small device, plus the cache-key sensitivity that keeps distinct
+warm states from ever sharing an entry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SSDConfig
+from repro.harness import Experiment, VssdPlan
+from repro.harness import snapshots
+from repro.harness.telemetry import windows_to_csv
+from repro.parallel import ExperimentCell, run_cell
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+FAST = SSDConfig(
+    num_channels=4,
+    chips_per_channel=2,
+    blocks_per_chip=16,
+    pages_per_block=32,
+    min_superblock_blocks=4,
+)
+
+PLANS = [
+    VssdPlan("ycsb", slo_latency_us=13085.0),
+    VssdPlan("terasort", slo_latency_us=239516.0),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache(monkeypatch, tmp_path):
+    """Every test starts from an empty cache and its own disk root."""
+    snapshots.clear_memory_cache()
+    snapshots.reset_stats()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_SNAPSHOTS", raising=False)
+    yield
+    snapshots.clear_memory_cache()
+    snapshots.reset_stats()
+
+
+def _experiment(policy="hardware", config=FAST, seed=7, snapshots_flag=None):
+    return Experiment(
+        [VssdPlan(p.workload, slo_latency_us=p.slo_latency_us) for p in PLANS],
+        policy,
+        ssd_config=config,
+        seed=seed,
+        snapshots=snapshots_flag,
+    )
+
+
+def _state_fingerprint(exp):
+    """Every snapshot-covered piece of post-build state, comparison-ready."""
+    virt = exp.virt
+    return {
+        "engine": virt.sim.snapshot(),
+        "streams": exp.streams.snapshot(),
+        "store": virt.ssd.store.snapshot(),
+        "arrays": virt.ssd.arrays.snapshot(),
+        "ftls": {
+            plan.name: virt.vssd_by_name(plan.name).ftl.snapshot()
+            for plan in exp.plans
+        },
+    }
+
+
+def _assert_fingerprints_equal(a, b):
+    assert a["engine"] == b["engine"]
+    assert a["streams"] == b["streams"]
+    assert a["arrays"] == b["arrays"]
+    for name in ("page_lpns", "erase_count"):
+        assert np.array_equal(a["store"][name], b["store"][name]), name
+    for name in ("state", "owner", "writer", "harvested", "write_ptr",
+                 "valid_count"):
+        assert a["store"][name] == b["store"][name], name
+    assert a["ftls"] == b["ftls"]
+
+
+# ---------------------------------------------------------------------
+# Restore-vs-cold bit-exactness
+# ---------------------------------------------------------------------
+def test_restored_build_state_equals_cold_build():
+    cold = _experiment(snapshots_flag=False).build()
+    _experiment(snapshots_flag=True).build()  # miss: warms + captures
+    assert snapshots.STATS["misses"] == 1 and snapshots.STATS["stores"] == 1
+    restored = _experiment(snapshots_flag=True).build()  # hit: restores
+    assert snapshots.STATS["hits"] == 1
+    _assert_fingerprints_equal(
+        _state_fingerprint(cold), _state_fingerprint(restored)
+    )
+
+
+def test_restored_run_telemetry_identical_to_cold(tmp_path):
+    def run(tag, flag):
+        exp = _experiment(snapshots_flag=flag)
+        exp.run(2.0, 0.5)
+        histories = {
+            plan.name: exp.monitors[plan.name].window_history
+            for plan in exp.plans
+        }
+        path = tmp_path / f"windows-{tag}.csv"
+        windows_to_csv(histories, path)
+        return path.read_bytes()
+
+    cold = run("cold", False)
+    run("prime", True)  # populates the cache
+    warm = run("warm", True)
+    assert snapshots.STATS["hits"] == 1
+    assert cold == warm
+
+
+def test_rng_positions_identical_after_restored_run():
+    _experiment(snapshots_flag=True).build()
+    cold = _experiment(snapshots_flag=False)
+    cold.run(1.0, 0.25)
+    warm = _experiment(snapshots_flag=True)
+    warm.run(1.0, 0.25)
+    assert snapshots.STATS["hits"] == 1
+    assert cold.streams.snapshot() == warm.streams.snapshot()
+    # The heap still holds live events post-run, so compare the engine's
+    # scalars directly rather than through snapshot().
+    assert cold.virt.sim.now == warm.virt.sim.now
+    assert cold.virt.sim._next_seq == warm.virt.sim._next_seq
+    assert cold.virt.sim.events_processed == warm.virt.sim.events_processed
+
+
+def test_detsan_checkpoints_identical_after_restore(monkeypatch):
+    monkeypatch.setenv("REPRO_DETSAN", "1")
+    cell = ExperimentCell(
+        "s", ("ycsb",), "hardware", 0, duration_s=1.0, measure_after_s=0.25
+    )
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "off")
+    cold = run_cell(cell, profile=False)
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "mem")
+    run_cell(cell, profile=False)  # prime
+    warm = run_cell(cell, profile=False)
+    assert snapshots.STATS["hits"] == 1
+    assert cold.ok and warm.ok
+    assert cold.telemetry == warm.telemetry
+    assert cold.detsan is not None
+    assert cold.detsan == warm.detsan
+
+
+def test_snapshots_off_never_touches_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "off")
+    _experiment().build()
+    _experiment().build()
+    assert snapshots.STATS == {
+        "hits": 0, "misses": 0, "disk_hits": 0, "stores": 0
+    }
+
+
+# ---------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------
+def _key_of(exp):
+    exp_copy = exp
+    allocation = exp_copy._plan_allocation()
+    return snapshots.warm_cache_key(exp_copy, allocation)
+
+
+def test_cache_key_sensitive_to_hardware_config():
+    base = _key_of(_experiment())
+    bigger = SSDConfig(
+        num_channels=4,
+        chips_per_channel=2,
+        blocks_per_chip=16,
+        pages_per_block=64,
+        min_superblock_blocks=4,
+    )
+    assert _key_of(_experiment(config=bigger)) != base
+
+
+def test_cache_key_sensitive_to_warm_spec():
+    base = _experiment()
+    other = Experiment(
+        [
+            VssdPlan("webserver", slo_latency_us=13085.0),
+            VssdPlan("terasort", slo_latency_us=239516.0),
+        ],
+        "hardware",
+        ssd_config=FAST,
+        seed=7,
+    )
+    assert _key_of(other) != _key_of(base)
+
+
+def test_cache_key_sensitive_to_seed():
+    assert _key_of(_experiment(seed=8)) != _key_of(_experiment(seed=7))
+
+
+def test_policies_with_identical_warm_share_a_key():
+    # hardware and fleetio derive the same allocation and isolation for
+    # these plans, so they warm identically and may share one snapshot.
+    assert _key_of(_experiment("hardware")) == _key_of(_experiment("fleetio"))
+
+
+def test_distinct_configs_do_not_hit_each_others_entries():
+    _experiment(seed=7, snapshots_flag=True).build()
+    _experiment(seed=8, snapshots_flag=True).build()
+    assert snapshots.STATS["hits"] == 0
+    assert snapshots.STATS["misses"] == 2
+
+
+# ---------------------------------------------------------------------
+# Disk layer
+# ---------------------------------------------------------------------
+def test_disk_roundtrip_restores_identical_state(monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "disk")
+    cold = _experiment(snapshots_flag=False).build()
+    _experiment().build()  # miss: warms, captures, writes the .npz
+    assert snapshots.STATS["stores"] == 1
+    snapshots.clear_memory_cache()  # force the next hit through the disk
+    restored = _experiment().build()
+    assert snapshots.STATS["disk_hits"] == 1
+    _assert_fingerprints_equal(
+        _state_fingerprint(cold), _state_fingerprint(restored)
+    )
+
+
+def test_corrupt_disk_entry_degrades_to_miss(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "disk")
+    exp = _experiment()
+    key = _key_of(exp)
+    path = snapshots._snapshot_path(key)
+    path.write_bytes(b"not an npz")
+    exp.build()
+    assert snapshots.STATS["misses"] == 1
+    assert snapshots.STATS["disk_hits"] == 0
+
+
+# ---------------------------------------------------------------------
+# Engine + RNG snapshot primitives
+# ---------------------------------------------------------------------
+def test_engine_snapshot_rejects_pending_events():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    with pytest.raises(ValueError, match="heap"):
+        sim.snapshot()
+
+
+def test_engine_restore_rejects_pending_events():
+    sim = Simulator()
+    sim.run_until(1.0)
+    snap = sim.snapshot()
+    target = Simulator()
+    target.schedule(5.0, lambda: None)
+    with pytest.raises(ValueError, match="pending"):
+        target.restore(snap)
+
+
+def test_engine_restore_replays_pool_recycling_identically():
+    """A restored engine recycles pooled Event objects on the original's
+    schedule: same (time, seq) order, same now, same pool growth."""
+
+    def churn(sim):
+        fired = []
+        for i in range(8):
+            sim.schedule(float(i + 1), fired.append, i)
+        keep = sim.schedule(20.0, fired.append, 99)
+        sim.schedule(3.5, keep.cancel)
+        sim.run_until(30.0)
+        return fired, sim.now, sim._next_seq, len(sim._pool)
+
+    origin = Simulator()
+    for i in range(4):  # build up a non-empty free list before capture
+        origin.schedule(float(i + 1), lambda: None)
+    origin.run_until(10.0)
+    snap = origin.snapshot()
+
+    twin = Simulator()
+    twin.restore(snap)
+    assert len(twin._pool) == len(origin._pool)
+    assert churn(origin) == churn(twin)
+
+
+def test_random_streams_snapshot_restores_draw_positions():
+    streams = RandomStreams(42)
+    streams.get("a").random(5)
+    streams.get("b").integers(0, 100, 7)
+    snap = streams.snapshot()
+    expected_a = streams.get("a").random(3).tolist()
+    expected_b = streams.get("b").integers(0, 100, 3).tolist()
+    streams.restore(snap)
+    assert streams.get("a").random(3).tolist() == expected_a
+    assert streams.get("b").integers(0, 100, 3).tolist() == expected_b
+
+
+def test_random_streams_restore_rejects_seed_mismatch():
+    snap = RandomStreams(1).snapshot()
+    with pytest.raises(ValueError, match="seed"):
+        RandomStreams(2).restore(snap)
+
+
+def test_memory_cache_bounded():
+    for i in range(snapshots._MEMORY_CACHE_MAX + 4):
+        snapshots._memory_put(f"key{i}", {"i": i})
+    assert len(snapshots._MEMORY_CACHE) == snapshots._MEMORY_CACHE_MAX

@@ -77,11 +77,25 @@ def test_profiles_merge_across_workers(parallel_result):
     assert profile["counters"]["sim.events"] > 0
 
 
+#: Warm-amortization timers whose call counts legitimately depend on the
+#: snapshot-cache state each process starts from (a serial sweep warms
+#: once per key and restores the rest; a forked worker inherits whatever
+#: the parent had cached).  Telemetry stays byte-equal either way — only
+#: where the *fixed cost* was paid moves.
+WARM_AMORTIZED_TIMERS = frozenset(
+    {"harness.warm", "snapshot.save", "snapshot.restore"}
+)
+
+
 def test_serial_parallel_profile_call_counts_match(serial_result, parallel_result):
     serial_timers = serial_result.profile["timers"]
     parallel_timers = parallel_result.profile["timers"]
+    # Declared zero-call rows keep the row sets identical even when a
+    # timer fired in one topology and not the other.
     assert set(serial_timers) == set(parallel_timers)
     for name, entry in serial_timers.items():
+        if name in WARM_AMORTIZED_TIMERS:
+            continue
         assert entry["calls"] == parallel_timers[name]["calls"], name
 
 
@@ -255,3 +269,104 @@ def test_retried_worker_profile_absorbed_once(tmp_path):
         if isinstance(o, CellOutcome):
             parent.absorb(o.profile)
     assert parent.counters()["flaky.attempts"] == 1
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+def test_pool_telemetry_byte_equal_to_serial(serial_result):
+    result = ParallelRunner(workers=2, pool=True).run(MATRIX.cells())
+    assert result.ok
+    assert result.mode.startswith("pool/")
+    assert result.telemetry == serial_result.telemetry
+    assert result.telemetry_digest == serial_result.telemetry_digest
+    ids = [o.cell.cell_id for o in result.outcomes]
+    assert ids == [c.cell_id for c in MATRIX.cells()]
+
+
+def test_pool_reuses_workers_across_cells():
+    """More cells than workers: the pool must reuse processes rather
+    than forking one per cell."""
+    cells = [_good_cell(f"s{i}", seed=i % 2) for i in range(4)]
+    result = ParallelRunner(workers=2, pool=True).run(cells)
+    assert result.ok
+    pids = {o.pid for o in result.outcomes}
+    assert len(pids) <= 2
+
+
+def test_pool_worker_snapshot_cache_amortizes_warm(monkeypatch, tmp_path):
+    """A pooled worker running two same-key cells warms once: the second
+    cell restores from the worker's in-process snapshot cache."""
+    from repro.harness import snapshots
+
+    # Forked pool workers inherit this process's snapshot cache: start
+    # cold so earlier tests' entries cannot turn the warm miss into a hit.
+    snapshots.clear_memory_cache()
+    monkeypatch.setenv("REPRO_SNAPSHOTS", "mem")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cells = [_good_cell("a", seed=0), _good_cell("b", seed=0)]
+    result = ParallelRunner(workers=1, pool=True, profile=True).run(cells)
+    assert result.ok
+    merged = result.profile
+    assert merged["counters"].get("snapshot.misses", 0) == 1
+    assert merged["counters"].get("snapshot.hits", 0) == 1
+    assert merged["timers"]["harness.warm"]["calls"] == 1
+    assert merged["timers"]["snapshot.restore"]["calls"] == 1
+
+
+def test_pool_dead_worker_respawned_and_cell_retried(tmp_path):
+    marker = tmp_path / "pool-flaky-marker"
+    cells = [
+        _good_cell("good"),
+        ExperimentCell(str(marker), ("ycsb",), "hardware", 0, runner="flaky"),
+        _good_cell("also-good", seed=1),
+    ]
+    result = ParallelRunner(
+        workers=2, pool=True, max_attempts=2, retry_backoff_s=0.05
+    ).run(cells)
+    assert result.ok
+    flaky = result.outcomes[1]
+    assert isinstance(flaky, CellOutcome)
+    assert flaky.attempts == 2
+    assert flaky.telemetry == b"flaky-ok\n"
+    assert marker.exists()
+
+
+def test_pool_crash_every_attempt_fails_with_attempt_count():
+    cells = [ExperimentCell("boom", ("ycsb",), "hardware", 0, runner="crash")]
+    result = ParallelRunner(
+        workers=1, pool=True, max_attempts=2, retry_backoff_s=0.05
+    ).run(cells)
+    (failure,) = result.failures
+    assert isinstance(failure, CellFailure)
+    assert failure.attempts == 2
+    assert not failure.hung
+
+
+def test_pool_deterministic_exception_not_retried():
+    cells = [
+        _good_cell("good"),
+        ExperimentCell("bad", ("no-such-workload",), "hardware", 0),
+    ]
+    result = ParallelRunner(workers=1, pool=True, max_attempts=3).run(cells)
+    assert len(result.succeeded) == 1
+    (failure,) = result.failures
+    assert failure.error["type"] == "KeyError"
+    assert failure.attempts == 1
+
+
+def test_pool_hung_worker_terminated_with_partial_results():
+    good = [_good_cell("good", 0), _good_cell("also-good", 1)]
+    cells = [
+        good[0],
+        ExperimentCell("wedge", ("ycsb",), "hardware", 0, runner="hang"),
+        good[1],
+    ]
+    result = ParallelRunner(
+        workers=3, pool=True, join_timeout_s=1.5, max_attempts=1
+    ).run(cells)
+    assert not result.ok
+    (failure,) = result.failures
+    assert failure.hung
+    assert len(result.succeeded) == 2
+    assert result.telemetry == run_serial(good).telemetry

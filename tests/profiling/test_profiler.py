@@ -66,6 +66,48 @@ def test_snapshot_is_picklable():
     assert snap["counters"]["c"] == 2
 
 
+def test_declared_timer_appears_with_zero_calls():
+    profiler = Profiler()
+    profiler.declare("never.fired", "also.never")
+    profiler.enable()
+    with profiler.timer("hit"):
+        pass
+    snap = profiler.snapshot()
+    assert snap["timers"]["never.fired"] == {"calls": 0, "total_ns": 0}
+    assert snap["timers"]["also.never"] == {"calls": 0, "total_ns": 0}
+    assert snap["timers"]["hit"]["calls"] == 1
+
+
+def test_declared_timer_that_fires_reports_real_data():
+    profiler = Profiler()
+    profiler.declare("section")
+    profiler.enable()
+    with profiler.timer("section"):
+        pass
+    entry = profiler.snapshot()["timers"]["section"]
+    assert entry["calls"] == 1
+    assert entry["total_ns"] >= 0
+
+
+def test_declared_names_survive_reset():
+    profiler = Profiler()
+    profiler.declare("sticky")
+    profiler.enable()
+    profiler.count("c")
+    profiler.reset()
+    snap = profiler.snapshot()
+    assert snap["timers"] == {"sticky": {"calls": 0, "total_ns": 0}}
+    assert snap["counters"] == {}
+
+
+def test_format_profile_renders_zero_call_rows():
+    profiler = Profiler()
+    profiler.declare("quiet.section")
+    text = format_profile(profiler.snapshot())
+    assert "quiet.section" in text
+    assert "         0" in text  # calls column
+
+
 def test_merge_profiles_sums():
     a = {"timers": {"t": {"calls": 2, "total_ns": 100}}, "counters": {"c": 1}}
     b = {"timers": {"t": {"calls": 3, "total_ns": 50},
