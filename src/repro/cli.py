@@ -379,6 +379,93 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if sweep.ok else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run N simulated devices as K shards over the worker pool."""
+    from repro.fleet import (
+        FleetShardRunner,
+        build_fleet,
+        leaked_segments,
+        run_fleet_serial,
+    )
+    from repro.profiling import format_profile
+
+    specs = build_fleet(
+        args.devices,
+        workloads=args.workloads,
+        policy=args.policy,
+        base_seed=args.seed,
+        duration_s=args.duration,
+        measure_after_s=args.warmup,
+        num_channels=args.channels,
+    )
+    arena = None if args.arena == "env" else (args.arena == "shm")
+    runner = FleetShardRunner(
+        shards=args.shards,
+        workers=args.workers,
+        arena=arena,
+        join_timeout_s=args.cell_timeout,
+        max_attempts=args.retries + 1,
+    )
+    fleet = runner.run(specs)
+    arena_note = fleet.arena.get("mode", "off")
+    if fleet.arena.get("published"):
+        arena_note += (
+            f" ({fleet.arena['payload_nbytes'] / (1 << 20):.1f} MB shared, "
+            f"{fleet.arena.get('attached_shards', 0)} shards attached)"
+        )
+    print(
+        f"fleet: {len(specs)} devices x {args.policy}, "
+        f"{fleet.shards} shards [{fleet.mode}], arena {arena_note}"
+    )
+    print(f"\n{'shard':>20s} {'status':>8s} {'devices':>8s} {'wall(s)':>8s}")
+    for outcome in fleet.outcomes:
+        if hasattr(outcome, "ok") and outcome.ok:
+            walls = (outcome.result or {}).get("device_wall_s", {})
+            print(
+                f"{outcome.cell.cell_id:>20s} {'ok':>8s} "
+                f"{len(outcome.cell.devices):>8d} {sum(walls.values()):8.1f}"
+            )
+        else:
+            print(f"{outcome.cell.cell_id:>20s} {'FAILED':>8s}")
+    for error in fleet.errors:
+        print(f"  {error}")
+    counters = fleet.profile.get("counters", {})
+    print(
+        f"\nfleet wall: {fleet.wall_s:.1f}s  "
+        f"{fleet.devices_per_sec:.2f} devices/s  "
+        f"telemetry: {len(fleet.telemetry)} bytes "
+        f"(sha256 {fleet.telemetry_digest[:16]})"
+    )
+    print(
+        f"state plane: arena.attach={counters.get('arena.attach', 0)} "
+        f"arena.hits={counters.get('arena.hits', 0)} "
+        f"ipc.bytes_saved={counters.get('ipc.bytes_saved', 0)}"
+    )
+    if args.show_profile:
+        print()
+        print(format_profile(fleet.profile))
+    if args.telemetry_out:
+        with open(args.telemetry_out, "wb") as handle:
+            handle.write(fleet.telemetry)
+        print(f"wrote merged fleet telemetry to {args.telemetry_out}")
+    leaked = leaked_segments()
+    if leaked:
+        print(f"error: leaked shared-memory segments: {leaked}", file=sys.stderr)
+        return 1
+    if args.verify_serial:
+        serial = run_fleet_serial(specs)
+        match = serial.telemetry == fleet.telemetry
+        speedup = serial.wall_s / fleet.wall_s if fleet.wall_s else 0.0
+        print(
+            f"serial wall: {serial.wall_s:.1f}s  speedup: {speedup:.2f}x  "
+            f"telemetry byte-equal: {match}"
+        )
+        if not match:
+            print("error: serial and sharded telemetry diverge", file=sys.stderr)
+            return 1
+    return 0 if fleet.ok else 1
+
+
 def cmd_adversarial(args: argparse.Namespace) -> int:
     """Regret-driven adversarial scenario search (PAIRED-style)."""
     import json
@@ -665,6 +752,66 @@ def build_parser() -> argparse.ArgumentParser:
              "of one process per cell",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run N simulated devices as K shards with the shared-memory "
+             "state plane",
+    )
+    fleet.add_argument(
+        "workloads", nargs="*", default=["ycsb", "terasort"],
+        help="workload collocation per device (default: ycsb terasort)",
+    )
+    fleet.add_argument(
+        "--devices", type=int, default=8, help="fleet size (one SSD each)"
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count (default: cores - 1, capped at the fleet size)",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="pool worker processes (default: one per shard, capped at cores)",
+    )
+    fleet.add_argument(
+        "--policy", default="adaptive",
+        help="per-device policy (default: adaptive)",
+    )
+    fleet.add_argument("--seed", type=int, default=42, help="base seed (device i gets seed+i)")
+    fleet.add_argument("--duration", type=float, default=4.0, help="simulated seconds per device")
+    fleet.add_argument(
+        "--warmup", type=float, default=1.0, help="seconds excluded from measurement"
+    )
+    fleet.add_argument(
+        "--channels", type=int, default=None,
+        help="total SSD channels per device (default: 16, Table 3)",
+    )
+    fleet.add_argument(
+        "--arena", default="env", choices=("env", "shm", "off"),
+        help="warm-state arena: shm = shared segment, off = per-worker "
+             "snapshots, env = honour REPRO_ARENA (default)",
+    )
+    fleet.add_argument(
+        "--verify-serial", action="store_true",
+        help="re-run as a serial device loop and assert byte-identical "
+             "merged telemetry",
+    )
+    fleet.add_argument(
+        "--telemetry-out", default=None, help="write merged telemetry bytes here"
+    )
+    fleet.add_argument(
+        "--show-profile", action="store_true",
+        help="print the merged profile (per-shard fleet.shard<k>.* timers)",
+    )
+    fleet.add_argument(
+        "--cell-timeout", type=float, default=900.0,
+        help="terminate a shard worker silent for this many seconds",
+    )
+    fleet.add_argument(
+        "--retries", type=int, default=1,
+        help="relaunches granted to a crashed or hung shard (0 = fail fast)",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     adversarial = sub.add_parser(
         "adversarial",

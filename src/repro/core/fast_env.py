@@ -121,6 +121,12 @@ class FastFleetEnv:
         self.chan_bw = self.ssd_config.channel_write_bandwidth_mbps
         self.action_space = ActionSpace(self.chan_bw)
         self._featurizers = [StateFeaturizer(self.rl_config) for _ in range(self.n)]
+        # Window-loop scratch (``n`` is fixed for the env's lifetime):
+        # _simulate_window refills these instead of building a python
+        # list + np.array per window.
+        self._demand_buf = np.empty(self.n, dtype=np.float64)
+        self._cap_buf = np.empty(self.n, dtype=np.float64)
+        self._fault_fx_buf: list = [None] * self.n
         self.reset()
 
     # ------------------------------------------------------------------
@@ -240,29 +246,28 @@ class FastFleetEnv:
         stats = []
         shared_out = self.harvested.sum(axis=0)  # channels lent, per home
         shared_in = self.harvested.sum(axis=1)   # channels borrowed, per harvester
-        demands = np.array([self._demand_mbps(i, t0) for i in range(self.n)])
+        # Scratch-buffer refills: each element stores the same python
+        # float the old list-comprehension + np.array path produced, so
+        # the window arithmetic (and telemetry digests) are unchanged.
+        demands = self._demand_buf
+        for i in range(self.n):
+            demands[i] = self._demand_mbps(i, t0)
         effective_bw = self.chan_bw * CHANNEL_EFFICIENCY
-        capacities = np.array(
-            [
-                effective_bw
-                * (
-                    self.specs[i].channels
-                    - HOME_SHARE_LOSS * float(shared_out[i])
-                    + HARVEST_SHARE * float(shared_in[i])
-                )
-                for i in range(self.n)
-            ]
-        )
+        capacities = self._cap_buf
+        for i in range(self.n):
+            capacities[i] = effective_bw * (
+                self.specs[i].channels
+                - HOME_SHARE_LOSS * float(shared_out[i])
+                + HARVEST_SHARE * float(shared_in[i])
+            )
         if self.fault_profile is None:
             fault_fx = None
         else:
             rel_s = t0 - self._episode_start_s
-            fault_fx = [
-                self.fault_profile.effects(i, rel_s) for i in range(self.n)
-            ]
-            capacities = capacities * np.array(
-                [fx[0] for fx in fault_fx], dtype=np.float64
-            )
+            fault_fx = self._fault_fx_buf
+            for i in range(self.n):
+                fault_fx[i] = self.fault_profile.effects(i, rel_s)
+                capacities[i] *= fault_fx[i][0]
         achieved = np.minimum(demands, np.maximum(capacities, 1e-6))
         utilizations = achieved / np.maximum(capacities, 1e-6)
         for i in range(self.n):

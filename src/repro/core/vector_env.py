@@ -221,6 +221,19 @@ class VectorFastFleetEnv:
                         self._phase_dur[k, i, p] = phase.duration_s
                         self._phase_scale[k, i, p] = phase.scale
 
+        # -- window-loop scratch (shapes fixed for the fleet's lifetime) --
+        # _simulate_window refills these via .fill()/in-place ops instead
+        # of allocating fresh (K, n) tensors every window; all downstream
+        # expressions still produce new arrays, so nothing aliases into
+        # ``_win`` or the returned states.
+        self._noise_buf = np.empty((K, n), dtype=np.float64)
+        self._fault_mult_buf = np.empty((K, n), dtype=np.float64)
+        self._fault_extra_buf = np.empty((K, n), dtype=np.float64)
+        self._fault_forced_buf = np.empty((K, n), dtype=bool)
+        self._foreign_bw_buf = np.empty((K, n), dtype=np.float64)
+        self._gc_draw_buf = np.empty((K, n), dtype=np.float64)
+        self._tail_noise_buf = np.empty((K, n), dtype=np.float64)
+
         # -- mutable episode state --------------------------------------
         self.offered = np.zeros((K, n), dtype=np.int64)
         self.harvested = np.zeros((K, n, n), dtype=np.int64)
@@ -372,7 +385,8 @@ class VectorFastFleetEnv:
 
         # Demand: one batched lognormal per env consumes the stream
         # exactly as the scalar env's per-tenant draws do.
-        noise = np.ones((K, n), dtype=np.float64)
+        noise = self._noise_buf
+        noise.fill(1.0)
         for k in range(K):
             n_k = int(self.n_per_env[k])
             noise[k, :n_k] = self.rngs[k].lognormal(0.0, 0.05, n_k)
@@ -389,9 +403,12 @@ class VectorFastFleetEnv:
         fault_extra: Optional[np.ndarray] = None
         fault_forced: Optional[np.ndarray] = None
         if self._fault_profiles is not None:
-            fault_mult = np.ones((K, n), dtype=np.float64)
-            fault_extra = np.zeros((K, n), dtype=np.float64)
-            fault_forced = np.zeros((K, n), dtype=bool)
+            fault_mult = self._fault_mult_buf
+            fault_mult.fill(1.0)
+            fault_extra = self._fault_extra_buf
+            fault_extra.fill(0.0)
+            fault_forced = self._fault_forced_buf
+            fault_forced.fill(False)
             for k, profile in enumerate(self._fault_profiles):
                 if profile is None:
                     continue
@@ -410,9 +427,12 @@ class VectorFastFleetEnv:
         # Foreign traffic through my channels: accumulate harvester by
         # harvester in tenant order (the scalar env's sum order); slots
         # with nothing harvested contribute exact zeros.
-        foreign_bw = np.zeros((K, n), dtype=np.float64)
+        foreign_bw = self._foreign_bw_buf
+        foreign_bw.fill(0.0)
         for h in range(n):
-            foreign_bw = foreign_bw + (
+            # In-place add of the same float64 term the rebinding form
+            # produced: identical IEEE adds, identical bits.
+            foreign_bw += (
                 HARVEST_SHARE
                 * effective_bw
                 * self.harvested[:, h, :]
@@ -429,8 +449,10 @@ class VectorFastFleetEnv:
 
         # GC draw + tail noise, interleaved per tenant as the scalar env
         # draws them.
-        gc_draw = np.ones((K, n), dtype=np.float64)
-        tail_noise = np.ones((K, n), dtype=np.float64)
+        gc_draw = self._gc_draw_buf
+        gc_draw.fill(1.0)
+        tail_noise = self._tail_noise_buf
+        tail_noise.fill(1.0)
         for k in range(K):
             rng = self.rngs[k]
             for i in range(int(self.n_per_env[k])):

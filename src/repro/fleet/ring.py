@@ -1,0 +1,171 @@
+"""Preallocated shared-memory telemetry rings, one per fleet shard.
+
+A shard worker appends framed telemetry records — freshly completed
+window rows once per decision window, one results-CSV record per device
+— into its ring; the parent reads the ring back *after* the shard
+completes and reassembles per-device telemetry byte-identically to the
+in-process CSV writers.  Because the worker's ``CellOutcome`` then
+carries no telemetry payload, the bytes never cross the result pipe
+(the ``ipc.bytes_saved`` credit on the parent side).
+
+Concurrency model: strictly single-producer (the one worker running the
+shard), single-consumer (the parent, after the worker reported or
+died).  Producer and consumer never run concurrently, so the header
+cursors need no atomics — the pipe message that completes the shard is
+the synchronization point.
+
+Layout::
+
+    [ 8B magic "RRING001" ][ int64 capacity ][ int64 used ]
+    [ int64 records ][ int64 overflow ][ pad to 64B ][ payload ... ]
+
+Records are framed ``<uint32 kind, uint32 device_index, uint32
+monitor_slot, uint32 length>`` + payload.  ``kind`` 1 = window CSV rows
+(no header), 2 = results CSV.  A record that does not fit sets the
+overflow flag; the worker then falls back to shipping the affected
+devices' telemetry over the pipe — capacity pressure degrades
+throughput, never correctness.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.fleet.arena import (
+    attach_segment,
+    create_segment,
+    new_segment_name,
+    tracked_unlink,
+)
+
+_MAGIC = b"RRING001"
+_HEADER = 64
+_FRAME = struct.Struct("<IIII")
+
+#: Default per-shard capacity.  Sized for hundreds of devices per shard:
+#: a window row is ~100 bytes and a results CSV ~600, so 4 MiB holds
+#: roughly 40k window rows plus results with room to spare.
+DEFAULT_CAPACITY = 4 * 1024 * 1024
+
+#: Record kinds.
+KIND_WINDOW_ROWS = 1
+KIND_RESULTS = 2
+
+
+class TelemetryRing:
+    """One shard's shared telemetry buffer (see module docstring)."""
+
+    def __init__(self, shm, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_CAPACITY) -> "TelemetryRing":
+        """Parent side: allocate and initialize a ring segment."""
+        shm = create_segment(new_segment_name("ring"), _HEADER + capacity)
+        buf = shm.buf
+        buf[: len(_MAGIC)] = _MAGIC
+        struct.pack_into("<qqqq", buf, 8, capacity, 0, 0, 0)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> Optional["TelemetryRing"]:
+        """Worker side: attach an existing ring; None if it is invalid."""
+        try:
+            shm = attach_segment(name)
+        except OSError:
+            return None
+        if bytes(shm.buf[: len(_MAGIC)]) != _MAGIC:
+            shm.close()
+            return None
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent; owner also unlinks)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        if self._owner:
+            try:
+                tracked_unlink(self._shm)
+            except FileNotFoundError:  # pragma: no cover - raced cleanup
+                pass
+
+    # -- header accessors ----------------------------------------------
+    def _header(self) -> Tuple[int, int, int, int]:
+        return struct.unpack_from("<qqqq", self._shm.buf, 8)
+
+    @property
+    def capacity(self) -> int:
+        return self._header()[0]
+
+    @property
+    def used(self) -> int:
+        return self._header()[1]
+
+    @property
+    def records(self) -> int:
+        return self._header()[2]
+
+    @property
+    def overflowed(self) -> bool:
+        return self._header()[3] != 0
+
+    # -- producer (worker) ---------------------------------------------
+    def append(
+        self, kind: int, device_index: int, monitor_slot: int, payload: bytes
+    ) -> bool:
+        """Append one framed record; False (+ overflow flag) if full."""
+        capacity, used, records, overflow = self._header()
+        needed = _FRAME.size + len(payload)
+        if overflow or used + needed > capacity:
+            struct.pack_into("<q", self._shm.buf, 8 + 24, 1)
+            return False
+        offset = _HEADER + used
+        _FRAME.pack_into(
+            self._shm.buf, offset, kind, device_index, monitor_slot, len(payload)
+        )
+        self._shm.buf[offset + _FRAME.size : offset + needed] = payload
+        struct.pack_into("<qq", self._shm.buf, 8 + 8, used + needed, records + 1)
+        return True
+
+    # -- consumer (parent, after the shard completed) --------------------
+    def drain(self) -> List[Tuple[int, int, int, bytes]]:
+        """All records as ``(kind, device_index, monitor_slot, payload)``.
+
+        Truncated trailing data (a worker died mid-append) is dropped:
+        the parent only trusts records the used-cursor fully covers, and
+        a dead worker's shard is retried or failed by the pool runner
+        anyway.
+        """
+        capacity, used, records, _overflow = self._header()
+        used = min(used, capacity)
+        out: List[Tuple[int, int, int, bytes]] = []
+        buf = self._shm.buf
+        offset = _HEADER
+        end = _HEADER + used
+        while offset + _FRAME.size <= end and len(out) < records:
+            kind, device_index, monitor_slot, length = _FRAME.unpack_from(
+                buf, offset
+            )
+            offset += _FRAME.size
+            if offset + length > end:
+                break
+            out.append(
+                (kind, device_index, monitor_slot, bytes(buf[offset : offset + length]))
+            )
+            offset += length
+        return out
+
+    def reset(self) -> None:
+        """Zero the cursors for reuse by a retried shard attempt."""
+        capacity = self.capacity
+        struct.pack_into("<qqqq", self._shm.buf, 8, capacity, 0, 0, 0)

@@ -16,7 +16,7 @@ The five systems of Section 4.1 are expressed as policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
@@ -172,6 +172,15 @@ class Experiment:
         if mode != "off":
             key = snapshots.warm_cache_key(self, allocation)
             cached = snapshots.cache_get(key, mode)
+        if cached is None and snapshots.arena_available():
+            # Fleet shard workers hold attached shared-memory arena
+            # segments; a zero-copy view of the warm columns beats both
+            # the disk layer and a cold build+warm.  The key is
+            # seed-independent (see warm_columns_key) so one segment
+            # serves every device of a homogeneous fleet.
+            cached = snapshots.arena_get(
+                snapshots.warm_columns_key(self, allocation)
+            )
         for plan, channels in zip(self.plans, allocation):
             isolation = self._plan_isolation(plan)
             kwargs = {}
@@ -392,6 +401,7 @@ class Experiment:
         duration_s: float = 30.0,
         measure_after_s: float = 6.0,
         detsan: Optional["DetsanRecorder"] = None,
+        on_window: Optional["Callable[[int], None]"] = None,
     ) -> ExperimentResult:
         """Run the experiment and collect per-vSSD and device metrics.
 
@@ -403,6 +413,12 @@ class Experiment:
         lands exactly on every boundary either way, events with
         timestamps inside a chunk fire in the same (time, seq) order,
         and checkpoints neither draw randomness nor schedule events.
+
+        ``on_window`` hooks the same chunk boundaries without a
+        recorder: the fleet runner uses it to flush freshly completed
+        telemetry windows into its shared ring buffer.  The callback
+        must be read-only with respect to simulated state — it runs
+        between windows, outside the event loop.
         """
         self.build()
         sim = self.virt.sim
@@ -422,19 +438,22 @@ class Experiment:
 
             if detsan_enabled():
                 detsan = DetsanRecorder(label=f"{self.policy}/s{self.seed}")
-        if detsan is None:
+        if detsan is None and on_window is None:
             sim.run_until_seconds(end_s)
         else:
-            interval_s = self.rl_config.decision_interval_s
-            window = 0
-            while True:
-                boundary_s = min(start_s + (window + 1) * interval_s, end_s)
-                sim.run_until_seconds(boundary_s)
-                detsan.checkpoint(window, self)
-                window += 1
-                if boundary_s >= end_s:
-                    break
-            self.detsan = detsan
+
+            def at_boundary(window: int) -> None:
+                """Per-window hooks: detsan checkpoint, then telemetry flush."""
+                if detsan is not None:
+                    detsan.checkpoint(window, self)
+                if on_window is not None:
+                    on_window(window)
+
+            sim.run_windows(
+                start_s, end_s, self.rl_config.decision_interval_s, at_boundary
+            )
+            if detsan is not None:
+                self.detsan = detsan
         return self._collect(end_s)
 
     def schedule_workload_switch(self, plan_name: str, new_workload: str, at_s: float) -> None:

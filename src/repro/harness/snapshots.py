@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -101,6 +102,42 @@ def clear_memory_cache() -> None:
 
 
 # ---------------------------------------------------------------------
+# Shared-memory arena layer (repro.fleet)
+# ---------------------------------------------------------------------
+#: Warm snapshots decoded from an attached shared-memory arena segment,
+#: keyed by the seed-independent :func:`warm_columns_key`.  Filled by
+#: fleet shard workers (``repro.fleet.arena.attach_arena``); consulted by
+#: ``Experiment._build_inner`` after a regular cache miss.
+_ARENA_CACHE: dict = {}
+
+
+def arena_available() -> bool:
+    """True when this process has at least one attached arena snapshot."""
+    return bool(_ARENA_CACHE)
+
+
+def install_arena_snapshot(columns_key: str, snap: dict, nbytes: int = 0) -> None:
+    """Register an arena-served snapshot for :func:`arena_get` lookups.
+
+    ``nbytes`` is the shared segment's payload size — the bytes each hit
+    would otherwise have crossed the process boundary as a pickle, which
+    is what the ``ipc.bytes_saved`` counter credits.
+    """
+    _ARENA_CACHE[columns_key] = (snap, nbytes)  # fleetlint: disable=parallel-shared-mutation  worker-private view registry filled once per attached segment; contents are deterministic per key
+
+
+def arena_get(columns_key: str) -> Optional[dict]:
+    """A warm snapshot served zero-copy from an attached arena, or None."""
+    entry = _ARENA_CACHE.get(columns_key)
+    if entry is None:
+        return None
+    snap, nbytes = entry
+    PROFILER.count("arena.hits")
+    PROFILER.count("ipc.bytes_saved", nbytes)
+    return snap
+
+
+# ---------------------------------------------------------------------
 # Cache key
 # ---------------------------------------------------------------------
 def warm_cache_key(experiment: "Experiment", allocation: list) -> str:
@@ -111,6 +148,32 @@ def warm_cache_key(experiment: "Experiment", allocation: list) -> str:
     snapshot.  The manager/controller built after the warm never feeds
     back into it.
     """
+    from repro.harness.pretrained import _config_hash
+
+    return _config_hash(_warm_key_payload(experiment, allocation))
+
+
+def warm_columns_key(experiment: "Experiment", allocation: list) -> str:
+    """Hash of the post-warm *column* state: the cache key minus the seed.
+
+    The warm fill writes deterministic sequential LPNs and draws no
+    randomness, so every seed produces identical post-warm BlockStore /
+    ChannelArrays / L2P columns — only the RNG stream states differ.  An
+    arena snapshot omits the streams (each device keeps its own fresh,
+    draw-position-zero streams), so one shared segment serves fleet
+    devices with different seeds.  The seed still reaches the key
+    indirectly where it matters: ssdkeeper-style allocators fold it into
+    ``allocation``, which is hashed via the per-plan specs.
+    """
+    from repro.harness.pretrained import _config_hash
+
+    payload = _warm_key_payload(experiment, allocation)
+    del payload["seed"]
+    payload["columns_only"] = True
+    return _config_hash(payload)
+
+
+def _warm_key_payload(experiment: "Experiment", allocation: list) -> dict:
     from dataclasses import asdict
 
     from repro.core.pretrain import SAMPLER_VERSION
@@ -138,16 +201,13 @@ def warm_cache_key(experiment: "Experiment", allocation: list) -> str:
                 "blocks_per_channel": blocks_per_channel,
             }
         )
-    payload = {
+    return {
         "config": asdict(experiment.config),
         "seed": experiment.seed,
         "warm_fraction": WARM_FRACTION,
         "sampler_version": SAMPLER_VERSION,
         "plans": plans,
     }
-    from repro.harness.pretrained import _config_hash
-
-    return _config_hash(payload)
 
 
 # ---------------------------------------------------------------------
@@ -193,7 +253,12 @@ def restore_experiment(experiment: "Experiment", snap: dict) -> None:
     token = PROFILER.begin()
     virt = experiment.virt
     virt.sim.restore(snap["engine"])
-    experiment.streams.restore(snap["streams"])
+    # Arena snapshots carry no stream states (they are seed-dependent;
+    # the columns are not).  A freshly built experiment's streams sit at
+    # draw position zero, which is exactly the post-warm position — the
+    # warm fill draws nothing — so skipping the restore is identical.
+    if "streams" in snap:
+        experiment.streams.restore(snap["streams"])
     virt.ssd.store.restore(snap["store"])
     virt.ssd.arrays.restore(snap["arrays"])
     for plan in experiment.plans:
@@ -215,7 +280,13 @@ def cache_get(key: str, mode: str) -> Optional[dict]:
         if path.exists():
             try:
                 snap = _decode_npz(path)
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            except (
+                OSError,
+                ValueError,
+                KeyError,
+                json.JSONDecodeError,
+                zipfile.BadZipFile,  # torn download/copy: not a valid zip
+            ):
                 snap = None  # corrupt/stale file: fall through to a miss
             if snap is not None:
                 _memory_put(key, snap)
@@ -251,16 +322,17 @@ def _snapshot_path(key: str) -> "Path":
 
 
 # ---------------------------------------------------------------------
-# On-disk encoding (.npz: big columns as arrays, the rest as JSON)
+# Snapshot codec (shared by the .npz disk layer and the shm arena)
 # ---------------------------------------------------------------------
-def _encode_npz(snap: dict, path: "Path") -> None:
-    """Encode a snapshot as an uncompressed ``.npz``.
+def encode_snapshot_entries(snap: dict) -> "tuple[dict, dict]":
+    """Split a snapshot into ``(numpy entries, JSON-safe meta dict)``.
 
     The page->LPN matrix and L2P arrays dominate (one int32 per page);
-    they go in as arrays.  Everything structured-but-small (engine
-    clock, RNG states, region deque orders, stats) rides in a single
-    JSON string — Python's JSON keeps the 128-bit PCG64 state integers
-    exact.
+    they become named arrays.  Everything structured-but-small (engine
+    clock, RNG states, region deque orders, stats) rides in the meta
+    dict — Python's JSON keeps the 128-bit PCG64 state integers exact.
+    The ``streams`` field is optional: arena snapshots omit it (stream
+    states are seed-dependent, the columns are not).
     """
     store = snap["store"]
     entries = {
@@ -285,11 +357,67 @@ def _encode_npz(snap: dict, path: "Path") -> None:
     meta = {
         "version": 1,
         "engine": snap["engine"],
-        "streams": snap["streams"],
         "arrays": snap["arrays"],
         "ftls": ftl_meta,
         "plan_names": plan_names,
     }
+    if "streams" in snap:
+        meta["streams"] = snap["streams"]
+    return entries, meta
+
+
+def decode_snapshot_entries(get, meta: dict, copy: bool = True) -> dict:
+    """Inverse of :func:`encode_snapshot_entries`.
+
+    ``get(name)`` returns the named array (an npz member or an arena
+    view).  With ``copy=False`` the big matrices (``page_lpns``,
+    ``erase_count``) are passed through as-is — the zero-copy arena
+    path, safe because :func:`restore_experiment` only ever copies *out*
+    of a snapshot.  Small columns always decode to plain Python lists
+    (the live structures hold Python ints, and a numpy scalar leaking
+    into them would poison downstream arithmetic).
+    """
+    store = {
+        "page_lpns": get("page_lpns").copy() if copy else get("page_lpns"),
+        "erase_count": get("erase_count").copy() if copy else get("erase_count"),
+        "state": [_BLOCK_STATES[i] for i in get("state")],
+        "owner": _decode_optional(get("owner")),
+        "writer": _decode_optional(get("writer")),
+        "harvested": [bool(v) for v in get("harvested")],
+        "write_ptr": [int(v) for v in get("write_ptr")],
+        "valid_count": [int(v) for v in get("valid_count")],
+    }
+    ftls = {}
+    for index, name in enumerate(meta["plan_names"]):
+        ftl = dict(meta["ftls"][name])
+        # JSON stringifies int dict keys; the live dicts use ints.
+        ftl["own_blocks_per_channel"] = {
+            int(ch): count
+            for ch, count in ftl["own_blocks_per_channel"].items()
+        }
+        region = ftl["own_region"]
+        region["free"] = {int(ch): gids for ch, gids in region["free"].items()}
+        region["open"] = {int(ch): gids for ch, gids in region["open"].items()}
+        ftl["l2p_gid"] = [int(v) for v in get(f"l2p_gid_{index}")]
+        ftl["l2p_page"] = [int(v) for v in get(f"l2p_page_{index}")]
+        ftls[name] = ftl
+    snap = {
+        "engine": meta["engine"],
+        "store": store,
+        "arrays": meta["arrays"],
+        "ftls": ftls,
+    }
+    if "streams" in meta:
+        snap["streams"] = meta["streams"]
+    return snap
+
+
+# ---------------------------------------------------------------------
+# On-disk encoding (.npz: big columns as arrays, the rest as JSON)
+# ---------------------------------------------------------------------
+def _encode_npz(snap: dict, path: "Path") -> None:
+    """Encode a snapshot as an uncompressed ``.npz``."""
+    entries, meta = encode_snapshot_entries(snap)
     entries["meta"] = np.array(json.dumps(meta))
     with open(path, "wb") as handle:
         np.savez(handle, **entries)
@@ -301,37 +429,7 @@ def _decode_npz(path: "Path") -> dict:
         meta = json.loads(str(data["meta"][()]))
         if meta.get("version") != 1:
             raise ValueError(f"unknown warm-state version in {path}")
-        store = {
-            "page_lpns": data["page_lpns"].copy(),
-            "erase_count": data["erase_count"].copy(),
-            "state": [_BLOCK_STATES[i] for i in data["state"]],
-            "owner": _decode_optional(data["owner"]),
-            "writer": _decode_optional(data["writer"]),
-            "harvested": [bool(v) for v in data["harvested"]],
-            "write_ptr": [int(v) for v in data["write_ptr"]],
-            "valid_count": [int(v) for v in data["valid_count"]],
-        }
-        ftls = {}
-        for index, name in enumerate(meta["plan_names"]):
-            ftl = dict(meta["ftls"][name])
-            # JSON stringifies int dict keys; the live dicts use ints.
-            ftl["own_blocks_per_channel"] = {
-                int(ch): count
-                for ch, count in ftl["own_blocks_per_channel"].items()
-            }
-            region = ftl["own_region"]
-            region["free"] = {int(ch): gids for ch, gids in region["free"].items()}
-            region["open"] = {int(ch): gids for ch, gids in region["open"].items()}
-            ftl["l2p_gid"] = [int(v) for v in data[f"l2p_gid_{index}"]]
-            ftl["l2p_page"] = [int(v) for v in data[f"l2p_page_{index}"]]
-            ftls[name] = ftl
-    return {
-        "engine": meta["engine"],
-        "streams": meta["streams"],
-        "store": store,
-        "arrays": meta["arrays"],
-        "ftls": ftls,
-    }
+        return decode_snapshot_entries(lambda name: data[name], meta, copy=True)
 
 
 def _encode_optional(column: list) -> np.ndarray:

@@ -32,6 +32,7 @@ from repro.profiling.profiler import (
     SectionStats,
     format_profile,
     merge_profiles,
+    namespace_profile,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "SectionStats",
     "format_profile",
     "merge_profiles",
+    "namespace_profile",
 ]

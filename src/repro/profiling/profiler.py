@@ -196,6 +196,23 @@ class Profiler:
         return format_profile(self.snapshot())
 
 
+def namespace_profile(snapshot: dict, prefix: str) -> dict:
+    """Re-key a snapshot's *timers* under ``prefix`` (counters stay put).
+
+    The fleet runner files each shard's timings under
+    ``fleet.shard<k>.*`` so ``repro profile`` shows per-shard skew,
+    while counters (cache hits, ``ipc.bytes_saved``) remain global names
+    that :func:`merge_profiles` sums across shards.
+    """
+    return {
+        "timers": {
+            f"{prefix}{name}": dict(entry)
+            for name, entry in snapshot.get("timers", {}).items()
+        },
+        "counters": dict(snapshot.get("counters", {})),
+    }
+
+
 def merge_profiles(snapshots: Iterable[dict]) -> dict:
     """Sum several :meth:`Profiler.snapshot` dicts into one."""
     timers: dict = {}

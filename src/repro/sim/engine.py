@@ -319,6 +319,35 @@ class Simulator:
         """Like :meth:`run_until`, with the boundary given in seconds."""
         return self.run_until(time_s * 1_000_000.0)
 
+    def run_windows(
+        self,
+        start_s: float,
+        end_s: float,
+        interval_s: float,
+        on_window: Callable[[int], None],
+    ) -> int:
+        """Run to ``end_s`` in ``interval_s`` chunks with a callback each.
+
+        Behavior-identical to one straight :meth:`run_until_seconds` of
+        the whole span: the clock lands exactly on every boundary either
+        way, events with timestamps inside a chunk fire in the same
+        (time, seq) order, and a callback that neither draws randomness
+        nor schedules events cannot perturb the run.  ``on_window(i)``
+        fires after each boundary, including the final (possibly
+        partial) window.  Used by the determinism sanitizer's
+        checkpoints and the fleet runner's per-window telemetry flush.
+        """
+        fired = 0
+        window = 0
+        while True:
+            boundary_s = min(start_s + (window + 1) * interval_s, end_s)
+            fired += self.run_until_seconds(boundary_s)
+            on_window(window)
+            window += 1
+            if boundary_s >= end_s:
+                break
+        return fired
+
     def snapshot(self) -> dict:
         """Capture the engine's scalar state for warm-state reuse.
 

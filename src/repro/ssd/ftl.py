@@ -244,6 +244,20 @@ class WriteRegion:
             block.gid for queue in self._open.values() for block in queue
         }
 
+    def frontier_gids_into(self, out: set) -> set:
+        """Refill ``out`` with the open-block gids and return it.
+
+        Scratch-set variant of :meth:`frontier_gids` for per-collection
+        GC paths: the caller owns ``out`` and must be done with the
+        previous fill (the frontier is *not* cacheable across calls —
+        ``frontier_block`` pops free->open without bumping ``version``).
+        """
+        out.clear()
+        for queue in self._open.values():
+            for block in queue:
+                out.add(block.gid)
+        return out
+
     def release_erased(self, block: FlashBlock) -> None:
         """Route a freshly erased block per region policy."""
         self._discard_open(block)
@@ -405,6 +419,10 @@ class VssdFtl:
         # Queue-depth busy-horizon bound, hoisted off the per-page frontier
         # scan (the SSD config is fixed for the device's lifetime).
         self._qd_bound_us = self.config.max_queue_depth * self.config.bus_transfer_us
+        # GC scratch containers, refilled per collection so the GC paths
+        # allocate nothing per call (victim gids + frontier snapshot).
+        self._gc_victims: list = []
+        self._frontier_scratch: set = set()
 
     # ------------------------------------------------------------------
     # Block population
@@ -1290,14 +1308,19 @@ class VssdFtl:
             vc_col = store.valid_count
             views = store.blocks
             member_ids = region._member_ids
-            frontier_gids = region.frontier_gids()
+            frontier_gids = region.frontier_gids_into(self._frontier_scratch)
             in_region = region.purpose == "capacity"
             vssd = self.vssd_id
             full = BlockState.FULL
             ppb = store.pages_per_block
             bpc = self._blocks_per_channel
             base = channel_id * bpc
-            victims = []
+            # Victims are collected as gids into a per-FTL scratch list
+            # (cleared per call); the sort key and the batch slice both
+            # stay allocation-free.  Stable sort over gid-ordered appends
+            # matches the old block-view sort exactly.
+            victims = self._gc_victims
+            victims.clear()
             for gid in range(base, base + bpc):
                 if (
                     writer_col[gid] == vssd
@@ -1307,11 +1330,13 @@ class VssdFtl:
                     and not (in_region and vc_col[gid] >= ppb)
                     and id(views[gid]) in member_ids
                 ):
-                    victims.append(views[gid])
-            victims.sort(key=lambda b: vc_col[b.gid])
-            for victim in victims[: self.GC_BATCH_BLOCKS]:
+                    victims.append(gid)
+            victims.sort(key=vc_col.__getitem__)
+            for idx in range(min(len(victims), self.GC_BATCH_BLOCKS)):
                 erased += self._collect_block(
-                    victim, region, target_region=region if in_region else None
+                    views[victims[idx]],
+                    region,
+                    target_region=region if in_region else None,
                 )
             if erased:
                 self.stats.gc_runs += 1
@@ -1337,7 +1362,7 @@ class VssdFtl:
         writer_col = store.writer
         harvested_col = store.harvested
         vc_col = store.valid_count
-        frontier_gids = self.own_region.frontier_gids()
+        frontier_gids = self.own_region.frontier_gids_into(self._frontier_scratch)
         vssd = self.vssd_id
         full = BlockState.FULL
         ppb = store.pages_per_block

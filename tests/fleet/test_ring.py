@@ -1,0 +1,93 @@
+"""Telemetry ring: framing, overflow, retry reset, and torn-tail drops."""
+
+import struct
+
+import pytest
+
+from repro.fleet.arena import leaked_segments
+from repro.fleet.ring import (
+    _FRAME,
+    _HEADER,
+    KIND_RESULTS,
+    KIND_WINDOW_ROWS,
+    TelemetryRing,
+)
+
+
+@pytest.fixture
+def ring():
+    ring = TelemetryRing.create(capacity=1024)
+    yield ring
+    ring.close()
+
+
+def test_append_drain_roundtrip_preserves_order(ring):
+    records = [
+        (KIND_WINDOW_ROWS, 0, 0, b"w0-slot0"),
+        (KIND_WINDOW_ROWS, 0, 1, b"w0-slot1"),
+        (KIND_RESULTS, 0, 0, b"r0"),
+        (KIND_WINDOW_ROWS, 3, 0, b""),
+        (KIND_RESULTS, 3, 0, b"r3"),
+    ]
+    for record in records:
+        assert ring.append(*record)
+    assert ring.records == len(records)
+    assert not ring.overflowed
+    assert ring.drain() == records
+
+
+def test_overflow_sets_flag_and_rejects_later_appends(ring):
+    big = b"x" * 900
+    assert ring.append(KIND_WINDOW_ROWS, 0, 0, big)
+    assert not ring.append(KIND_WINDOW_ROWS, 1, 0, big)
+    assert ring.overflowed
+    # Once overflowed, even a record that would fit is refused: the
+    # worker has switched the shard's tail to the pipe fallback and a
+    # late ring record would be merged out of order.
+    assert not ring.append(KIND_RESULTS, 2, 0, b"tiny")
+    assert ring.drain() == [(KIND_WINDOW_ROWS, 0, 0, big)]
+
+
+def test_reset_clears_cursors_for_retry(ring):
+    ring.append(KIND_WINDOW_ROWS, 0, 0, b"x" * 900)
+    ring.append(KIND_WINDOW_ROWS, 1, 0, b"x" * 900)  # overflows
+    assert ring.overflowed
+    ring.reset()
+    assert ring.used == 0 and ring.records == 0 and not ring.overflowed
+    assert ring.append(KIND_RESULTS, 0, 0, b"fresh")
+    assert ring.drain() == [(KIND_RESULTS, 0, 0, b"fresh")]
+
+
+def test_drain_drops_torn_trailing_record(ring):
+    """A worker killed mid-append leaves a frame whose payload the used
+    cursor does not fully cover; drain must drop it, not misparse."""
+    assert ring.append(KIND_RESULTS, 0, 0, b"good")
+    used, records = ring.used, ring.records
+    _FRAME.pack_into(ring._shm.buf, _HEADER + used, KIND_RESULTS, 1, 0, 999)
+    struct.pack_into(
+        "<qq", ring._shm.buf, 16, used + _FRAME.size + 4, records + 1
+    )
+    assert ring.drain() == [(KIND_RESULTS, 0, 0, b"good")]
+
+
+def test_attach_missing_or_foreign_segment_returns_none(ring):
+    assert TelemetryRing.attach("repro_ring_gone_0") is None
+    # A live segment that is not a ring (bad magic) is refused too.
+    ring._shm.buf[:8] = b"NOTRING!"
+    assert TelemetryRing.attach(ring.name) is None
+
+
+def test_attach_sees_producer_records(ring):
+    writer = TelemetryRing.attach(ring.name)
+    assert writer is not None
+    writer.append(KIND_RESULTS, 5, 0, b"via-attach")
+    writer.close()
+    assert ring.drain() == [(KIND_RESULTS, 5, 0, b"via-attach")]
+
+
+def test_owner_close_unlinks_segment():
+    ring = TelemetryRing.create(capacity=256)
+    name = ring.name
+    ring.close()
+    ring.close()  # idempotent
+    assert all(name not in segment for segment in leaked_segments())

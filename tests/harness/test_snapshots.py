@@ -302,3 +302,68 @@ def test_memory_cache_bounded():
     for i in range(snapshots._MEMORY_CACHE_MAX + 4):
         snapshots._memory_put(f"key{i}", {"i": i})
     assert len(snapshots._MEMORY_CACHE) == snapshots._MEMORY_CACHE_MAX
+
+
+# ---------------------------------------------------------------------
+# Disk-layer concurrency
+# ---------------------------------------------------------------------
+def _hammer_atomic_replace(path_str: str, fill: int, rounds: int) -> None:
+    """Child body: repeatedly replace ``path`` with a ``fill``-valued npz."""
+    from pathlib import Path
+
+    from repro.harness.pretrained import _atomic_replace
+
+    path = Path(path_str)
+    payload = np.full(60_000, fill, dtype=np.int64)
+    for _ in range(rounds):
+        _atomic_replace(lambda tmp: np.savez(tmp, payload=payload), path)
+
+
+def test_atomic_replace_race_never_tears(tmp_path):
+    """Two processes racing ``_atomic_replace`` on the same warmstate
+    path: every read — concurrent or final — decodes a complete file
+    written entirely by one of them, and no tmp litter survives.
+
+    The pid-suffixed tmp names keep the writers off each other's
+    scratch files, and ``os.replace`` swaps whole inodes, so a reader
+    can never observe a half-written ``warmstate_<key>.npz``.
+    """
+    import multiprocessing
+
+    path = tmp_path / "warmstate_deadbeef0123.npz"
+    rounds = 60
+    ctx = multiprocessing.get_context("fork")
+    writers = [
+        ctx.Process(
+            target=_hammer_atomic_replace, args=(str(path), fill, rounds)
+        )
+        for fill in (1, 2)
+    ]
+    for proc in writers:
+        proc.start()
+    try:
+        while any(proc.is_alive() for proc in writers):
+            if not path.exists():
+                continue  # raced the very first replace
+            with np.load(path, allow_pickle=False) as data:
+                payload = data["payload"]
+            assert payload.shape == (60_000,)
+            values = np.unique(payload)
+            assert len(values) == 1 and int(values[0]) in (1, 2), values
+    finally:
+        for proc in writers:
+            proc.join(timeout=120)
+    assert [proc.exitcode for proc in writers] == [0, 0]
+    with np.load(path, allow_pickle=False) as data:
+        values = np.unique(data["payload"])
+    assert len(values) == 1 and int(values[0]) in (1, 2)
+    assert list(tmp_path.glob(".*.tmp*")) == []
+
+
+def test_cache_get_survives_corrupt_disk_snapshot(tmp_path, monkeypatch):
+    """A torn/garbage ``warmstate_<key>.npz`` is a miss, not a crash."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    path = snapshots._snapshot_path("feedface4242")
+    path.write_bytes(b"PK\x03\x04 definitely not a complete zip")
+    assert snapshots.cache_get("feedface4242", "disk") is None
+    assert snapshots.STATS["misses"] == 1
